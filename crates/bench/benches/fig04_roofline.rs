@@ -1,0 +1,27 @@
+//! Figure 4: arithmetic-intensity roofline of the decoder operators.
+//! Prints the paper's series, then benchmarks the analytic kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use neupims_bench::short_criterion;
+use neupims_core::experiments::fig4_roofline;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("\n=== Figure 4 rows (model, phase, operator, FLOPs/byte, TFLOPS) ===");
+    for r in fig4_roofline() {
+        println!(
+            "{:<12} {:?}  {:<13} {:>8.2} {:>8.1}",
+            r.model, r.phase, r.operator, r.intensity, r.tflops
+        );
+    }
+    c.bench_function("fig04_roofline_points", |b| {
+        b.iter(|| black_box(fig4_roofline()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = short_criterion();
+    targets = bench
+}
+criterion_main!(benches);

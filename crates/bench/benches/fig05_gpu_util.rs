@@ -1,0 +1,30 @@
+//! Figure 5: GPU compute/bandwidth/capacity utilization for four LLMs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use neupims_bench::short_criterion;
+use neupims_core::experiments::fig5_gpu_util;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("\n=== Figure 5 rows (GPU, model, compute, bandwidth, capacity) ===");
+    for r in fig5_gpu_util() {
+        println!(
+            "{:<14} {:<14} {:>6.1}% {:>6.1}% {:>6.1}%",
+            r.gpu,
+            r.model,
+            r.compute * 100.0,
+            r.bandwidth * 100.0,
+            r.capacity * 100.0
+        );
+    }
+    c.bench_function("fig05_gpu_utilization", |b| {
+        b.iter(|| black_box(fig5_gpu_util()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = short_criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Figure 6: per-stage NPU/PIM utilization of the naive NPU+PIM device.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use neupims_bench::{bench_context, short_criterion};
+use neupims_core::experiments::fig6_layer_util;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let ctx = bench_context();
+    println!("\n=== Figure 6 rows (stage, NPU util, PIM util) ===");
+    for r in fig6_layer_util(&ctx).unwrap() {
+        println!("{:<22} {:>6.1}% {:>6.1}%", r.stage, r.npu * 100.0, r.pim * 100.0);
+    }
+    c.bench_function("fig06_naive_stage_utilization", |b| {
+        b.iter(|| black_box(fig6_layer_util(&ctx).unwrap()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = short_criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Figure 12: throughput of GPU-only / NPU-only / NPU+PIM / NeuPIMs.
+//! Prints a reduced sweep (both datasets, two models, three batch sizes)
+//! and benchmarks the per-panel kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use neupims_bench::{bench_context, short_criterion};
+use neupims_core::experiments::fig12_throughput;
+use neupims_types::LlmConfig;
+use neupims_workload::Dataset;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let ctx = bench_context();
+    println!("\n=== Figure 12 rows (dataset, model, batch, system, tokens/s) ===");
+    for dataset in Dataset::ALL {
+        for model in [LlmConfig::gpt3_7b(), LlmConfig::gpt3_30b()] {
+            for batch in [64usize, 256, 512] {
+                for r in fig12_throughput(&ctx, dataset, &model, batch).unwrap() {
+                    println!(
+                        "{:<9} {:<10} B={:<4} {:<9} {:>10.0}",
+                        r.dataset, r.model, r.batch, r.system, r.tokens_per_sec
+                    );
+                }
+            }
+        }
+    }
+    let model = LlmConfig::gpt3_7b();
+    c.bench_function("fig12_panel_sharegpt_7b_b256", |b| {
+        b.iter(|| black_box(fig12_throughput(&ctx, Dataset::ShareGpt, &model, 256).unwrap()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = short_criterion();
+    targets = bench
+}
+criterion_main!(benches);

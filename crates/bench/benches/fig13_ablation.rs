@@ -1,0 +1,24 @@
+//! Figure 13: DRB / GMLBP / SBI ablation on GPT3-7B + ShareGPT.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use neupims_bench::{bench_context, short_criterion};
+use neupims_core::experiments::fig13_ablation;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let ctx = bench_context();
+    println!("\n=== Figure 13 rows (batch, variant, improvement over NPU+PIM) ===");
+    for r in fig13_ablation(&ctx, &[64, 128, 256, 384, 512]).unwrap() {
+        println!("B={:<4} {:<24} {:>5.2}x", r.batch, r.variant, r.improvement);
+    }
+    c.bench_function("fig13_ablation_b256", |b| {
+        b.iter(|| black_box(fig13_ablation(&ctx, &[256]).unwrap()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = short_criterion();
+    targets = bench
+}
+criterion_main!(benches);

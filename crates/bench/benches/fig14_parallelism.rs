@@ -1,0 +1,27 @@
+//! Figure 14: (TP, PP) parallelization schemes at 256 total requests.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use neupims_bench::{bench_context, short_criterion};
+use neupims_core::experiments::fig14_parallelism;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let ctx = bench_context();
+    println!("\n=== Figure 14 rows (devices, (TP,PP), tokens/s) ===");
+    for r in fig14_parallelism(&ctx).unwrap() {
+        println!(
+            "{:>3} devices  (TP={:<2} PP={:<2}) {:>10.0}",
+            r.devices, r.tp, r.pp, r.tokens_per_sec
+        );
+    }
+    c.bench_function("fig14_parallelism_sweep", |b| {
+        b.iter(|| black_box(fig14_parallelism(&ctx).unwrap()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = short_criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Figure 15: NeuPIMs speedup over the TransPIM comparator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use neupims_bench::{bench_context, short_criterion};
+use neupims_core::experiments::fig15_transpim;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let ctx = bench_context();
+    println!("\n=== Figure 15 rows (dataset, batch, speedup) ===");
+    let rows = fig15_transpim(&ctx, &[64, 128, 256, 384, 512]).unwrap();
+    for r in &rows {
+        println!("{:<9} B={:<4} {:>7.0}x", r.dataset, r.batch, r.speedup);
+    }
+    let avg = rows.iter().map(|r| r.speedup).sum::<f64>() / rows.len() as f64;
+    println!("average: {avg:.0}x (paper: ~228x, range 79-431x)");
+    c.bench_function("fig15_transpim_b256", |b| {
+        b.iter(|| black_box(fig15_transpim(&ctx, &[256]).unwrap()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = short_criterion();
+    targets = bench
+}
+criterion_main!(benches);

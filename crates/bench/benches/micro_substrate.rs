@@ -1,0 +1,56 @@
+//! Microbenchmarks of the cycle-accurate substrate: DRAM command
+//! scheduling, PIM GEMV execution, duet interleaving, and calibration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use neupims_bench::short_criterion;
+use neupims_dram::{Controller, DramChannel, MemRequest};
+use neupims_pim::{calibrate, CommandMode, DuetDriver, GemvEngine, GemvJob};
+use neupims_types::{config::PimConfig, BankId, HbmTiming, MemConfig, NeuPimsConfig};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mem = MemConfig::table2();
+    let timing = HbmTiming::table2();
+
+    c.bench_function("dram_stream_256_pages", |b| {
+        b.iter(|| {
+            let mut ctrl = Controller::new(mem, timing, false);
+            for p in 0..256u32 {
+                ctrl.enqueue(MemRequest::read(BankId::new(p % 32), p / 32, 0, 16));
+            }
+            black_box(ctrl.run_until_drained().unwrap())
+        })
+    });
+
+    c.bench_function("pim_gemv_64_tiles", |b| {
+        b.iter(|| {
+            let mut ch = DramChannel::new(mem, timing, true);
+            let mut e = GemvEngine::new(PimConfig::newton(), CommandMode::Composite, true);
+            e.enqueue(GemvJob::synthetic(&mem, 64, 2, 0));
+            black_box(e.run_to_completion(&mut ch).unwrap())
+        })
+    });
+
+    c.bench_function("duet_mem_plus_pim", |b| {
+        b.iter(|| {
+            let mut ctrl = Controller::new(mem, timing, true);
+            for p in 0..128u32 {
+                ctrl.enqueue(MemRequest::read(BankId::new(p % 32), 20_000 + p / 32, 0, 16));
+            }
+            let mut e = GemvEngine::new(PimConfig::newton(), CommandMode::Composite, true);
+            e.enqueue(GemvJob::synthetic(&mem, 32, 1, 0));
+            black_box(DuetDriver::new(ctrl, e).run().unwrap())
+        })
+    });
+
+    c.bench_function("full_calibration", |b| {
+        b.iter(|| black_box(calibrate(&NeuPimsConfig::table2()).unwrap()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = short_criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Table 4: average NPU / PIM / bandwidth utilization of the three systems.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use neupims_bench::{bench_context, short_criterion};
+use neupims_core::experiments::table4_utilization;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let ctx = bench_context();
+    println!("\n=== Table 4 (GPT3-30B, B=256, ShareGPT) ===");
+    for r in table4_utilization(&ctx).unwrap() {
+        println!(
+            "{:<9} NPU {:>5.1}%  PIM {:>5.1}%  BW {:>5.1}%",
+            r.system,
+            r.npu * 100.0,
+            r.pim * 100.0,
+            r.bandwidth * 100.0
+        );
+    }
+    c.bench_function("table4_utilization", |b| {
+        b.iter(|| black_box(table4_utilization(&ctx).unwrap()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = short_criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Table 5: DRAM power of non-PIM HBM vs dual-row-buffer PIM, plus the
+//! area overhead of Section 8.2.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use neupims_bench::{bench_context, short_criterion};
+use neupims_core::experiments::{area_overhead, table5_power};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let ctx = bench_context();
+    let t = table5_power(&ctx).unwrap();
+    println!("\n=== Table 5 ===");
+    println!("NPU-only HBM (non-PIM):       {:>7.1} mW/channel", t.baseline_mw);
+    println!("NeuPIMs dual-row-buffer PIM:  {:>7.1} mW/channel", t.neupims_mw);
+    println!(
+        "power {:.2}x, speedup {:.2}x, relative energy {:.2}",
+        t.neupims_mw / t.baseline_mw,
+        t.speedup,
+        t.energy_ratio
+    );
+    println!("area overhead: {:.2}% (paper 3.11%)", area_overhead() * 100.0);
+    c.bench_function("table5_power", |b| {
+        b.iter(|| black_box(table5_power(&ctx).unwrap()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = short_criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Shared helpers for the benchmark harness.
+//!
+//! Each bench target regenerates one paper table/figure: it prints the
+//! rows (so `cargo bench` output doubles as the reproduction artifact) and
+//! then measures the simulator kernels behind them with Criterion.
+
+use std::time::Duration;
+
+use criterion::Criterion;
+use neupims_core::experiments::ExperimentContext;
+
+/// Short Criterion configuration: the sims are deterministic, so a handful
+/// of samples suffices and the whole suite stays minutes-scale.
+pub fn short_criterion() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500))
+}
+
+/// Calibrated context with reduced workload sampling for bench iterations.
+pub fn bench_context() -> ExperimentContext {
+    ExperimentContext::table2()
+        .expect("Table 2 configuration calibrates")
+        .with_samples(2)
+}

@@ -1,0 +1,386 @@
+//! `neupims` — experiment driver reproducing every table and figure of the
+//! NeuPIMs paper (ASPLOS'24).
+//!
+//! ```text
+//! neupims <command> [--samples N] [--quick]
+//!
+//! commands:
+//!   calibrate   print the cycle-model calibration constants
+//!   fig4        roofline / arithmetic-intensity points (Figure 4)
+//!   fig5        GPU utilization for four LLMs (Figure 5)
+//!   fig6        naive NPU+PIM per-stage utilization (Figure 6)
+//!   fig12       throughput: 4 systems x datasets x batch sizes x models
+//!   fig13       ablation: DRB / GMLBP / SBI (Figure 13)
+//!   fig14       (TP, PP) parallelism scaling (Figure 14)
+//!   fig15       speedup over TransPIM (Figure 15)
+//!   table4      resource utilization (Table 4)
+//!   table5      power and energy (Table 5)
+//!   area        dual-row-buffer area overhead (Section 8.2)
+//!   all         everything above, in order
+//! ```
+
+use std::process::ExitCode;
+
+use neupims_core::experiments::{
+    area_overhead, fig12_throughput, fig13_ablation, fig14_parallelism, fig15_transpim,
+    fig4_roofline, fig5_gpu_util, fig6_layer_util, table4_utilization, table5_power,
+    ExperimentContext,
+};
+use neupims_types::{LlmConfig, Phase};
+use neupims_workload::Dataset;
+
+struct Options {
+    samples: usize,
+    quick: bool,
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut command = None;
+    let mut opts = Options {
+        samples: 10,
+        quick: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--samples" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => opts.samples = n,
+                None => {
+                    eprintln!("--samples requires a number");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--quick" => opts.quick = true,
+            cmd if command.is_none() => command = Some(cmd.to_owned()),
+            other => {
+                eprintln!("unexpected argument {other:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if opts.quick {
+        opts.samples = opts.samples.min(3);
+    }
+
+    let command = command.unwrap_or_else(|| "all".to_owned());
+    match run(&command, &opts) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(command: &str, opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    if command == "fig4" {
+        return cmd_fig4();
+    }
+    if command == "fig5" {
+        return cmd_fig5();
+    }
+    if command == "area" {
+        return cmd_area();
+    }
+
+    // Every remaining command needs the calibrated context.
+    eprintln!("calibrating PIM constants from the cycle model ...");
+    let ctx = ExperimentContext::table2()?.with_samples(opts.samples);
+
+    match command {
+        "calibrate" => cmd_calibrate(&ctx),
+        "fig6" => cmd_fig6(&ctx),
+        "fig12" => cmd_fig12(&ctx, opts),
+        "fig13" => cmd_fig13(&ctx, opts),
+        "fig14" => cmd_fig14(&ctx),
+        "fig15" => cmd_fig15(&ctx, opts),
+        "table4" => cmd_table4(&ctx),
+        "table5" => cmd_table5(&ctx),
+        "all" => {
+            cmd_fig4()?;
+            cmd_fig5()?;
+            cmd_calibrate(&ctx)?;
+            cmd_fig6(&ctx)?;
+            cmd_fig12(&ctx, opts)?;
+            cmd_fig13(&ctx, opts)?;
+            cmd_fig14(&ctx)?;
+            cmd_fig15(&ctx, opts)?;
+            cmd_table4(&ctx)?;
+            cmd_table5(&ctx)?;
+            cmd_area()
+        }
+        other => {
+            eprintln!("unknown command {other:?} (try: all, fig12, table4, ...)");
+            Err("unknown command".into())
+        }
+    }
+}
+
+fn cmd_calibrate(ctx: &ExperimentContext) -> Result<(), Box<dyn std::error::Error>> {
+    println!("\n## Calibrated PIM constants (from the cycle model)\n");
+    let c = &ctx.cal;
+    println!("| constant | value |");
+    println!("|---|---|");
+    println!("| L_tile (composite PIM_GEMV) | {:.1} cycles |", c.l_tile);
+    println!("| L_tile (fine-grained Newton) | {:.1} cycles |", c.l_tile_fine);
+    println!("| L_GWRITE | {:.1} cycles |", c.l_gwrite);
+    println!("| dot-product round | {} cycles |", c.dot_cycles);
+    println!("| MEM stream bandwidth (solo) | {:.2} B/cycle/channel |", c.mem_stream_bw);
+    println!(
+        "| MEM stream bandwidth (during PIM) | {:.2} B/cycle/channel |",
+        c.mem_stream_bw_shared
+    );
+    println!("| PIM in-bank bandwidth | {:.2} B/cycle/channel |", c.pim_stream_bw);
+    println!(
+        "| PIM bandwidth advantage | {:.2}x |",
+        c.pim_advantage()
+    );
+    Ok(())
+}
+
+fn cmd_fig4() -> Result<(), Box<dyn std::error::Error>> {
+    println!("\n## Figure 4 — arithmetic intensity of LLM layers (A100 roofline)\n");
+    println!("| model | phase | operator | FLOPs/byte | achievable TFLOPS |");
+    println!("|---|---|---|---:|---:|");
+    for r in fig4_roofline() {
+        let phase = match r.phase {
+            Phase::Summarization => "summarization",
+            Phase::Generation => "generation",
+        };
+        println!(
+            "| {} | {} | {} | {:.2} | {:.1} |",
+            r.model, phase, r.operator, r.intensity, r.tflops
+        );
+    }
+    Ok(())
+}
+
+fn cmd_fig5() -> Result<(), Box<dyn std::error::Error>> {
+    println!("\n## Figure 5 — GPU resource utilization (generation phase)\n");
+    println!("| GPU | model | compute | bandwidth | capacity |");
+    println!("|---|---|---:|---:|---:|");
+    for r in fig5_gpu_util() {
+        println!(
+            "| {} | {} | {:.1}% | {:.1}% | {:.1}% |",
+            r.gpu,
+            r.model,
+            r.compute * 100.0,
+            r.bandwidth * 100.0,
+            r.capacity * 100.0
+        );
+    }
+    Ok(())
+}
+
+fn cmd_fig6(ctx: &ExperimentContext) -> Result<(), Box<dyn std::error::Error>> {
+    println!("\n## Figure 6 — naive NPU+PIM utilization per decoder stage\n");
+    println!("| stage | NPU compute | PIM compute |");
+    println!("|---|---:|---:|");
+    for r in fig6_layer_util(ctx)? {
+        println!(
+            "| {} | {:.1}% | {:.1}% |",
+            r.stage,
+            r.npu * 100.0,
+            r.pim * 100.0
+        );
+    }
+    Ok(())
+}
+
+fn cmd_fig12(ctx: &ExperimentContext, opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    println!("\n## Figure 12 — throughput comparison (tokens/s, mean of warm batches)\n");
+    let batches: Vec<usize> = if opts.quick {
+        vec![64, 256]
+    } else {
+        vec![64, 128, 256, 384, 512]
+    };
+    let models = if opts.quick {
+        vec![LlmConfig::gpt3_7b(), LlmConfig::gpt3_30b()]
+    } else {
+        LlmConfig::table3()
+    };
+
+    // Panels are independent; sweep them across worker threads and print
+    // in deterministic order afterwards.
+    type PanelKey = (usize, usize); // (dataset idx, model idx)
+    type PanelRows = Vec<(usize, Vec<neupims_core::experiments::Fig12Row>)>;
+    type PanelMap = std::collections::HashMap<PanelKey, PanelRows>;
+    let results: parking_lot::Mutex<PanelMap> =
+        parking_lot::Mutex::new(std::collections::HashMap::new());
+    let mut panels = Vec::new();
+    for (di, dataset) in Dataset::ALL.into_iter().enumerate() {
+        for (mi, model) in models.iter().enumerate() {
+            panels.push((di, dataset, mi, model.clone()));
+        }
+    }
+    let err: parking_lot::Mutex<Option<String>> = parking_lot::Mutex::new(None);
+    crossbeam::thread::scope(|scope| {
+        for chunk in panels.chunks(1.max(panels.len() / 8)) {
+            let results = &results;
+            let err = &err;
+            let batches = &batches;
+            scope.spawn(move |_| {
+                for (di, dataset, mi, model) in chunk {
+                    let mut rows = Vec::new();
+                    for &batch in batches.iter() {
+                        match fig12_throughput(ctx, *dataset, model, batch) {
+                            Ok(r) => rows.push((batch, r)),
+                            Err(e) => {
+                                *err.lock() = Some(e.to_string());
+                                return;
+                            }
+                        }
+                    }
+                    results.lock().insert((*di, *mi), rows);
+                }
+            });
+        }
+    })
+    .expect("sweep threads never panic");
+    if let Some(e) = err.lock().take() {
+        return Err(e.into());
+    }
+
+    let results = results.into_inner();
+    for (di, dataset) in Dataset::ALL.into_iter().enumerate() {
+        for (mi, model) in models.iter().enumerate() {
+            println!("\n### {} / {}\n", dataset.name(), model.name);
+            println!("| batch | GPU-only | NPU-only | NPU+PIM | NeuPIMs | NeuPIMs/NPU+PIM |");
+            println!("|---:|---:|---:|---:|---:|---:|");
+            for (batch, rows) in &results[&(di, mi)] {
+                let get = |s: &str| {
+                    rows.iter()
+                        .find(|r| r.system == s)
+                        .map(|r| r.tokens_per_sec)
+                        .unwrap_or(0.0)
+                };
+                println!(
+                    "| {} | {:.0} | {:.0} | {:.0} | {:.0} | {:.2}x |",
+                    batch,
+                    get("GPU-only"),
+                    get("NPU-only"),
+                    get("NPU+PIM"),
+                    get("NeuPIMs"),
+                    get("NeuPIMs") / get("NPU+PIM").max(1e-9),
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_fig13(ctx: &ExperimentContext, opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    println!("\n## Figure 13 — ablation (GPT3-7B, ShareGPT; normalized to NPU+PIM)\n");
+    let batches: &[usize] = if opts.quick {
+        &[64, 256]
+    } else {
+        &[64, 128, 256, 384, 512]
+    };
+    let rows = fig13_ablation(ctx, batches)?;
+    println!("| batch | NPU+PIM | +DRB | +DRB+GMLBP | +DRB+GMLBP+SBI |");
+    println!("|---:|---:|---:|---:|---:|");
+    for &batch in batches {
+        let get = |v: &str| {
+            rows.iter()
+                .find(|r| r.batch == batch && r.variant == v)
+                .map(|r| r.improvement)
+                .unwrap_or(0.0)
+        };
+        println!(
+            "| {} | {:.2} | {:.2} | {:.2} | {:.2} |",
+            batch,
+            get("NPU+PIM"),
+            get("NeuPIMs-DRB"),
+            get("NeuPIMs-DRB+GMLBP"),
+            get("NeuPIMs-DRB+GMLBP+SBI"),
+        );
+    }
+    Ok(())
+}
+
+fn cmd_fig14(ctx: &ExperimentContext) -> Result<(), Box<dyn std::error::Error>> {
+    println!("\n## Figure 14 — (TP, PP) scaling at 256 requests (GPT3-7B)\n");
+    println!("| devices | (TP, PP) | throughput (1k tokens/s) |");
+    println!("|---:|---|---:|");
+    for r in fig14_parallelism(ctx)? {
+        println!(
+            "| {} | ({}, {}) | {:.1} |",
+            r.devices,
+            r.tp,
+            r.pp,
+            r.tokens_per_sec / 1e3
+        );
+    }
+    Ok(())
+}
+
+fn cmd_fig15(ctx: &ExperimentContext, opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    println!("\n## Figure 15 — NeuPIMs speedup over TransPIM (GPT3-7B)\n");
+    let batches: &[usize] = if opts.quick {
+        &[64, 256]
+    } else {
+        &[64, 128, 256, 384, 512]
+    };
+    let rows = fig15_transpim(ctx, batches)?;
+    println!("| dataset | batch | speedup |");
+    println!("|---|---:|---:|");
+    for r in &rows {
+        println!("| {} | {} | {:.0}x |", r.dataset, r.batch, r.speedup);
+    }
+    let avg = rows.iter().map(|r| r.speedup).sum::<f64>() / rows.len() as f64;
+    println!("\naverage speedup: {avg:.0}x (paper: ~228x, range 79-431x)");
+    Ok(())
+}
+
+fn cmd_table4(ctx: &ExperimentContext) -> Result<(), Box<dyn std::error::Error>> {
+    println!("\n## Table 4 — average resource utilization (GPT3-30B, B=256, ShareGPT)\n");
+    println!("| resource | NPU-only | NPU+PIM | NeuPIMs |");
+    println!("|---|---:|---:|---:|");
+    let rows = table4_utilization(ctx)?;
+    let pct = |x: f64| format!("{:.1}%", x * 100.0);
+    println!(
+        "| NPU | {} | {} | {} |",
+        pct(rows[0].npu),
+        pct(rows[1].npu),
+        pct(rows[2].npu)
+    );
+    println!(
+        "| PIM | - | {} | {} |",
+        pct(rows[1].pim),
+        pct(rows[2].pim)
+    );
+    println!(
+        "| Bandwidth | {} | {} | {} |",
+        pct(rows[0].bandwidth),
+        pct(rows[1].bandwidth),
+        pct(rows[2].bandwidth)
+    );
+    Ok(())
+}
+
+fn cmd_table5(ctx: &ExperimentContext) -> Result<(), Box<dyn std::error::Error>> {
+    println!("\n## Table 5 — DRAM power and energy\n");
+    let t = table5_power(ctx)?;
+    println!("| system | average power (mW/channel) |");
+    println!("|---|---:|");
+    println!("| NPU-only HBM (non-PIM) | {:.1} |", t.baseline_mw);
+    println!("| NeuPIMs dual-row-buffer PIM | {:.1} |", t.neupims_mw);
+    println!(
+        "\npower ratio {:.2}x, fleet speedup {:.2}x -> relative energy {:.2} ({}% reduction)",
+        t.neupims_mw / t.baseline_mw,
+        t.speedup,
+        t.energy_ratio,
+        ((1.0 - t.energy_ratio) * 100.0).round()
+    );
+    Ok(())
+}
+
+fn cmd_area() -> Result<(), Box<dyn std::error::Error>> {
+    println!("\n## Area overhead of dual row buffers (CACTI-like model, 22 nm)\n");
+    println!(
+        "dual row buffer area overhead: {:.2}% (paper: 3.11%)",
+        area_overhead() * 100.0
+    );
+    Ok(())
+}

@@ -1,0 +1,169 @@
+//! Multi-device scaling with tensor and pipeline parallelism (Section 7,
+//! Figure 14).
+//!
+//! * **Tensor parallelism** shards every weight matrix over `tp` devices;
+//!   each keeps the full batch but pays two all-reduces per layer (already
+//!   priced inside the device model).
+//! * **Pipeline parallelism** shards layers into `pp` stages; the batch
+//!   splits into `pp` micro-batches that flow through the stages. In steady
+//!   state one micro-batch completes per pipeline beat, so system
+//!   throughput is `(B / pp) / beat`, with the beat set by one stage's
+//!   iteration time and the inter-stage activation transfer.
+//!
+//! The paper's conclusion — prefer TP until memory forces PP — emerges
+//! because PP shrinks the per-device batch (hurting systolic efficiency
+//! and halving the tokens per beat) while TP shrinks per-device work.
+
+use neupims_types::{LlmConfig, SimError};
+
+use crate::device::Device;
+use crate::metrics::IterationBreakdown;
+
+/// A (TP, PP) deployment of one model across `tp * pp` devices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterSpec {
+    /// Tensor-parallel degree.
+    pub tp: u32,
+    /// Pipeline-parallel degree.
+    pub pp: u32,
+}
+
+impl ClusterSpec {
+    /// Creates a spec.
+    pub const fn new(tp: u32, pp: u32) -> Self {
+        Self { tp, pp }
+    }
+
+    /// Devices required.
+    pub const fn devices(&self) -> u32 {
+        self.tp * self.pp
+    }
+}
+
+/// System tokens-per-second of `device`s deployed as `spec`, serving
+/// `seq_lens` (the whole request set; micro-batching splits it).
+///
+/// # Errors
+///
+/// Returns [`SimError::InvalidConfig`] when the model's layers don't divide
+/// by `pp` or the request count is below `pp`, plus device-model errors.
+pub fn cluster_throughput(
+    device: &Device,
+    model: &LlmConfig,
+    spec: ClusterSpec,
+    seq_lens: &[u64],
+) -> Result<f64, SimError> {
+    if spec.tp == 0 || spec.pp == 0 {
+        return Err(SimError::InvalidConfig("zero parallel degree".into()));
+    }
+    if !model.num_layers.is_multiple_of(spec.pp) {
+        return Err(SimError::InvalidConfig(format!(
+            "{} layers not divisible by PP={}",
+            model.num_layers, spec.pp
+        )));
+    }
+    if seq_lens.len() < spec.pp as usize {
+        return Err(SimError::InvalidConfig(format!(
+            "{} requests cannot fill PP={} micro-batches",
+            seq_lens.len(),
+            spec.pp
+        )));
+    }
+    let layers_per_stage = model.num_layers / spec.pp;
+    let micro = seq_lens.len() / spec.pp as usize;
+    // Steady state: every stage processes one micro-batch per beat. Use the
+    // first micro-batch as representative (callers pass sampled batches).
+    let mb = &seq_lens[..micro];
+    let iter: IterationBreakdown = device.decode_iteration(model, spec.tp, layers_per_stage, mb)?;
+
+    // Inter-stage activation transfer per beat (hidden behind compute when
+    // small; the beat takes the max).
+    let act_bytes = micro as u64 * model.d_model as u64 * model.dtype.size_bytes()
+        / spec.tp.max(1) as u64;
+    let ic = &device.config().interconnect;
+    let comm = if spec.pp > 1 {
+        act_bytes / ic.link_bytes_per_cycle.max(1) + ic.link_latency
+    } else {
+        0
+    };
+    let beat = iter.total_cycles.max(comm).max(1);
+    let beat_secs = neupims_types::units::cycles_to_secs(beat);
+    Ok(micro as f64 / beat_secs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceMode;
+    use neupims_pim::calibrate;
+    use neupims_types::NeuPimsConfig;
+
+    fn device() -> Device {
+        let cfg = NeuPimsConfig::table2();
+        let cal = calibrate(&cfg).unwrap();
+        Device::new(cfg, cal, DeviceMode::neupims())
+    }
+
+    #[test]
+    fn tp_beats_pp_at_equal_device_count() {
+        // Figure 14: (TP=8, PP=1) outperforms (TP=4, PP=2) on 8 devices.
+        let d = device();
+        let model = LlmConfig::gpt3_7b();
+        let seqs = vec![376u64; 256];
+        let tp8 = cluster_throughput(&d, &model, ClusterSpec::new(8, 1), &seqs).unwrap();
+        let tp4pp2 = cluster_throughput(&d, &model, ClusterSpec::new(4, 2), &seqs).unwrap();
+        assert!(
+            tp8 > tp4pp2,
+            "TP-heavy {tp8:.0} must beat PP-heavy {tp4pp2:.0}"
+        );
+    }
+
+    #[test]
+    fn tp_preferred_at_16_devices_too() {
+        // Figure 14's other fixed-device-count pair: (8,2) vs (4,4).
+        let d = device();
+        let model = LlmConfig::gpt3_7b();
+        let seqs = vec![376u64; 256];
+        let tp8pp2 = cluster_throughput(&d, &model, ClusterSpec::new(8, 2), &seqs).unwrap();
+        let tp4pp4 = cluster_throughput(&d, &model, ClusterSpec::new(4, 4), &seqs).unwrap();
+        assert!(
+            tp8pp2 > tp4pp4,
+            "(8,2) {tp8pp2:.0} must beat (4,4) {tp4pp4:.0}"
+        );
+    }
+
+    #[test]
+    fn per_device_efficiency_falls_with_scale() {
+        // Figure 14's note: with the total request count fixed, growing the
+        // cluster shrinks per-device batches and per-device throughput.
+        let d = device();
+        let model = LlmConfig::gpt3_7b();
+        let seqs = vec![376u64; 256];
+        let t4 = cluster_throughput(&d, &model, ClusterSpec::new(4, 1), &seqs).unwrap();
+        let t32 = cluster_throughput(&d, &model, ClusterSpec::new(8, 4), &seqs).unwrap();
+        assert!(
+            t4 / 4.0 > t32 / 32.0,
+            "per-device: 4dev {:.0} vs 32dev {:.0}",
+            t4 / 4.0,
+            t32 / 32.0
+        );
+    }
+
+    #[test]
+    fn invalid_specs_rejected() {
+        let d = device();
+        let model = LlmConfig::gpt3_7b(); // 32 layers
+        let seqs = vec![100u64; 16];
+        assert!(cluster_throughput(&d, &model, ClusterSpec::new(0, 1), &seqs).is_err());
+        assert!(cluster_throughput(&d, &model, ClusterSpec::new(4, 5), &seqs).is_err());
+        assert!(
+            cluster_throughput(&d, &model, ClusterSpec::new(4, 32), &seqs).is_err(),
+            "16 requests cannot fill 32 micro-batches"
+        );
+    }
+
+    #[test]
+    fn device_math() {
+        assert_eq!(ClusterSpec::new(8, 4).devices(), 32);
+    }
+}

@@ -1,0 +1,760 @@
+//! The evaluation harness: one function per paper table/figure.
+//!
+//! Every function returns plain row structs so the CLI can print
+//! paper-style tables, the Criterion benches can regenerate the series,
+//! and the integration tests can assert the comparative *shapes* (who
+//! wins, by roughly what factor, where crossovers fall). The experiment
+//! inventory mirrors DESIGN.md:
+//!
+//! | Function | Paper artifact |
+//! |---|---|
+//! | [`fig4_roofline`] | Figure 4 (arithmetic-intensity roofline) |
+//! | [`fig5_gpu_util`] | Figure 5 (GPU utilization, 4 LLMs x 2 GPUs) |
+//! | [`fig6_layer_util`] | Figure 6 (naive NPU+PIM per-stage utilization) |
+//! | [`fig12_throughput`] | Figure 12 (throughput, 4 systems x sweeps) |
+//! | [`fig13_ablation`] | Figure 13 (DRB / GMLBP / SBI ablation) |
+//! | [`fig14_parallelism`] | Figure 14 ((TP,PP) scaling) |
+//! | [`fig15_transpim`] | Figure 15 (speedup over TransPIM) |
+//! | [`table4_utilization`] | Table 4 (NPU/PIM/bandwidth utilization) |
+//! | [`table5_power`] | Table 5 (average power + energy) |
+//! | [`area_overhead`] | Section 8.2 (dual-row-buffer area) |
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use neupims_llm::roofline::{
+    gpu_utilization, operator_intensity, roofline_tflops, OperatorClass,
+};
+use neupims_pim::{calibrate, PimCalibration};
+use neupims_power::{energy_ratio, AreaModel, DramPowerParams};
+use neupims_types::{GpuSpec, LlmConfig, NeuPimsConfig, Phase};
+use neupims_workload::{warm_batch, Dataset};
+
+use crate::cluster::{cluster_throughput, ClusterSpec};
+use crate::device::{Device, DeviceMode, SbiPolicy};
+use crate::gpu::gpu_decode_iteration;
+use crate::transpim::transpim_decode_iteration;
+
+/// Shared context: hardware config plus one-time PIM calibration.
+#[derive(Debug, Clone)]
+pub struct ExperimentContext {
+    /// Hardware configuration (Table 2 by default).
+    pub cfg: NeuPimsConfig,
+    /// Calibrated PIM constants.
+    pub cal: PimCalibration,
+    /// RNG seed for workload sampling (fixed for reproducibility).
+    pub seed: u64,
+    /// Warm batches sampled per configuration (the paper uses 10).
+    pub samples: usize,
+}
+
+impl ExperimentContext {
+    /// Calibrates the Table 2 configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates calibration failures (invalid configuration).
+    pub fn table2() -> Result<Self, neupims_types::SimError> {
+        let cfg = NeuPimsConfig::table2();
+        let cal = calibrate(&cfg)?;
+        Ok(Self {
+            cfg,
+            cal,
+            seed: 0xA5F0_2024,
+            samples: 10,
+        })
+    }
+
+    /// Reduced sampling for quick bench iterations.
+    pub fn with_samples(mut self, samples: usize) -> Self {
+        self.samples = samples;
+        self
+    }
+
+    fn device(&self, mode: DeviceMode) -> Device {
+        Device::new(self.cfg, self.cal, mode)
+    }
+
+    fn warm_seqs(&self, rng: &mut StdRng, dataset: Dataset, batch: usize) -> Vec<u64> {
+        warm_batch(rng, dataset, batch)
+            .iter()
+            .map(|r| r.seq_len())
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------- Figure 4
+
+/// One roofline point of Figure 4.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig4Row {
+    /// Model name.
+    pub model: String,
+    /// Phase (summarization or generation).
+    pub phase: Phase,
+    /// Operator class label.
+    pub operator: &'static str,
+    /// Arithmetic intensity, FLOPs/byte.
+    pub intensity: f64,
+    /// Achievable performance on an A100-class roofline, TFLOPS.
+    pub tflops: f64,
+}
+
+/// Regenerates the Figure 4 roofline points (GPT3-13B and GPT3-175B,
+/// both operator classes, both phases, batch 64).
+pub fn fig4_roofline() -> Vec<Fig4Row> {
+    let gpu = GpuSpec::a100();
+    let peak_tflops = gpu.peak_fp16_flops / 1e12;
+    let bw_gbps = gpu.mem_bw_bytes_per_sec / 1e9;
+    let mut rows = Vec::new();
+    for model in [LlmConfig::gpt3_13b(), LlmConfig::gpt3_175b()] {
+        for phase in [Phase::Summarization, Phase::Generation] {
+            for (class, name) in [
+                (OperatorClass::LogitAttend, "Logit/Attend"),
+                (OperatorClass::QkvProj, "QKVgen/Proj"),
+            ] {
+                let intensity = operator_intensity(&model, class, 64, phase);
+                rows.push(Fig4Row {
+                    model: model.name.clone(),
+                    phase,
+                    operator: name,
+                    intensity,
+                    tflops: roofline_tflops(intensity, peak_tflops, bw_gbps),
+                });
+            }
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------- Figure 5
+
+/// One bar group of Figure 5.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig5Row {
+    /// GPU name.
+    pub gpu: String,
+    /// Model name.
+    pub model: String,
+    /// Compute utilization `[0, 1]`.
+    pub compute: f64,
+    /// Bandwidth utilization `[0, 1]`.
+    pub bandwidth: f64,
+    /// Capacity utilization `[0, 1]`.
+    pub capacity: f64,
+}
+
+/// Regenerates Figure 5: GPU resource utilization for four LLMs on the
+/// RTX 3090 and A100.
+pub fn fig5_gpu_util() -> Vec<Fig5Row> {
+    let mut rows = Vec::new();
+    for gpu in [GpuSpec::rtx3090(), GpuSpec::a100()] {
+        for model in [
+            LlmConfig::gpt_neox_20b(),
+            LlmConfig::llama2_13b(),
+            LlmConfig::opt_30b(),
+            LlmConfig::mpt_30b(),
+        ] {
+            let u = gpu_utilization(&gpu, &model, 512);
+            rows.push(Fig5Row {
+                gpu: gpu.name.clone(),
+                model: model.name.clone(),
+                compute: u.compute,
+                bandwidth: u.bandwidth,
+                capacity: u.capacity,
+            });
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------- Figure 6
+
+/// One stage bar of Figure 6.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig6Row {
+    /// Decoder stage label.
+    pub stage: &'static str,
+    /// NPU compute utilization during the stage, `[0, 1]`.
+    pub npu: f64,
+    /// PIM compute utilization during the stage, `[0, 1]`.
+    pub pim: f64,
+}
+
+/// Regenerates Figure 6: per-stage NPU/PIM utilization of the naive
+/// NPU+PIM device (GPT3-30B, batch 256 per paper setup).
+///
+/// # Errors
+///
+/// Propagates device-model errors.
+pub fn fig6_layer_util(
+    ctx: &ExperimentContext,
+) -> Result<Vec<Fig6Row>, neupims_types::SimError> {
+    let model = LlmConfig::gpt3_30b();
+    let mut rng = StdRng::seed_from_u64(ctx.seed);
+    let seqs = ctx.warm_seqs(&mut rng, Dataset::ShareGpt, 128);
+    let d = ctx.device(DeviceMode::NaiveNpuPim);
+    let b = d.decode_iteration(&model, 4, model.num_layers / 2, &seqs)?;
+    let u = b.utilization(&ctx.cfg);
+    // Stage-resolved utilization of the serialized naive device: during
+    // GEMM stages PIM idles; during MHA the NPU idles. Stage compute
+    // intensity follows from the iteration-level numbers: the GEMM stages
+    // achieve their efficiency only while they run.
+    let gemm_fraction = (b.npu_busy as f64 / b.total_cycles.max(1) as f64).min(1.0);
+    let mha_fraction = (b.pim_busy.iter().max().copied().unwrap_or(0) as f64
+        / b.total_cycles.max(1) as f64)
+        .min(1.0);
+    let npu_in_stage = (u.npu / gemm_fraction.max(1e-9)).min(1.0);
+    let pim_in_stage = (u.pim / mha_fraction.max(1e-9)).min(1.0);
+    Ok(vec![
+        Fig6Row {
+            stage: "QKV Generation",
+            npu: npu_in_stage,
+            pim: 0.0,
+        },
+        Fig6Row {
+            stage: "Multi-Head Attention",
+            npu: 0.0,
+            pim: pim_in_stage,
+        },
+        Fig6Row {
+            stage: "Projection + FFNs",
+            npu: npu_in_stage,
+            pim: 0.0,
+        },
+        Fig6Row {
+            stage: "Total",
+            npu: u.npu,
+            pim: u.pim,
+        },
+    ])
+}
+
+// --------------------------------------------------------------- Figure 12
+
+/// One bar of Figure 12: a system's throughput at a configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig12Row {
+    /// Dataset name.
+    pub dataset: &'static str,
+    /// Model name.
+    pub model: String,
+    /// Batch size.
+    pub batch: usize,
+    /// System label.
+    pub system: &'static str,
+    /// Tokens per second (mean over warm-batch samples).
+    pub tokens_per_sec: f64,
+}
+
+/// The four systems of Figure 12 in paper order.
+pub const FIG12_SYSTEMS: [&str; 4] = ["GPU-only", "NPU-only", "NPU+PIM", "NeuPIMs"];
+
+/// Regenerates one Figure 12 panel (one dataset, one model, one batch
+/// size): throughput of all four systems, averaged over warm batches.
+///
+/// # Errors
+///
+/// Propagates device-model errors.
+pub fn fig12_throughput(
+    ctx: &ExperimentContext,
+    dataset: Dataset,
+    model: &LlmConfig,
+    batch: usize,
+) -> Result<Vec<Fig12Row>, neupims_types::SimError> {
+    let tp = model.parallelism.tp;
+    let pp = model.parallelism.pp;
+    let layers = model.num_layers / pp;
+    let micro = (batch / pp as usize).max(1);
+    let mut rng = StdRng::seed_from_u64(ctx.seed ^ batch as u64);
+
+    let devices: Vec<(&'static str, Option<Device>)> = vec![
+        ("GPU-only", None),
+        ("NPU-only", Some(ctx.device(DeviceMode::NpuOnly))),
+        ("NPU+PIM", Some(ctx.device(DeviceMode::NaiveNpuPim))),
+        ("NeuPIMs", Some(ctx.device(DeviceMode::neupims()))),
+    ];
+    // Section 8.1 fairness rule: all baselines get equivalent memory
+    // bandwidth. The GPU keeps A100 compute peaks but its memory system is
+    // the same calibrated HBM the accelerator devices stream from.
+    let mut gpu = GpuSpec::a100();
+    gpu.mem_bw_bytes_per_sec =
+        ctx.cal.mem_stream_bw * ctx.cfg.mem.channels as f64 * 1e9;
+
+    let mut sums = vec![0.0f64; devices.len()];
+    for _ in 0..ctx.samples {
+        let seqs = ctx.warm_seqs(&mut rng, dataset, micro);
+        for (i, (_, dev)) in devices.iter().enumerate() {
+            let iter = match dev {
+                Some(d) => d.decode_iteration(model, tp, layers, &seqs)?,
+                None => gpu_decode_iteration(&gpu, model, tp, layers, &seqs)?,
+            };
+            // Steady-state pipeline: one micro-batch completes per beat.
+            sums[i] += iter.tokens_per_sec();
+        }
+    }
+    Ok(devices
+        .iter()
+        .enumerate()
+        .map(|(i, (name, _))| Fig12Row {
+            dataset: dataset.name(),
+            model: model.name.clone(),
+            batch,
+            system: name,
+            tokens_per_sec: sums[i] / ctx.samples as f64,
+        })
+        .collect())
+}
+
+// --------------------------------------------------------------- Figure 13
+
+/// One bar of Figure 13: throughput improvement over the NPU+PIM baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig13Row {
+    /// Batch size.
+    pub batch: usize,
+    /// Variant label.
+    pub variant: &'static str,
+    /// Throughput normalized to the NPU+PIM baseline.
+    pub improvement: f64,
+}
+
+/// The ablation variants of Figure 13 in paper order.
+pub fn fig13_variants() -> Vec<(&'static str, DeviceMode)> {
+    vec![
+        ("NPU+PIM", DeviceMode::NaiveNpuPim),
+        (
+            "NeuPIMs-DRB",
+            DeviceMode::NeuPims {
+                gmlbp: false,
+                sbi: SbiPolicy::Off,
+            },
+        ),
+        (
+            "NeuPIMs-DRB+GMLBP",
+            DeviceMode::NeuPims {
+                gmlbp: true,
+                sbi: SbiPolicy::Off,
+            },
+        ),
+        (
+            "NeuPIMs-DRB+GMLBP+SBI",
+            DeviceMode::NeuPims {
+                gmlbp: true,
+                sbi: SbiPolicy::Always,
+            },
+        ),
+    ]
+}
+
+/// Regenerates Figure 13 (GPT3-7B, ShareGPT): normalized throughput of
+/// each ablation variant at each batch size.
+///
+/// # Errors
+///
+/// Propagates device-model errors.
+pub fn fig13_ablation(
+    ctx: &ExperimentContext,
+    batches: &[usize],
+) -> Result<Vec<Fig13Row>, neupims_types::SimError> {
+    let model = LlmConfig::gpt3_7b();
+    let mut rows = Vec::new();
+    for &batch in batches {
+        let mut rng = StdRng::seed_from_u64(ctx.seed ^ (batch as u64) << 8);
+        let mut thr = vec![0.0f64; fig13_variants().len()];
+        for _ in 0..ctx.samples {
+            let seqs = ctx.warm_seqs(&mut rng, Dataset::ShareGpt, batch);
+            for (i, (_, mode)) in fig13_variants().iter().enumerate() {
+                let iter = ctx
+                    .device(*mode)
+                    .decode_iteration(&model, 4, model.num_layers, &seqs)?;
+                thr[i] += iter.tokens_per_sec();
+            }
+        }
+        let base = thr[0].max(1e-12);
+        for (i, (name, _)) in fig13_variants().iter().enumerate() {
+            rows.push(Fig13Row {
+                batch,
+                variant: name,
+                improvement: thr[i] / base,
+            });
+        }
+    }
+    Ok(rows)
+}
+
+// --------------------------------------------------------------- Figure 14
+
+/// One bar of Figure 14: system throughput of a (TP, PP) deployment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig14Row {
+    /// Devices in the deployment (`tp * pp`).
+    pub devices: u32,
+    /// Tensor-parallel degree.
+    pub tp: u32,
+    /// Pipeline-parallel degree.
+    pub pp: u32,
+    /// System throughput, tokens per second.
+    pub tokens_per_sec: f64,
+}
+
+/// Regenerates Figure 14: throughput of the paper's (TP, PP) combinations
+/// at 256 total requests (GPT3-7B shardable across all of them).
+///
+/// # Errors
+///
+/// Propagates cluster/device-model errors.
+pub fn fig14_parallelism(
+    ctx: &ExperimentContext,
+) -> Result<Vec<Fig14Row>, neupims_types::SimError> {
+    let model = LlmConfig::gpt3_7b();
+    let combos = [
+        (4u32, 1u32),
+        (2, 2),
+        (8, 1),
+        (4, 2),
+        (8, 2),
+        (4, 4),
+        (16, 4),
+        (8, 8),
+    ];
+    let device = ctx.device(DeviceMode::neupims());
+    let mut rng = StdRng::seed_from_u64(ctx.seed ^ 0x14);
+    let seqs = ctx.warm_seqs(&mut rng, Dataset::ShareGpt, 256);
+    let mut rows = Vec::new();
+    for (tp, pp) in combos {
+        let spec = ClusterSpec::new(tp, pp);
+        let thr = cluster_throughput(&device, &model, spec, &seqs)?;
+        rows.push(Fig14Row {
+            devices: spec.devices(),
+            tp,
+            pp,
+            tokens_per_sec: thr,
+        });
+    }
+    Ok(rows)
+}
+
+// --------------------------------------------------------------- Figure 15
+
+/// One bar of Figure 15: NeuPIMs speedup over TransPIM.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig15Row {
+    /// Dataset name.
+    pub dataset: &'static str,
+    /// Batch size.
+    pub batch: usize,
+    /// Speedup of NeuPIMs over TransPIM.
+    pub speedup: f64,
+}
+
+/// Regenerates Figure 15 (GPT3-7B): speedup of NeuPIMs over the TransPIM
+/// comparator across datasets and batch sizes.
+///
+/// # Errors
+///
+/// Propagates device-model errors.
+pub fn fig15_transpim(
+    ctx: &ExperimentContext,
+    batches: &[usize],
+) -> Result<Vec<Fig15Row>, neupims_types::SimError> {
+    let model = LlmConfig::gpt3_7b();
+    let device = ctx.device(DeviceMode::neupims());
+    let mut rows = Vec::new();
+    for dataset in Dataset::ALL {
+        for &batch in batches {
+            let mut rng = StdRng::seed_from_u64(ctx.seed ^ (batch as u64) << 16);
+            let mut speedup = 0.0;
+            for _ in 0..ctx.samples {
+                let seqs = ctx.warm_seqs(&mut rng, dataset, batch);
+                let neupims = device.decode_iteration(&model, 4, model.num_layers, &seqs)?;
+                let trans = transpim_decode_iteration(
+                    &ctx.cfg,
+                    &ctx.cal,
+                    &model,
+                    4,
+                    model.num_layers,
+                    &seqs,
+                )?;
+                speedup += trans.total_cycles as f64 / neupims.total_cycles.max(1) as f64;
+            }
+            rows.push(Fig15Row {
+                dataset: dataset.name(),
+                batch,
+                speedup: speedup / ctx.samples as f64,
+            });
+        }
+    }
+    Ok(rows)
+}
+
+// ----------------------------------------------------------------- Table 4
+
+/// One column of Table 4: resource utilization of one system.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table4Row {
+    /// System label.
+    pub system: &'static str,
+    /// NPU compute utilization `[0, 1]` (`-` in the paper for GPU rows).
+    pub npu: f64,
+    /// PIM compute utilization `[0, 1]`.
+    pub pim: f64,
+    /// External-bandwidth utilization `[0, 1]`.
+    pub bandwidth: f64,
+}
+
+/// Regenerates Table 4: average utilization of NPU-only, NPU+PIM, and
+/// NeuPIMs (GPT3-30B, batch 256, ShareGPT).
+///
+/// # Errors
+///
+/// Propagates device-model errors.
+pub fn table4_utilization(
+    ctx: &ExperimentContext,
+) -> Result<Vec<Table4Row>, neupims_types::SimError> {
+    let model = LlmConfig::gpt3_30b();
+    let layers = model.num_layers / model.parallelism.pp;
+    let micro = 256 / model.parallelism.pp as usize;
+    let mut rows = Vec::new();
+    for (name, mode) in [
+        ("NPU-only", DeviceMode::NpuOnly),
+        ("NPU+PIM", DeviceMode::NaiveNpuPim),
+        ("NeuPIMs", DeviceMode::neupims()),
+    ] {
+        let mut rng = StdRng::seed_from_u64(ctx.seed ^ 0x44);
+        let mut acc = crate::metrics::Utilization::default();
+        for _ in 0..ctx.samples {
+            let seqs = ctx.warm_seqs(&mut rng, Dataset::ShareGpt, micro);
+            let b = ctx
+                .device(mode)
+                .decode_iteration(&model, model.parallelism.tp, layers, &seqs)?;
+            let u = b.utilization(&ctx.cfg);
+            acc.npu += u.npu;
+            acc.pim += u.pim;
+            acc.bandwidth += u.bandwidth;
+        }
+        let n = ctx.samples as f64;
+        rows.push(Table4Row {
+            system: name,
+            npu: acc.npu / n,
+            pim: acc.pim / n,
+            bandwidth: acc.bandwidth / n,
+        });
+    }
+    Ok(rows)
+}
+
+// ----------------------------------------------------------------- Table 5
+
+/// The Table 5 power comparison plus the energy roll-up.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table5Result {
+    /// Average per-channel power of the NPU-only (non-PIM HBM) baseline, mW.
+    pub baseline_mw: f64,
+    /// Average per-channel power of the dual-row-buffer PIM device, mW.
+    pub neupims_mw: f64,
+    /// NeuPIMs speedup over the baseline in the same workload.
+    pub speedup: f64,
+    /// Relative energy (`power_ratio / speedup`; paper: 0.75).
+    pub energy_ratio: f64,
+}
+
+/// Regenerates Table 5: average DRAM power of the NPU-only HBM versus the
+/// dual-row-buffer PIM under the Table 4 workload, and the resulting
+/// energy ratio.
+///
+/// The paper pairs the measured power ratio with the evaluation's overall
+/// 2.4x speedup ("1.8x higher power ... offering 2.4x speedup ... 25%
+/// energy reduction"), so the speedup here is likewise averaged over a
+/// representative slice of the Figure 12 sweep rather than the single
+/// power-measurement workload.
+///
+/// # Errors
+///
+/// Propagates device-model errors.
+pub fn table5_power(ctx: &ExperimentContext) -> Result<Table5Result, neupims_types::SimError> {
+    let model = LlmConfig::gpt3_30b();
+    let layers = model.num_layers / model.parallelism.pp;
+    let micro = 256 / model.parallelism.pp as usize;
+    let mut rng = StdRng::seed_from_u64(ctx.seed ^ 0x55);
+    let seqs = ctx.warm_seqs(&mut rng, Dataset::ShareGpt, micro);
+
+    let base = ctx
+        .device(DeviceMode::NpuOnly)
+        .decode_iteration(&model, model.parallelism.tp, layers, &seqs)?;
+    let neu = ctx
+        .device(DeviceMode::neupims())
+        .decode_iteration(&model, model.parallelism.tp, layers, &seqs)?;
+
+    let params = DramPowerParams::default();
+    let baseline_mw = params
+        .channel_power(&base.dram_activity(&ctx.cfg, false))
+        .total_mw();
+    let neupims_mw = params
+        .channel_power(&neu.dram_activity(&ctx.cfg, true))
+        .total_mw();
+
+    // Fleet-average speedup over ShareGPT at the larger batch sizes (the
+    // regime the evaluation emphasizes).
+    let mut speedups = Vec::new();
+    for m in [LlmConfig::gpt3_7b(), LlmConfig::gpt3_13b()] {
+        for batch in [256usize, 512] {
+            let mut rng = StdRng::seed_from_u64(ctx.seed ^ batch as u64 ^ 0x5500);
+            let s = ctx.warm_seqs(&mut rng, Dataset::ShareGpt, batch);
+            let b0 = ctx
+                .device(DeviceMode::NpuOnly)
+                .decode_iteration(&m, m.parallelism.tp, m.num_layers, &s)?;
+            let b1 = ctx
+                .device(DeviceMode::neupims())
+                .decode_iteration(&m, m.parallelism.tp, m.num_layers, &s)?;
+            speedups.push(b0.total_cycles as f64 / b1.total_cycles.max(1) as f64);
+        }
+    }
+    let speedup = speedups.iter().sum::<f64>() / speedups.len() as f64;
+
+    Ok(Table5Result {
+        baseline_mw,
+        neupims_mw,
+        speedup,
+        energy_ratio: energy_ratio(neupims_mw / baseline_mw.max(1e-12), speedup),
+    })
+}
+
+/// Dual-row-buffer area overhead (Section 8.2; paper: 3.11%).
+pub fn area_overhead() -> f64 {
+    AreaModel::default().dual_row_buffer_overhead()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> ExperimentContext {
+        ExperimentContext::table2().unwrap().with_samples(2)
+    }
+
+    #[test]
+    fn fig4_bands() {
+        let rows = fig4_roofline();
+        assert_eq!(rows.len(), 8);
+        for r in &rows {
+            assert!(r.intensity > 0.0);
+            assert!(r.tflops > 0.0);
+            if r.operator == "Logit/Attend" && r.phase == Phase::Generation {
+                assert!(r.intensity < 2.0, "generation attention is memory-bound");
+            }
+        }
+    }
+
+    #[test]
+    fn fig5_shape() {
+        let rows = fig5_gpu_util();
+        assert_eq!(rows.len(), 8);
+        for r in &rows {
+            assert!(r.capacity > 0.6, "{r:?}");
+            assert!(r.compute < 0.4, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn fig6_seesaw() {
+        let rows = fig6_layer_util(&ctx()).unwrap();
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[0].pim, 0.0);
+        assert_eq!(rows[1].npu, 0.0);
+        assert!(rows[1].pim > 0.0);
+        let total = &rows[3];
+        assert!(total.npu < 0.5 && total.pim < 0.5, "{total:?}");
+    }
+
+    #[test]
+    fn fig12_one_panel_ordering() {
+        let c = ctx();
+        let rows =
+            fig12_throughput(&c, Dataset::ShareGpt, &LlmConfig::gpt3_7b(), 256).unwrap();
+        assert_eq!(rows.len(), 4);
+        let get = |s: &str| {
+            rows.iter()
+                .find(|r| r.system == s)
+                .unwrap()
+                .tokens_per_sec
+        };
+        assert!(get("NeuPIMs") > get("NPU+PIM"));
+        assert!(get("NPU+PIM") > get("NPU-only"));
+        // GPU-only and NPU-only are the close pair of the paper.
+        let ratio = get("GPU-only") / get("NPU-only");
+        assert!(ratio > 0.3 && ratio < 3.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn fig13_monotone_prefix() {
+        let c = ctx();
+        let rows = fig13_ablation(&c, &[256]).unwrap();
+        assert_eq!(rows.len(), 4);
+        assert!((rows[0].improvement - 1.0).abs() < 1e-9);
+        assert!(rows[1].improvement >= 1.0, "DRB {:?}", rows[1]);
+        assert!(rows[2].improvement >= rows[1].improvement - 0.05);
+        assert!(
+            rows[3].improvement > rows[1].improvement,
+            "SBI must add at B=256: {rows:?}"
+        );
+    }
+
+    #[test]
+    fn fig14_tp_over_pp() {
+        let rows = fig14_parallelism(&ctx()).unwrap();
+        assert_eq!(rows.len(), 8);
+        let get = |tp, pp| {
+            rows.iter()
+                .find(|r| r.tp == tp && r.pp == pp)
+                .unwrap()
+                .tokens_per_sec
+        };
+        assert!(get(4, 1) > get(2, 2));
+        assert!(get(8, 1) > get(4, 2));
+        assert!(get(8, 2) > get(4, 4));
+        assert!(get(16, 4) > get(8, 8));
+    }
+
+    #[test]
+    fn fig15_orders_of_magnitude() {
+        let rows = fig15_transpim(&ctx(), &[64, 256]).unwrap();
+        assert_eq!(rows.len(), 4);
+        for r in &rows {
+            assert!(r.speedup > 20.0, "{r:?}");
+            assert!(r.speedup < 2000.0, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn table4_row_shape() {
+        let rows = table4_utilization(&ctx()).unwrap();
+        assert_eq!(rows.len(), 3);
+        assert!(rows[0].npu < rows[1].npu);
+        assert!(rows[1].npu < rows[2].npu);
+        assert!(rows[1].bandwidth < rows[0].bandwidth);
+        assert!(rows[2].bandwidth > rows[1].bandwidth);
+        assert_eq!(rows[0].pim, 0.0);
+        assert!(rows[2].pim > rows[1].pim);
+    }
+
+    #[test]
+    fn table5_power_and_energy() {
+        let t = table5_power(&ctx()).unwrap();
+        let ratio = t.neupims_mw / t.baseline_mw;
+        assert!(ratio > 1.2 && ratio < 3.0, "power ratio {ratio}");
+        assert!(t.speedup > 1.2, "speedup {}", t.speedup);
+        assert!(
+            t.energy_ratio < 1.0,
+            "NeuPIMs must save energy: {}",
+            t.energy_ratio
+        );
+    }
+
+    #[test]
+    fn area_matches_paper() {
+        let a = area_overhead();
+        assert!((a - 0.0311).abs() < 0.001, "{a}");
+    }
+}
+

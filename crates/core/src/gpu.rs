@@ -1,0 +1,116 @@
+//! GPU-only baseline (roofline model of an A100-class part).
+//!
+//! The paper's GPU-only baseline is a real A100 running PyTorch; Figure 12
+//! shows it within a hair of the NPU-only simulator baseline (both execute
+//! the full decoder, including bandwidth-bound MHA, on one homogeneous
+//! device). We model it the same way the motivation study models GPUs: each
+//! layer costs `max(flops / peak, bytes / bandwidth)`, with every K/V and
+//! weight byte crossing the memory bus once per iteration.
+
+use neupims_llm::compiler::compile_block;
+use neupims_types::{Cycle, GpuSpec, LlmConfig, NpuConfig, Phase, SimError};
+
+use crate::metrics::IterationBreakdown;
+
+/// Prices one decode iteration on a GPU-only system (one GPU worth of a
+/// tensor-parallel group; divide model shards accordingly via `tp`).
+/// Tensor-parallel all-reduces cost the same ring traffic the accelerator
+/// devices pay (Section 8.1's equivalent-system fairness rule).
+///
+/// Returns a breakdown in *device cycles at 1 GHz* so results compare
+/// directly with the accelerator devices.
+///
+/// # Errors
+///
+/// Propagates model validation/compilation errors; rejects empty batches.
+pub fn gpu_decode_iteration(
+    gpu: &GpuSpec,
+    model: &LlmConfig,
+    tp: u32,
+    layers: u32,
+    seq_lens: &[u64],
+) -> Result<IterationBreakdown, SimError> {
+    if seq_lens.is_empty() {
+        return Err(SimError::InvalidShape("empty batch".into()));
+    }
+    if layers == 0 {
+        return Err(SimError::InvalidShape("zero resident layers".into()));
+    }
+    // Reuse the operator lowering for shapes; GPU peaks price the math.
+    let cb = compile_block(&NpuConfig::table2(), model, tp, seq_lens, Phase::Generation)?;
+    let es = model.dtype.size_bytes();
+    let heads = (model.num_heads / tp.max(1)).max(1) as u64;
+    let d_head = (model.d_model / model.num_heads) as u64;
+    let embed = heads * d_head;
+
+    let weight_bytes: u64 = cb.gemms.iter().map(|g| g.weight_bytes).sum();
+    let kv_bytes: u64 = seq_lens.iter().map(|&s| 2 * s * embed * es).sum();
+    let gemm_flops = cb.gemm_flops();
+    let mha_flops: u64 = seq_lens.iter().map(|&s| 4 * s * embed).sum();
+
+    // Stage-level roofline: the GEMM kernels overlap weight streaming with
+    // compute, but the bandwidth-bound MHA kernels serialize after them
+    // (the dependency of Figure 11(a) applies to GPUs just as much). This
+    // reproduces the paper's observation that GPU-only and NPU-only differ
+    // only marginally.
+    let t_gemm = (gemm_flops as f64 / gpu.peak_fp16_flops)
+        .max(weight_bytes as f64 / gpu.mem_bw_bytes_per_sec);
+    let t_mha = (kv_bytes as f64 / gpu.mem_bw_bytes_per_sec)
+        .max(mha_flops as f64 / gpu.peak_fp16_flops);
+    // Ring all-reduce over the same interconnect class (cycles = ns).
+    let ic = neupims_types::config::InterconnectConfig::pcie_cxl();
+    let allreduce = if tp > 1 {
+        let steps = 2 * (tp as u64 - 1);
+        let per_dev = cb.allreduce_bytes * (tp as u64 - 1) * 2 / tp as u64;
+        (per_dev / ic.link_bytes_per_cycle.max(1) + steps * ic.link_latency)
+            * cb.allreduces as u64
+    } else {
+        0
+    };
+    let layer_secs = t_gemm + t_mha + allreduce as f64 * 1e-9;
+    let total = (layer_secs * layers as f64 * 1e9).ceil() as Cycle;
+    let t_compute = (gemm_flops + mha_flops) as f64 / gpu.peak_fp16_flops;
+
+    Ok(IterationBreakdown {
+        total_cycles: total.max(1),
+        npu_flops: (gemm_flops + mha_flops) * layers as u64,
+        npu_busy: (t_compute * layers as f64 * 1e9) as Cycle,
+        bus_bytes: (weight_bytes + kv_bytes) * layers as u64,
+        tokens: seq_lens.len() as u64,
+        pim_busy: Vec::new(),
+        ..Default::default()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decode_is_memory_bound() {
+        let gpu = GpuSpec::a100();
+        let model = LlmConfig::gpt3_7b();
+        let b = gpu_decode_iteration(&gpu, &model, 4, model.num_layers, &[376; 256]).unwrap();
+        // At decode batch sizes an A100 iteration is bandwidth-limited:
+        // busy compute well below the makespan.
+        assert!(b.npu_busy < b.total_cycles);
+        assert_eq!(b.tokens, 256);
+    }
+
+    #[test]
+    fn errors_on_degenerate_input() {
+        let gpu = GpuSpec::a100();
+        let model = LlmConfig::gpt3_7b();
+        assert!(gpu_decode_iteration(&gpu, &model, 4, 32, &[]).is_err());
+        assert!(gpu_decode_iteration(&gpu, &model, 4, 0, &[3]).is_err());
+    }
+
+    #[test]
+    fn longer_contexts_cost_more() {
+        let gpu = GpuSpec::a100();
+        let model = LlmConfig::gpt3_13b();
+        let short = gpu_decode_iteration(&gpu, &model, 4, 40, &[64; 128]).unwrap();
+        let long = gpu_decode_iteration(&gpu, &model, 4, 40, &[1024; 128]).unwrap();
+        assert!(long.total_cycles > short.total_cycles);
+    }
+}

@@ -1,0 +1,56 @@
+//! The NeuPIMs system simulator: heterogeneous NPU-PIM device, baselines,
+//! multi-device scaling, and end-to-end serving.
+//!
+//! This crate is the paper's primary contribution, assembled from the
+//! substrate crates:
+//!
+//! * [`device`] — one accelerator executing batched decode iterations
+//!   under a [`device::DeviceMode`]: `NpuOnly`, `NaiveNpuPim` (blocked-mode
+//!   PIM, round-robin channels), or `NeuPims` (dual row buffers, optional
+//!   greedy min-load bin packing and sub-batch interleaving) — the ablation
+//!   axes of Figure 13. Stage timings combine the NPU cost models, the
+//!   calibrated PIM constants, and a list-scheduled two-chain pipeline that
+//!   reproduces the Figure 11(b) interleave;
+//! * [`gpu`] — the GPU-only roofline baseline (A100-class);
+//! * [`transpim`] — the TransPIM comparator (PIM-only, single-request
+//!   token dataflow) for Figure 15;
+//! * [`cluster`] — tensor/pipeline-parallel multi-device throughput
+//!   (Section 7, Figure 14);
+//! * [`serving`] — Orca-style iteration-level serving with paged KV cache
+//!   over one simulated device;
+//! * [`metrics`] — iteration breakdowns, utilization, and the DRAM
+//!   activity bridge into the power model.
+//!
+//! # Example
+//!
+//! ```
+//! use neupims_core::device::{Device, DeviceMode};
+//! use neupims_types::{LlmConfig, NeuPimsConfig};
+//!
+//! let cfg = NeuPimsConfig::table2();
+//! let cal = neupims_pim::calibrate(&cfg).unwrap();
+//! let device = Device::new(cfg, cal, DeviceMode::neupims());
+//! let model = LlmConfig::gpt3_7b();
+//! let out = device
+//!     .decode_iteration(&model, 4, model.num_layers, &[256; 64])
+//!     .unwrap();
+//! assert!(out.total_cycles > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod device;
+pub mod experiments;
+pub mod gpu;
+pub mod metrics;
+pub mod serving;
+pub mod transpim;
+
+pub use cluster::{cluster_throughput, ClusterSpec};
+pub use device::{Device, DeviceMode, SbiPolicy};
+pub use experiments::ExperimentContext;
+pub use gpu::gpu_decode_iteration;
+pub use metrics::{IterationBreakdown, Utilization};
+pub use serving::{ServingConfig, ServingOutcome, ServingSim};
+pub use transpim::transpim_decode_iteration;

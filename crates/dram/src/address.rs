@@ -1,0 +1,132 @@
+//! Physical address decomposition within one channel.
+//!
+//! The layout interleaves consecutive pages across banks so a sequential
+//! stream (NPU weight fetch) engages all banks — the access pattern the
+//! paper assumes for GEMM weight streaming. Within a page, addresses map to
+//! bus bursts ("columns" at command granularity).
+
+use neupims_types::{BankId, MemConfig, SimError};
+
+/// Decoded location of a byte address inside a channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Location {
+    /// Bank holding the page.
+    pub bank: BankId,
+    /// Row (page index within the bank).
+    pub row: u32,
+    /// Burst index within the page.
+    pub col: u32,
+    /// Byte offset within the burst.
+    pub offset: u32,
+}
+
+/// Maps channel-local byte addresses to `(bank, row, col)` and back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AddressMap {
+    banks: u64,
+    page_bytes: u64,
+    burst_bytes: u64,
+    rows_per_bank: u64,
+}
+
+impl AddressMap {
+    /// Builds the map for a memory organization; `burst_bytes` is the data
+    /// moved by one column command (`bus_bytes_per_cycle * t_bl`).
+    pub fn new(mem: &MemConfig, burst_bytes: u64) -> Self {
+        Self {
+            banks: mem.banks_per_channel as u64,
+            page_bytes: mem.page_bytes,
+            burst_bytes,
+            rows_per_bank: mem.rows_per_bank(),
+        }
+    }
+
+    /// Bursts per page.
+    pub fn cols_per_page(&self) -> u32 {
+        (self.page_bytes / self.burst_bytes) as u32
+    }
+
+    /// Bytes moved by one column command.
+    pub fn burst_bytes(&self) -> u64 {
+        self.burst_bytes
+    }
+
+    /// Decodes a channel-local byte address.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidShape`] if the address exceeds channel
+    /// capacity.
+    pub fn decode(&self, addr: u64) -> Result<Location, SimError> {
+        let page = addr / self.page_bytes;
+        let bank = page % self.banks;
+        let row = page / self.banks;
+        if row >= self.rows_per_bank {
+            return Err(SimError::InvalidShape(format!(
+                "address {addr:#x} beyond channel capacity"
+            )));
+        }
+        let in_page = addr % self.page_bytes;
+        Ok(Location {
+            bank: BankId::new(bank as u32),
+            row: row as u32,
+            col: (in_page / self.burst_bytes) as u32,
+            offset: (in_page % self.burst_bytes) as u32,
+        })
+    }
+
+    /// Encodes a location back into a channel-local byte address.
+    pub fn encode(&self, loc: Location) -> u64 {
+        let page = loc.row as u64 * self.banks + loc.bank.0 as u64;
+        page * self.page_bytes + loc.col as u64 * self.burst_bytes + loc.offset as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neupims_types::MemConfig;
+
+    fn map() -> AddressMap {
+        AddressMap::new(&MemConfig::table2(), 64)
+    }
+
+    #[test]
+    fn sequential_pages_interleave_banks() {
+        let m = map();
+        let a = m.decode(0).unwrap();
+        let b = m.decode(1024).unwrap();
+        let c = m.decode(1024 * 32).unwrap();
+        assert_eq!(a.bank, BankId::new(0));
+        assert_eq!(a.row, 0);
+        assert_eq!(b.bank, BankId::new(1));
+        assert_eq!(b.row, 0);
+        // After one page in every bank, the row advances.
+        assert_eq!(c.bank, BankId::new(0));
+        assert_eq!(c.row, 1);
+    }
+
+    #[test]
+    fn burst_and_offset_decoding() {
+        let m = map();
+        let loc = m.decode(64 * 3 + 10).unwrap();
+        assert_eq!(loc.col, 3);
+        assert_eq!(loc.offset, 10);
+        assert_eq!(m.cols_per_page(), 16);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let m = map();
+        for addr in [0u64, 63, 64, 1023, 1024, 123_456_789, (1 << 30) - 1] {
+            let loc = m.decode(addr).unwrap();
+            assert_eq!(m.encode(loc), addr, "addr {addr}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let m = map();
+        assert!(m.decode(1 << 30).is_err());
+    }
+}

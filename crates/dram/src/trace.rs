@@ -1,0 +1,321 @@
+//! Command-trace recording and independent protocol verification.
+//!
+//! [`TraceRecorder`] captures `(command, issue cycle)` pairs;
+//! [`verify_protocol`] replays a trace against the JEDEC-style rules
+//! *without* consulting the channel's internal bookkeeping, so tests (and
+//! users debugging custom controllers) get an independent referee. The
+//! property-test suite drives randomized command streams through a channel
+//! and feeds the recorded trace through this verifier.
+
+use neupims_types::{Cycle, HbmTiming, MemConfig, SimError};
+
+use crate::bank::Slot;
+use crate::command::DramCommand;
+
+/// One recorded command issue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// The command.
+    pub cmd: DramCommand,
+    /// The cycle it occupied the C/A bus.
+    pub at: Cycle,
+}
+
+/// An append-only command trace.
+#[derive(Debug, Clone, Default)]
+pub struct TraceRecorder {
+    entries: Vec<TraceEntry>,
+}
+
+impl TraceRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one issue.
+    pub fn record(&mut self, cmd: DramCommand, at: Cycle) {
+        self.entries.push(TraceEntry { cmd, at });
+    }
+
+    /// The recorded entries in issue order.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Number of recorded commands.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// A protocol violation found by [`verify_protocol`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// The rule that failed (e.g. `"tFAW"`).
+    pub rule: &'static str,
+    /// Index of the offending trace entry.
+    pub index: usize,
+    /// Human-readable details.
+    pub detail: String,
+}
+
+/// Replays `trace` against the protocol rules and returns every violation
+/// found (empty = protocol-clean). `dual` tells the verifier whether PIM
+/// commands had their own row buffer or aliased the MEM buffer.
+///
+/// Checked rules: C/A single-issue ordering, tFAW (≤ 4 ACTs per window),
+/// tRRD_L within a bank group, tRCD before column commands, data-bus burst
+/// spacing (tBL), tRAS before precharge, and tRP before re-activation.
+pub fn verify_protocol(
+    trace: &[TraceEntry],
+    t: &HbmTiming,
+    mem: &MemConfig,
+    dual: bool,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let norm = |s: Slot| if dual { s } else { Slot::Mem };
+    let group = |bank: u32| bank / mem.banks_per_bankgroup;
+
+    // C/A bus: strictly increasing issue cycles.
+    for (i, w) in trace.windows(2).enumerate() {
+        if w[1].at <= w[0].at {
+            out.push(Violation {
+                rule: "C/A single-issue",
+                index: i + 1,
+                detail: format!("{} then {}", w[0].at, w[1].at),
+            });
+        }
+    }
+
+    // tFAW over the global ACT stream.
+    let acts: Vec<(usize, Cycle)> = trace
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| matches!(e.cmd, DramCommand::Activate { .. }))
+        .map(|(i, e)| (i, e.at))
+        .collect();
+    for w in acts.windows(5) {
+        if w[4].1 - w[0].1 < t.t_faw {
+            out.push(Violation {
+                rule: "tFAW",
+                index: w[4].0,
+                detail: format!("5 ACTs within {} cycles", w[4].1 - w[0].1),
+            });
+        }
+    }
+
+    // tRRD_L per bank group.
+    let mut last_group_act: std::collections::HashMap<u32, Cycle> = Default::default();
+    // tRCD: ACT -> column per bank (MEM slot).
+    let mut mem_act: std::collections::HashMap<u32, Cycle> = Default::default();
+    // tRAS / tRP per (bank, physical slot).
+    let mut act_at: std::collections::HashMap<(u32, bool), Cycle> = Default::default();
+    let mut pre_at: std::collections::HashMap<(u32, bool), Cycle> = Default::default();
+    // Data bus occupancy.
+    let mut last_col: Option<Cycle> = None;
+
+    for (i, e) in trace.iter().enumerate() {
+        match e.cmd {
+            DramCommand::Activate { bank, slot, .. } => {
+                if let Some(&prev) = last_group_act.get(&group(bank.0)) {
+                    if e.at - prev < t.t_rrd_l {
+                        out.push(Violation {
+                            rule: "tRRD_L",
+                            index: i,
+                            detail: format!("ACTs {} apart in group {}", e.at - prev, group(bank.0)),
+                        });
+                    }
+                }
+                last_group_act.insert(group(bank.0), e.at);
+                let key = (bank.0, matches!(norm(slot), Slot::Pim));
+                if let Some(&p) = pre_at.get(&key) {
+                    if e.at < p + t.t_rp {
+                        out.push(Violation {
+                            rule: "tRP",
+                            index: i,
+                            detail: format!("ACT {} after PRE {}", e.at, p),
+                        });
+                    }
+                }
+                act_at.insert(key, e.at);
+                if matches!(norm(slot), Slot::Mem) {
+                    mem_act.insert(bank.0, e.at);
+                }
+            }
+            DramCommand::Read { bank, .. } | DramCommand::Write { bank, .. } => {
+                match mem_act.get(&bank.0) {
+                    Some(&a) if e.at >= a + t.t_rcd => {}
+                    Some(&a) => out.push(Violation {
+                        rule: "tRCD",
+                        index: i,
+                        detail: format!("column at {} after ACT at {a}", e.at),
+                    }),
+                    None => out.push(Violation {
+                        rule: "row-open",
+                        index: i,
+                        detail: format!("column command without ACT on bank {}", bank.0),
+                    }),
+                }
+                if let Some(prev) = last_col {
+                    if e.at - prev < t.t_bl {
+                        out.push(Violation {
+                            rule: "data-bus",
+                            index: i,
+                            detail: format!("bursts {} apart", e.at - prev),
+                        });
+                    }
+                }
+                last_col = Some(e.at);
+            }
+            DramCommand::Precharge { bank, slot } => {
+                let key = (bank.0, matches!(norm(slot), Slot::Pim));
+                if let Some(&a) = act_at.get(&key) {
+                    if e.at < a + t.t_ras {
+                        out.push(Violation {
+                            rule: "tRAS",
+                            index: i,
+                            detail: format!("PRE {} after ACT {a}", e.at),
+                        });
+                    }
+                }
+                pre_at.insert(key, e.at);
+            }
+            DramCommand::PrechargeAll { .. } | DramCommand::RefreshAll => {}
+        }
+    }
+    out
+}
+
+/// Convenience wrapper: returns an error carrying the first violation.
+///
+/// # Errors
+///
+/// [`SimError::InvalidConfig`] describing the first protocol violation.
+pub fn assert_protocol(
+    trace: &[TraceEntry],
+    t: &HbmTiming,
+    mem: &MemConfig,
+    dual: bool,
+) -> Result<(), SimError> {
+    match verify_protocol(trace, t, mem, dual).into_iter().next() {
+        None => Ok(()),
+        Some(v) => Err(SimError::InvalidConfig(format!(
+            "protocol violation [{}] at trace index {}: {}",
+            v.rule, v.index, v.detail
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neupims_types::BankId;
+
+    fn entry(cmd: DramCommand, at: Cycle) -> TraceEntry {
+        TraceEntry { cmd, at }
+    }
+
+    fn act(bank: u32, row: u32, at: Cycle) -> TraceEntry {
+        entry(
+            DramCommand::Activate {
+                bank: BankId::new(bank),
+                row,
+                slot: Slot::Mem,
+            },
+            at,
+        )
+    }
+
+    #[test]
+    fn clean_trace_passes() {
+        let t = HbmTiming::table2();
+        let mem = MemConfig::table2();
+        let trace = vec![
+            act(0, 1, 0),
+            entry(
+                DramCommand::Read {
+                    bank: BankId::new(0),
+                    col: 0,
+                },
+                14,
+            ),
+            entry(
+                DramCommand::Read {
+                    bank: BankId::new(0),
+                    col: 1,
+                },
+                16,
+            ),
+            entry(
+                DramCommand::Precharge {
+                    bank: BankId::new(0),
+                    slot: Slot::Mem,
+                },
+                40,
+            ),
+        ];
+        assert!(verify_protocol(&trace, &t, &mem, false).is_empty());
+        assert_protocol(&trace, &t, &mem, false).unwrap();
+    }
+
+    #[test]
+    fn trcd_violation_detected() {
+        let t = HbmTiming::table2();
+        let mem = MemConfig::table2();
+        let trace = vec![
+            act(0, 1, 0),
+            entry(
+                DramCommand::Read {
+                    bank: BankId::new(0),
+                    col: 0,
+                },
+                5,
+            ),
+        ];
+        let v = verify_protocol(&trace, &t, &mem, false);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "tRCD");
+        assert!(assert_protocol(&trace, &t, &mem, false).is_err());
+    }
+
+    #[test]
+    fn tfaw_violation_detected() {
+        let t = HbmTiming::table2();
+        let mem = MemConfig::table2();
+        // 5 ACTs to different groups 4 cycles apart: window = 16 < 30.
+        let trace: Vec<TraceEntry> = (0..5).map(|i| act(i * 4, 0, (i as u64) * 4)).collect();
+        let v = verify_protocol(&trace, &t, &mem, false);
+        assert!(v.iter().any(|v| v.rule == "tFAW"), "{v:?}");
+    }
+
+    #[test]
+    fn trrd_violation_detected() {
+        let t = HbmTiming::table2();
+        let mem = MemConfig::table2();
+        let trace = vec![act(0, 0, 0), act(1, 0, 2)]; // same group, 2 < 6
+        let v = verify_protocol(&trace, &t, &mem, false);
+        assert!(v.iter().any(|v| v.rule == "tRRD_L"), "{v:?}");
+    }
+
+    #[test]
+    fn recorder_accumulates() {
+        let mut r = TraceRecorder::new();
+        assert!(r.is_empty());
+        r.record(
+            DramCommand::Activate {
+                bank: BankId::new(0),
+                row: 0,
+                slot: Slot::Mem,
+            },
+            5,
+        );
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.entries()[0].at, 5);
+    }
+}

@@ -1,0 +1,285 @@
+//! Count-based paged KV-cache accounting for the system simulator.
+//!
+//! At serving scale (hundreds of requests, tens of layers, thousands of
+//! pages each) tracking individual page ids is wasteful; what the scheduler
+//! needs is exact per-channel occupancy, growth on every generated token,
+//! and out-of-memory signaling at admission. [`PagedKvCache`] provides
+//! that, with page counts computed by the same [`KvGeometry`] the latency
+//! estimator uses.
+
+use std::collections::HashMap;
+
+use neupims_types::{ChannelId, MemConfig, RequestId, SimError};
+
+use crate::geometry::KvGeometry;
+
+#[derive(Debug, Clone, Copy)]
+struct ReqAlloc {
+    channel: ChannelId,
+    seq_len: u64,
+    pages: u64,
+}
+
+/// Per-channel paged KV-cache accounting.
+#[derive(Debug, Clone)]
+pub struct PagedKvCache {
+    geometry: KvGeometry,
+    layers: u32,
+    pages_per_channel: u64,
+    used: Vec<u64>,
+    requests: HashMap<RequestId, ReqAlloc>,
+}
+
+impl PagedKvCache {
+    /// Creates the cache over `mem` with layout `geometry` and `layers`
+    /// decoder blocks resident on this device (after pipeline sharding).
+    pub fn new(mem: &MemConfig, geometry: KvGeometry, layers: u32) -> Self {
+        Self {
+            geometry,
+            layers,
+            pages_per_channel: mem.capacity_per_channel / mem.page_bytes,
+            used: vec![0; mem.channels as usize],
+            requests: HashMap::new(),
+        }
+    }
+
+    /// Layout geometry used for page math.
+    pub fn geometry(&self) -> &KvGeometry {
+        &self.geometry
+    }
+
+    /// Pages a `seq_len`-token context occupies on its channel (all
+    /// resident layers).
+    pub fn pages_for(&self, seq_len: u64) -> u64 {
+        self.geometry.kv_pages_per_layer(seq_len) * self.layers as u64
+    }
+
+    /// Free pages on `channel`.
+    pub fn free_pages(&self, channel: ChannelId) -> u64 {
+        self.pages_per_channel - self.used[channel.index()]
+    }
+
+    /// Overall pool utilization in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        let total = self.pages_per_channel * self.used.len() as u64;
+        if total == 0 {
+            0.0
+        } else {
+            self.used.iter().sum::<u64>() as f64 / total as f64
+        }
+    }
+
+    /// Sequence length currently recorded for `id`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownRequest`] for unregistered ids.
+    pub fn seq_len(&self, id: RequestId) -> Result<u64, SimError> {
+        Ok(self
+            .requests
+            .get(&id)
+            .ok_or(SimError::UnknownRequest(id))?
+            .seq_len)
+    }
+
+    /// Admits a request with `seq_len` tokens of context onto `channel`,
+    /// reserving all pages its current context needs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::OutOfMemory`] (reserving nothing) if the channel
+    /// lacks pages, or [`SimError::Scheduling`] when `id` is already
+    /// admitted.
+    pub fn admit(
+        &mut self,
+        id: RequestId,
+        channel: ChannelId,
+        seq_len: u64,
+    ) -> Result<(), SimError> {
+        if self.requests.contains_key(&id) {
+            return Err(SimError::Scheduling(format!("{id} admitted twice")));
+        }
+        let pages = self.pages_for(seq_len);
+        let free = self.free_pages(channel);
+        if pages > free {
+            return Err(SimError::OutOfMemory {
+                channel,
+                requested_pages: pages,
+                free_pages: free,
+            });
+        }
+        self.used[channel.index()] += pages;
+        self.requests.insert(
+            id,
+            ReqAlloc {
+                channel,
+                seq_len,
+                pages,
+            },
+        );
+        Ok(())
+    }
+
+    /// Grows `id`'s context by one generated token, allocating new pages
+    /// only when a page boundary is crossed (the vLLM property).
+    ///
+    /// Returns the number of newly allocated pages.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownRequest`] for unregistered ids and
+    /// [`SimError::OutOfMemory`] (leaving the request unchanged) when the
+    /// channel is full.
+    pub fn append_token(&mut self, id: RequestId) -> Result<u64, SimError> {
+        let alloc = *self.requests.get(&id).ok_or(SimError::UnknownRequest(id))?;
+        let new_pages = self.pages_for(alloc.seq_len + 1);
+        let delta = new_pages.saturating_sub(alloc.pages);
+        let free = self.free_pages(alloc.channel);
+        if delta > free {
+            return Err(SimError::OutOfMemory {
+                channel: alloc.channel,
+                requested_pages: delta,
+                free_pages: free,
+            });
+        }
+        self.used[alloc.channel.index()] += delta;
+        let entry = self.requests.get_mut(&id).expect("checked above");
+        entry.seq_len += 1;
+        entry.pages = new_pages;
+        Ok(delta)
+    }
+
+    /// Releases every page of `id`, returning how many were freed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownRequest`] for unregistered ids.
+    pub fn release(&mut self, id: RequestId) -> Result<u64, SimError> {
+        let alloc = self.requests.remove(&id).ok_or(SimError::UnknownRequest(id))?;
+        self.used[alloc.channel.index()] -= alloc.pages;
+        Ok(alloc.pages)
+    }
+
+    /// Number of admitted requests.
+    pub fn active_requests(&self) -> usize {
+        self.requests.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neupims_types::LlmConfig;
+
+    fn cache() -> PagedKvCache {
+        let mem = MemConfig::table2();
+        let model = LlmConfig::gpt3_7b();
+        let geo = KvGeometry::for_model(&model, &mem);
+        // 8 resident layers keeps page numbers readable.
+        PagedKvCache::new(&mem, geo, 8)
+    }
+
+    #[test]
+    fn admission_reserves_exact_pages() {
+        let mut kv = cache();
+        let c = ChannelId::new(0);
+        let before = kv.free_pages(c);
+        kv.admit(RequestId::new(1), c, 80).unwrap();
+        let expected = kv.pages_for(80);
+        assert_eq!(kv.free_pages(c), before - expected);
+        assert_eq!(kv.active_requests(), 1);
+        assert_eq!(kv.seq_len(RequestId::new(1)).unwrap(), 80);
+    }
+
+    #[test]
+    fn double_admission_rejected() {
+        let mut kv = cache();
+        kv.admit(RequestId::new(1), ChannelId::new(0), 10).unwrap();
+        assert!(matches!(
+            kv.admit(RequestId::new(1), ChannelId::new(1), 10),
+            Err(SimError::Scheduling(_))
+        ));
+    }
+
+    #[test]
+    fn append_allocates_lazily() {
+        let mut kv = cache();
+        let c = ChannelId::new(2);
+        // tokens per K page = 4: growth from 80 allocates only at 81, 85...
+        kv.admit(RequestId::new(7), c, 80).unwrap();
+        let mut total_new = 0;
+        let mut events = 0;
+        for _ in 0..8 {
+            let d = kv.append_token(RequestId::new(7)).unwrap();
+            total_new += d;
+            if d > 0 {
+                events += 1;
+            }
+        }
+        assert_eq!(kv.seq_len(RequestId::new(7)).unwrap(), 88);
+        assert_eq!(total_new, kv.pages_for(88) - kv.pages_for(80));
+        assert!(
+            events < 8,
+            "every token allocating pages defeats paging ({events})"
+        );
+    }
+
+    #[test]
+    fn release_returns_everything() {
+        let mut kv = cache();
+        let c = ChannelId::new(5);
+        let before = kv.free_pages(c);
+        kv.admit(RequestId::new(3), c, 300).unwrap();
+        for _ in 0..10 {
+            kv.append_token(RequestId::new(3)).unwrap();
+        }
+        let freed = kv.release(RequestId::new(3)).unwrap();
+        assert_eq!(kv.free_pages(c), before);
+        assert_eq!(freed, kv.pages_for(310));
+        assert!(matches!(
+            kv.seq_len(RequestId::new(3)),
+            Err(SimError::UnknownRequest(_))
+        ));
+    }
+
+    #[test]
+    fn admission_oom_is_clean() {
+        let mem = MemConfig {
+            capacity_per_channel: 64 << 10, // 64 pages
+            ..MemConfig::table2()
+        };
+        let model = LlmConfig::gpt3_7b();
+        let geo = KvGeometry::for_model(&model, &mem);
+        let mut kv = PagedKvCache::new(&mem, geo, 8);
+        let c = ChannelId::new(0);
+        let err = kv.admit(RequestId::new(1), c, 4096).unwrap_err();
+        assert!(matches!(err, SimError::OutOfMemory { .. }));
+        assert_eq!(kv.free_pages(c), 64, "failed admit must not leak");
+        assert_eq!(kv.active_requests(), 0);
+    }
+
+    #[test]
+    fn channels_are_independent() {
+        let mut kv = cache();
+        kv.admit(RequestId::new(1), ChannelId::new(0), 100).unwrap();
+        assert_eq!(
+            kv.free_pages(ChannelId::new(1)),
+            kv.pages_per_channel,
+            "other channels untouched"
+        );
+        assert!(kv.utilization() > 0.0);
+    }
+
+    #[test]
+    fn unknown_request_errors() {
+        let mut kv = cache();
+        assert!(matches!(
+            kv.append_token(RequestId::new(9)),
+            Err(SimError::UnknownRequest(_))
+        ));
+        assert!(matches!(
+            kv.release(RequestId::new(9)),
+            Err(SimError::UnknownRequest(_))
+        ));
+    }
+}

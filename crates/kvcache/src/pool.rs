@@ -1,0 +1,166 @@
+//! Exact page-granular allocator with physical placement.
+//!
+//! [`PagePool`] hands out pages of one channel and maps them to `(bank,
+//! row)` coordinates with bank interleaving, so functional PIM runs can
+//! place K/V data at the exact rows the timing model will activate. The
+//! macro simulator uses the count-based [`crate::PagedKvCache`] instead;
+//! this pool backs tests, examples, and functional verification.
+
+use neupims_types::{BankId, ChannelId, MemConfig, SimError};
+
+/// Identifier of one physical page within a channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageId(pub u64);
+
+impl PageId {
+    /// Physical placement of this page under bank interleaving.
+    pub fn location(self, mem: &MemConfig) -> (BankId, u32) {
+        let banks = mem.banks_per_channel as u64;
+        (
+            BankId::new((self.0 % banks) as u32),
+            (self.0 / banks) as u32,
+        )
+    }
+}
+
+/// Free-list page allocator for one channel.
+#[derive(Debug, Clone)]
+pub struct PagePool {
+    channel: ChannelId,
+    mem: MemConfig,
+    free: Vec<PageId>,
+    total: u64,
+}
+
+impl PagePool {
+    /// Creates a pool spanning the whole channel capacity.
+    pub fn new(channel: ChannelId, mem: MemConfig) -> Self {
+        let total = mem.capacity_per_channel / mem.page_bytes;
+        // LIFO free list: pop from the end; seeded in reverse so the first
+        // allocations take the lowest page numbers (deterministic layouts).
+        let free = (0..total).rev().map(PageId).collect();
+        Self {
+            channel,
+            mem,
+            free,
+            total,
+        }
+    }
+
+    /// Total pages in the channel.
+    pub fn total_pages(&self) -> u64 {
+        self.total
+    }
+
+    /// Currently free pages.
+    pub fn free_pages(&self) -> u64 {
+        self.free.len() as u64
+    }
+
+    /// Allocates `n` pages.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::OutOfMemory`] (allocating nothing) when fewer
+    /// than `n` pages are free.
+    pub fn alloc(&mut self, n: u64) -> Result<Vec<PageId>, SimError> {
+        if (self.free.len() as u64) < n {
+            return Err(SimError::OutOfMemory {
+                channel: self.channel,
+                requested_pages: n,
+                free_pages: self.free.len() as u64,
+            });
+        }
+        let mut pages = self.free.split_off(self.free.len() - n as usize);
+        pages.reverse(); // ascending page numbers for deterministic layouts
+        Ok(pages)
+    }
+
+    /// Returns pages to the pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics on double-free (a page already in the free list) in debug
+    /// builds via a containment check; release builds trust the caller.
+    pub fn free(&mut self, pages: impl IntoIterator<Item = PageId>) {
+        for p in pages {
+            debug_assert!(
+                !self.free.contains(&p),
+                "double free of page {p:?} on {}",
+                self.channel
+            );
+            debug_assert!(p.0 < self.total, "foreign page {p:?}");
+            self.free.push(p);
+        }
+    }
+
+    /// Physical placement helper for this pool's channel.
+    pub fn location(&self, page: PageId) -> (BankId, u32) {
+        page.location(&self.mem)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool() -> PagePool {
+        PagePool::new(ChannelId::new(0), MemConfig::table2())
+    }
+
+    #[test]
+    fn capacity_matches_config() {
+        let p = pool();
+        // 1 GiB / 1 KiB pages = 1Mi pages.
+        assert_eq!(p.total_pages(), 1 << 20);
+        assert_eq!(p.free_pages(), 1 << 20);
+    }
+
+    #[test]
+    fn alloc_free_roundtrip() {
+        let mut p = pool();
+        let a = p.alloc(10).unwrap();
+        assert_eq!(a.len(), 10);
+        assert_eq!(p.free_pages(), (1 << 20) - 10);
+        p.free(a);
+        assert_eq!(p.free_pages(), 1 << 20);
+    }
+
+    #[test]
+    fn first_allocations_are_low_pages() {
+        let mut p = pool();
+        let a = p.alloc(3).unwrap();
+        let ids: Vec<u64> = a.iter().map(|p| p.0).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn oom_allocates_nothing() {
+        let mut p = pool();
+        let total = p.total_pages();
+        let err = p.alloc(total + 1).unwrap_err();
+        assert!(matches!(err, SimError::OutOfMemory { .. }));
+        assert_eq!(p.free_pages(), total, "failed alloc must not leak");
+    }
+
+    #[test]
+    fn interleaved_placement() {
+        let mem = MemConfig::table2();
+        let (b0, r0) = PageId(0).location(&mem);
+        let (b1, r1) = PageId(1).location(&mem);
+        let (b32, r32) = PageId(32).location(&mem);
+        assert_eq!((b0.0, r0), (0, 0));
+        assert_eq!((b1.0, r1), (1, 0));
+        assert_eq!((b32.0, r32), (0, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    #[cfg(debug_assertions)]
+    fn double_free_panics_in_debug() {
+        let mut p = pool();
+        let a = p.alloc(1).unwrap();
+        p.free(a.clone());
+        p.free(a);
+    }
+}

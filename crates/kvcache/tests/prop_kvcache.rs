@@ -1,0 +1,135 @@
+//! Property tests: the paged allocator never double-books or leaks pages
+//! through arbitrary admit/append/release interleavings, and the layout
+//! arithmetic stays consistent.
+
+use proptest::prelude::*;
+
+use neupims_kvcache::{KvGeometry, PagePool, PagedKvCache};
+use neupims_types::{ChannelId, LlmConfig, MemConfig, RequestId};
+
+fn small_mem() -> MemConfig {
+    MemConfig {
+        channels: 4,
+        capacity_per_channel: 8 << 20, // 8 Ki pages
+        ..MemConfig::table2()
+    }
+}
+
+#[derive(Debug, Clone)]
+enum OpKind {
+    Admit { id: u32, channel: u32, seq: u64 },
+    Append { id: u32 },
+    Release { id: u32 },
+}
+
+fn op_strategy() -> impl Strategy<Value = OpKind> {
+    prop_oneof![
+        (0u32..12, 0u32..4, 1u64..300)
+            .prop_map(|(id, channel, seq)| OpKind::Admit { id, channel, seq }),
+        (0u32..12).prop_map(|id| OpKind::Append { id }),
+        (0u32..12).prop_map(|id| OpKind::Release { id }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Accounting invariant: used pages on every channel always equal the
+    /// sum of pages of the requests admitted there, and free pages never
+    /// go negative or above capacity.
+    #[test]
+    fn cache_accounting_is_exact(ops in prop::collection::vec(op_strategy(), 1..120)) {
+        let mem = small_mem();
+        let geo = KvGeometry::for_model(&LlmConfig::gpt3_7b(), &mem);
+        let layers = 4;
+        let mut kv = PagedKvCache::new(&mem, geo, layers);
+        // Shadow model: id -> (channel, seq).
+        let mut shadow: std::collections::HashMap<u32, (u32, u64)> = Default::default();
+        let total_pages = mem.capacity_per_channel / mem.page_bytes;
+
+        for op in ops {
+            match op {
+                OpKind::Admit { id, channel, seq } => {
+                    let res = kv.admit(RequestId::new(id), ChannelId::new(channel), seq);
+                    // On Err (duplicate or OOM) the state is unchanged.
+                    if res.is_ok() {
+                        prop_assert!(!shadow.contains_key(&id));
+                        shadow.insert(id, (channel, seq));
+                    }
+                }
+                OpKind::Append { id } => {
+                    let res = kv.append_token(RequestId::new(id));
+                    if res.is_ok() {
+                        let entry = shadow.get_mut(&id).expect("append only succeeds when admitted");
+                        entry.1 += 1;
+                    }
+                }
+                OpKind::Release { id } => {
+                    let res = kv.release(RequestId::new(id));
+                    if res.is_ok() {
+                        prop_assert!(shadow.remove(&id).is_some());
+                    } else {
+                        prop_assert!(!shadow.contains_key(&id));
+                    }
+                }
+            }
+            // Invariant check against the shadow model.
+            for ch in 0..4u32 {
+                let expect: u64 = shadow
+                    .values()
+                    .filter(|(c, _)| *c == ch)
+                    .map(|(_, seq)| kv.pages_for(*seq))
+                    .sum();
+                let free = kv.free_pages(ChannelId::new(ch));
+                prop_assert_eq!(total_pages - free, expect, "channel {}", ch);
+            }
+        }
+    }
+
+    /// Pool alloc/free round-trips: no page handed out twice, all pages
+    /// recoverable.
+    #[test]
+    fn pool_never_double_allocates(sizes in prop::collection::vec(1u64..64, 1..40)) {
+        let mem = small_mem();
+        let mut pool = PagePool::new(ChannelId::new(0), mem);
+        let mut held: Vec<Vec<_>> = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for (i, n) in sizes.iter().enumerate() {
+            if let Ok(pages) = pool.alloc(*n) {
+                for p in &pages {
+                    prop_assert!(seen.insert(*p), "page {:?} handed out twice", p);
+                }
+                held.push(pages);
+            }
+            // Occasionally free the oldest allocation.
+            if i % 3 == 2 {
+                if let Some(pages) = held.pop() {
+                    for p in &pages {
+                        seen.remove(p);
+                    }
+                    pool.free(pages);
+                }
+            }
+        }
+        let outstanding: u64 = held.iter().map(|v| v.len() as u64).sum();
+        prop_assert_eq!(pool.free_pages(), pool.total_pages() - outstanding);
+    }
+
+    /// Geometry arithmetic: tiles and pages are monotone in sequence
+    /// length and exactly additive across the paper's two GEMV kinds.
+    #[test]
+    fn geometry_monotonicity(seq_a in 1u64..8192, delta in 1u64..512) {
+        let geo = KvGeometry::for_model(&LlmConfig::gpt3_13b(), &MemConfig::table2());
+        let seq_b = seq_a + delta;
+        prop_assert!(geo.mha_tiles(seq_b) >= geo.mha_tiles(seq_a));
+        prop_assert!(geo.kv_pages_per_layer(seq_b) >= geo.kv_pages_per_layer(seq_a));
+        prop_assert_eq!(
+            geo.mha_tiles(seq_a),
+            geo.logit_tiles(seq_a) + geo.attend_tiles(seq_a)
+        );
+        prop_assert_eq!(
+            geo.mha_gwrites(seq_a),
+            geo.logit_gwrites() + geo.attend_gwrites(seq_a)
+        );
+    }
+}

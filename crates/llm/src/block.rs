@@ -1,0 +1,217 @@
+//! Decoder-block IR construction.
+//!
+//! One decoder block (Figure 1a / Figure 2) lowers to:
+//!
+//! 1. layernorm → **QKV generation** GEMM (`m x d x 3d/tp`)
+//! 2. **multi-head attention**: per-request logit GEMV, softmax, attend
+//!    GEMV (the selective-batching split of Orca: GEMMs batch, MHA cannot)
+//! 3. **output projection** GEMM (`m x d/tp x d`) + residual add
+//! 4. layernorm → **FFN** GEMMs (`m x d x d_ff/tp`, GeLU,
+//!    `m x d_ff/tp x d`) + residual add
+//! 5. two tensor-parallel all-reduces (after projection and after FFN2)
+//!
+//! In the generation phase `m` equals the number of batched requests (one
+//! token each); in summarization `m` is the total prompt tokens. MHA
+//! operates per request at its context length either way.
+
+use neupims_types::{LlmConfig, Phase};
+
+use crate::ops::{Op, OpKind};
+
+/// Builds the operator list of one decoder block.
+///
+/// `tp` is the tensor-parallel degree actually deployed (may differ from
+/// the model's Table 3 default); `seq_lens` carries each batched request's
+/// current context length. For [`Phase::Summarization`] the GEMM row count
+/// is the sum of prompt lengths; for [`Phase::Generation`] it is the number
+/// of requests.
+pub fn decoder_block_ops(
+    model: &LlmConfig,
+    tp: u32,
+    seq_lens: &[u64],
+    phase: Phase,
+) -> Vec<Op> {
+    let d = model.d_model as u64;
+    let d_ff = model.d_ff as u64;
+    let tp = tp.max(1) as u64;
+    let heads_dev = (model.num_heads as u64 / tp).max(1);
+    let m: u64 = match phase {
+        Phase::Summarization => seq_lens.iter().sum(),
+        Phase::Generation => seq_lens.len() as u64,
+    };
+    let m = m.max(1);
+    let es = model.dtype.size_bytes();
+
+    let mut ops = vec![Op {
+        name: "ln_attn",
+        kind: OpKind::LayerNorm { rows: m, width: d },
+    }];
+    ops.push(Op {
+        name: "qkv_gen",
+        kind: OpKind::Gemm {
+            m,
+            k: d,
+            n: 3 * d / tp,
+        },
+    });
+    ops.push(Op {
+        name: "mha",
+        kind: OpKind::MhaGemv {
+            seq_lens: seq_lens.to_vec(),
+        },
+    });
+    ops.push(Op {
+        name: "softmax",
+        kind: OpKind::Softmax {
+            seq_lens: seq_lens.to_vec(),
+            heads: heads_dev,
+        },
+    });
+    ops.push(Op {
+        name: "attn_proj",
+        kind: OpKind::Gemm {
+            m,
+            k: d / tp,
+            n: d,
+        },
+    });
+    ops.push(Op {
+        name: "allreduce_attn",
+        kind: OpKind::AllReduce { bytes: m * d * es },
+    });
+    ops.push(Op {
+        name: "add_attn",
+        kind: OpKind::Add { elems: m * d },
+    });
+    ops.push(Op {
+        name: "ln_ffn",
+        kind: OpKind::LayerNorm { rows: m, width: d },
+    });
+    ops.push(Op {
+        name: "ffn1",
+        kind: OpKind::Gemm {
+            m,
+            k: d,
+            n: d_ff / tp,
+        },
+    });
+    ops.push(Op {
+        name: "gelu",
+        kind: OpKind::Gelu {
+            elems: m * d_ff / tp,
+        },
+    });
+    ops.push(Op {
+        name: "ffn2",
+        kind: OpKind::Gemm {
+            m,
+            k: d_ff / tp,
+            n: d,
+        },
+    });
+    ops.push(Op {
+        name: "allreduce_ffn",
+        kind: OpKind::AllReduce { bytes: m * d * es },
+    });
+    ops.push(Op {
+        name: "add_ffn",
+        kind: OpKind::Add { elems: m * d },
+    });
+    ops
+}
+
+/// Per-layer GEMM weight bytes resident on one device at `tp`.
+pub fn weight_bytes_per_layer_dev(model: &LlmConfig, tp: u32) -> u64 {
+    let d = model.d_model as u64;
+    let d_ff = model.d_ff as u64;
+    let tp = tp.max(1) as u64;
+    let es = model.dtype.size_bytes();
+    // QKV (d x 3d) + proj (d x d) + FFN (2 * d * d_ff), all sharded by tp.
+    ((3 * d * d) + (d * d) + (2 * d * d_ff)) / tp * es
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::Engine;
+
+    #[test]
+    fn generation_rows_equal_batch() {
+        let model = LlmConfig::gpt3_7b();
+        let ops = decoder_block_ops(&model, 4, &[100, 200, 300], Phase::Generation);
+        let qkv = ops.iter().find(|o| o.name == "qkv_gen").unwrap();
+        match qkv.kind {
+            OpKind::Gemm { m, k, n } => {
+                assert_eq!(m, 3);
+                assert_eq!(k, 4096);
+                assert_eq!(n, 3 * 4096 / 4);
+            }
+            _ => panic!("qkv_gen must be a GEMM"),
+        }
+    }
+
+    #[test]
+    fn summarization_rows_equal_total_tokens() {
+        let model = LlmConfig::gpt3_7b();
+        let ops = decoder_block_ops(&model, 4, &[100, 200, 300], Phase::Summarization);
+        let qkv = ops.iter().find(|o| o.name == "qkv_gen").unwrap();
+        match qkv.kind {
+            OpKind::Gemm { m, .. } => assert_eq!(m, 600),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn block_has_every_stage() {
+        let model = LlmConfig::gpt3_13b();
+        let ops = decoder_block_ops(&model, 4, &[64; 8], Phase::Generation);
+        let names: Vec<&str> = ops.iter().map(|o| o.name).collect();
+        for expect in [
+            "ln_attn",
+            "qkv_gen",
+            "mha",
+            "softmax",
+            "attn_proj",
+            "allreduce_attn",
+            "add_attn",
+            "ln_ffn",
+            "ffn1",
+            "gelu",
+            "ffn2",
+            "allreduce_ffn",
+            "add_ffn",
+        ] {
+            assert!(names.contains(&expect), "missing {expect}");
+        }
+        // Exactly three GEMMs... QKV, projection, FFN1, FFN2 = four.
+        let gemms = ops
+            .iter()
+            .filter(|o| o.engine() == Engine::NpuSystolic)
+            .count();
+        assert_eq!(gemms, 4);
+    }
+
+    #[test]
+    fn weight_bytes_match_model_accounting() {
+        let model = LlmConfig::gpt3_7b();
+        assert_eq!(
+            weight_bytes_per_layer_dev(&model, 1),
+            model.weight_bytes_per_layer()
+        );
+        assert_eq!(
+            weight_bytes_per_layer_dev(&model, 4),
+            model.weight_bytes_per_layer() / 4
+        );
+    }
+
+    #[test]
+    fn empty_batch_degenerates_to_unit_rows() {
+        let model = LlmConfig::gpt3_7b();
+        let ops = decoder_block_ops(&model, 4, &[], Phase::Generation);
+        let qkv = ops.iter().find(|o| o.name == "qkv_gen").unwrap();
+        match qkv.kind {
+            OpKind::Gemm { m, .. } => assert_eq!(m, 1),
+            _ => panic!(),
+        }
+    }
+}

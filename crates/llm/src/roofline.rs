@@ -1,0 +1,172 @@
+//! Roofline and utilization analytics behind the motivation figures.
+//!
+//! Figure 4 plots arithmetic intensity (FLOPs/byte) against achievable
+//! performance for the decoder operators of GPT3-13B/175B in both phases;
+//! Figure 5 reports compute/bandwidth/capacity utilization of GPU systems
+//! running four LLMs. Both are analytic: performance = min(peak, AI x BW).
+
+use neupims_types::{GpuSpec, LlmConfig, Phase};
+
+/// Arithmetic intensity of a decoder operator class, FLOPs per byte.
+///
+/// * `Logit`/`Attend` (activation-activation): no reuse — every K/V byte is
+///   read once per use, so intensity stays near 1 regardless of batching.
+/// * `QkvProj` (weight-activation): weights amortize over the `m` rows
+///   flowing through, so intensity grows with tokens-in-flight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OperatorClass {
+    /// MHA logit/attend GEMVs.
+    LogitAttend,
+    /// QKV generation / projection / FFN GEMMs.
+    QkvProj,
+}
+
+/// Arithmetic intensity of `class` for `model` with `m` tokens in flight.
+///
+/// Both phases use the same formulas; what changes is `m` (prompt tokens in
+/// summarization, batched single tokens in generation).
+pub fn operator_intensity(model: &LlmConfig, class: OperatorClass, m: u64, phase: Phase) -> f64 {
+    let es = model.dtype.size_bytes() as f64;
+    match class {
+        OperatorClass::QkvProj => {
+            // C[m,n] = A[m,k] B[k,n]: 2mkn FLOPs over (kn + mk + mn) bytes.
+            let k = model.d_model as f64;
+            let n = model.d_model as f64;
+            let m = m.max(1) as f64;
+            2.0 * m * k * n / ((k * n + m * k + m * n) * es)
+        }
+        OperatorClass::LogitAttend => {
+            // Per request/head: 2 * seq * d_head FLOPs over seq * d_head
+            // bytes of K (or V) plus the small vector. In summarization the
+            // query side is a matrix of `m` prompt tokens, giving reuse m.
+            let seq = 512.0_f64; // representative context; cancels for gen
+            let d_head = (model.d_model / model.num_heads) as f64;
+            match phase {
+                Phase::Generation => 2.0 * seq * d_head / (seq * d_head * es + d_head * es),
+                Phase::Summarization => {
+                    let m = m.max(1) as f64;
+                    2.0 * m * seq * d_head / ((seq * d_head + m * d_head + m * seq) * es)
+                }
+            }
+        }
+    }
+}
+
+/// Achievable TFLOPS at `intensity` on a device with the given peaks
+/// (classic roofline: `min(peak, AI x BW)`).
+pub fn roofline_tflops(intensity: f64, peak_tflops: f64, bw_gbps: f64) -> f64 {
+    (intensity * bw_gbps / 1000.0).min(peak_tflops)
+}
+
+/// Utilization triple of a GPU system running batched LLM inference
+/// (Figure 5's three bars).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuUtilization {
+    /// Fraction of peak FLOPs achieved over a decode iteration.
+    pub compute: f64,
+    /// Fraction of peak memory bandwidth used.
+    pub bandwidth: f64,
+    /// Fraction of device memory occupied (weights + KV cache).
+    pub capacity: f64,
+    /// Number of GPUs the model was sharded over (capacity-driven).
+    pub gpus: u32,
+    /// Batch size that filled the remaining capacity.
+    pub batch: u64,
+}
+
+/// Analytic utilization of `gpu`s serving `model` in the generation phase.
+///
+/// Mirrors the paper's observation protocol: the GPU count is chosen by
+/// capacity, the batch fills the remaining memory with KV cache at an
+/// average context of `avg_seq` tokens, and utilization follows from the
+/// byte and FLOP counts of one decode iteration.
+pub fn gpu_utilization(gpu: &GpuSpec, model: &LlmConfig, avg_seq: u64) -> GpuUtilization {
+    let weight_bytes = model.total_params() as f64 * model.dtype.size_bytes() as f64;
+    let kv_per_req = (model.kv_bytes_per_token() * avg_seq) as f64;
+
+    // Scale out by capacity until weights fit in ~70% of aggregate memory.
+    let mut gpus = 1u32;
+    while (gpus as f64) * gpu.capacity as f64 * 0.7 < weight_bytes {
+        gpus *= 2;
+    }
+    let total_cap = gpus as f64 * gpu.capacity as f64;
+    let kv_budget = (total_cap - weight_bytes).max(0.0) * 0.9;
+    let batch = ((kv_budget / kv_per_req) as u64).max(1);
+
+    // One decode iteration: every weight byte read once, every request's KV
+    // read once; FLOPs = 2 * params * batch (GEMMs) + attention GEMVs.
+    let bytes = weight_bytes + batch as f64 * kv_per_req;
+    let flops = 2.0 * model.total_params() as f64 * batch as f64
+        + 4.0 * batch as f64 * avg_seq as f64 * model.d_model as f64 * model.num_layers as f64;
+    let time_bw = bytes / (gpus as f64 * gpu.mem_bw_bytes_per_sec);
+    let time_fl = flops / (gpus as f64 * gpu.peak_fp16_flops);
+    let time = time_bw.max(time_fl);
+
+    GpuUtilization {
+        compute: (time_fl / time).min(1.0),
+        bandwidth: (time_bw / time).min(1.0),
+        capacity: ((weight_bytes + batch as f64 * kv_per_req) / total_cap).min(1.0),
+        gpus,
+        batch,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gemm_intensity_grows_with_batch() {
+        let model = LlmConfig::gpt3_13b();
+        let i1 = operator_intensity(&model, OperatorClass::QkvProj, 1, Phase::Generation);
+        let i64 = operator_intensity(&model, OperatorClass::QkvProj, 64, Phase::Generation);
+        let i512 = operator_intensity(&model, OperatorClass::QkvProj, 512, Phase::Generation);
+        assert!(i1 < 1.0, "single-token GEMV intensity ~0.5–1: {i1}");
+        assert!(i64 > 20.0, "batched: {i64}");
+        assert!(i512 > i64);
+    }
+
+    #[test]
+    fn attention_intensity_stays_flat_in_generation() {
+        let model = LlmConfig::gpt3_13b();
+        let gen = operator_intensity(&model, OperatorClass::LogitAttend, 256, Phase::Generation);
+        // No reuse: ~1 FLOP per byte at fp16 (paper's 0.25–1 band).
+        assert!(gen < 1.5, "{gen}");
+        let sum =
+            operator_intensity(&model, OperatorClass::LogitAttend, 256, Phase::Summarization);
+        assert!(sum > 10.0 * gen, "summarization batches the query side");
+    }
+
+    #[test]
+    fn roofline_clamps_at_peak() {
+        assert_eq!(roofline_tflops(10_000.0, 140.0, 1555.0), 140.0);
+        let bw_bound = roofline_tflops(1.0, 140.0, 1555.0);
+        assert!((bw_bound - 1.555).abs() < 1e-9);
+    }
+
+    #[test]
+    fn figure5_shape_capacity_high_compute_low() {
+        // The paper: capacity ~100%, compute < 40%, for all four models on
+        // both GPUs.
+        for gpu in [GpuSpec::a100(), GpuSpec::rtx3090()] {
+            for model in [
+                LlmConfig::gpt_neox_20b(),
+                LlmConfig::llama2_13b(),
+                LlmConfig::opt_30b(),
+                LlmConfig::mpt_30b(),
+            ] {
+                let u = gpu_utilization(&gpu, &model, 512);
+                assert!(u.capacity > 0.6, "{} {}: cap {}", gpu.name, model.name, u.capacity);
+                assert!(u.compute < 0.4, "{} {}: compute {}", gpu.name, model.name, u.compute);
+                assert!(
+                    u.bandwidth > 0.9,
+                    "{} {}: decode must be bandwidth-bound ({})",
+                    gpu.name,
+                    model.name,
+                    u.bandwidth
+                );
+                assert!(u.batch >= 1);
+            }
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Functional matrix math: reference implementations plus a tiled execution
+//! that mirrors the cost model's decomposition, so tests can prove the
+//! tiling covers every element exactly once.
+
+use neupims_types::{NpuConfig, SimError};
+
+/// Dense row-major matrix used by the functional model.
+pub type Matrix = Vec<Vec<f32>>;
+
+/// Reference GEMM: `C = A x B`.
+///
+/// # Errors
+///
+/// Returns [`SimError::InvalidShape`] on dimension mismatch or empty input.
+pub fn matmul_ref(a: &Matrix, b: &Matrix) -> Result<Matrix, SimError> {
+    if a.is_empty() || b.is_empty() {
+        return Err(SimError::InvalidShape("empty matrix".into()));
+    }
+    let k = a[0].len();
+    if k != b.len() {
+        return Err(SimError::InvalidShape(format!(
+            "inner dims differ: {} vs {}",
+            k,
+            b.len()
+        )));
+    }
+    let n = b[0].len();
+    let mut c = vec![vec![0.0f32; n]; a.len()];
+    for (i, arow) in a.iter().enumerate() {
+        if arow.len() != k {
+            return Err(SimError::InvalidShape("ragged A".into()));
+        }
+        for (kk, &av) in arow.iter().enumerate() {
+            let brow = &b[kk];
+            if brow.len() != n {
+                return Err(SimError::InvalidShape("ragged B".into()));
+            }
+            for (j, &bv) in brow.iter().enumerate() {
+                c[i][j] += av * bv;
+            }
+        }
+    }
+    Ok(c)
+}
+
+/// GEMM computed through the same `128x128` weight-tile decomposition the
+/// cost model plans, accumulating partial products per K tile.
+///
+/// # Errors
+///
+/// Returns [`SimError::InvalidShape`] on dimension mismatch or empty input.
+pub fn matmul_tiled(npu: &NpuConfig, a: &Matrix, b: &Matrix) -> Result<Matrix, SimError> {
+    if a.is_empty() || b.is_empty() {
+        return Err(SimError::InvalidShape("empty matrix".into()));
+    }
+    let m = a.len();
+    let k = a[0].len();
+    if k != b.len() {
+        return Err(SimError::InvalidShape(format!(
+            "inner dims differ: {} vs {}",
+            k,
+            b.len()
+        )));
+    }
+    let n = b[0].len();
+    let tk = npu.sa_rows as usize;
+    let tn = npu.sa_cols as usize;
+    let mut c = vec![vec![0.0f32; n]; m];
+    let mut k0 = 0;
+    while k0 < k {
+        let k1 = (k0 + tk).min(k);
+        let mut n0 = 0;
+        while n0 < n {
+            let n1 = (n0 + tn).min(n);
+            // One weight tile B[k0..k1, n0..n1]; stream all m rows of A.
+            for i in 0..m {
+                for kk in k0..k1 {
+                    let av = a[i][kk];
+                    for j in n0..n1 {
+                        c[i][j] += av * b[kk][j];
+                    }
+                }
+            }
+            n0 = n1;
+        }
+        k0 = k1;
+    }
+    Ok(c)
+}
+
+/// Reference row-wise softmax (numerically stabilized).
+pub fn softmax_ref(rows: &Matrix) -> Matrix {
+    rows.iter()
+        .map(|r| {
+            let max = r.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let exps: Vec<f32> = r.iter().map(|x| (x - max).exp()).collect();
+            let sum: f32 = exps.iter().sum();
+            exps.iter().map(|e| e / sum).collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn det(rows: usize, cols: usize, seed: u32) -> Matrix {
+        (0..rows)
+            .map(|r| {
+                (0..cols)
+                    .map(|c| (((r as u32 * 37 + c as u32 * 11 + seed) % 17) as f32) * 0.1 - 0.8)
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn close(a: &Matrix, b: &Matrix) {
+        assert_eq!(a.len(), b.len());
+        for (ra, rb) in a.iter().zip(b) {
+            assert_eq!(ra.len(), rb.len());
+            for (x, y) in ra.iter().zip(rb) {
+                assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn tiled_equals_reference() {
+        let npu = NpuConfig::table2();
+        // Dimensions straddling tile boundaries on purpose.
+        for (m, k, n) in [(3, 5, 7), (10, 128, 130), (17, 200, 129), (1, 256, 256)] {
+            let a = det(m, k, 1);
+            let b = det(k, n, 2);
+            close(
+                &matmul_tiled(&npu, &a, &b).unwrap(),
+                &matmul_ref(&a, &b).unwrap(),
+            );
+        }
+    }
+
+    #[test]
+    fn mismatched_dims_rejected() {
+        let a = det(2, 3, 0);
+        let b = det(4, 2, 0);
+        assert!(matmul_ref(&a, &b).is_err());
+        assert!(matmul_tiled(&NpuConfig::table2(), &a, &b).is_err());
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let x = det(5, 40, 3);
+        for row in softmax_ref(&x) {
+            let sum: f32 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+            assert!(row.iter().all(|&p| p >= 0.0));
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let x = vec![vec![1.0, 2.0, 3.0]];
+        let y = vec![vec![101.0, 102.0, 103.0]];
+        close(&softmax_ref(&x), &softmax_ref(&y));
+    }
+}

@@ -1,0 +1,39 @@
+//! Systolic-array NPU timing and functional model (ONNXim substitute).
+//!
+//! The NPU of Table 2 — 8 weight-stationary 128x128 systolic arrays plus 8
+//! 128-lane vector units — executes the GEMM-heavy decoder layers (QKV
+//! generation, attention output projection, FFNs) and the vector operators
+//! (softmax, layernorm, GeLU, residual adds).
+//!
+//! Three layers:
+//!
+//! * [`systolic`] — per-tile and per-pass cycle costs of a weight-stationary
+//!   array, including the small-batch efficiency collapse that drives the
+//!   sub-batch-interleaving crossover of Figure 13;
+//! * [`gemm`] — tiling a full GEMM over the array cluster and deriving
+//!   compute cycles, DRAM traffic, and achieved efficiency;
+//! * [`vector`] — vector-unit costs for the non-GEMM operators;
+//! * [`functional`] — reference and tiled matrix math used by tests to pin
+//!   the tiling logic to real numerics.
+//!
+//! # Example
+//!
+//! ```
+//! use neupims_npu::plan_gemm;
+//! use neupims_types::{DataType, NpuConfig};
+//!
+//! let plan = plan_gemm(&NpuConfig::table2(), 256, 4096, 4096, DataType::Fp16).unwrap();
+//! assert_eq!(plan.flops, 2 * 256 * 4096 * 4096);
+//! assert!(plan.efficiency > 0.5);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod functional;
+pub mod gemm;
+pub mod systolic;
+pub mod vector;
+
+pub use gemm::{plan_gemm, GemmPlan};
+pub use systolic::SystolicCost;
+pub use vector::VectorCost;

@@ -1,0 +1,114 @@
+//! Weight-stationary systolic-array cycle model.
+//!
+//! One array holds a `rows x cols` weight tile (K-dimension along rows,
+//! N-dimension along columns). Activations stream through row-wise, one
+//! activation row per cycle in steady state. Three costs matter:
+//!
+//! * **weight load**: `k` cycles to shift a tile's weights in — hidden
+//!   behind the previous tile's activation stream when `m >= k` (the array
+//!   double-buffers weights), exposed otherwise;
+//! * **streaming**: `m` cycles for `m` activation rows;
+//! * **fill/drain**: `rows + cols` cycles of pipeline latency, paid once
+//!   per dependent pass rather than per tile (tiles of the same pass
+//!   overlap back-to-back).
+//!
+//! The resulting efficiency `m / max(m, k)` collapses for small `m` — the
+//! exact effect that makes sub-batch interleaving unprofitable at small
+//! batch sizes (Section 8.2, ablation).
+
+use neupims_types::{Cycle, NpuConfig};
+
+/// Cycle-cost helper for one NPU's systolic cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SystolicCost {
+    rows: u64,
+    cols: u64,
+    arrays: u64,
+}
+
+impl SystolicCost {
+    /// Builds the helper from the NPU organization.
+    pub fn new(npu: &NpuConfig) -> Self {
+        Self {
+            rows: npu.sa_rows as u64,
+            cols: npu.sa_cols as u64,
+            arrays: npu.systolic_arrays as u64,
+        }
+    }
+
+    /// Array height (K capacity of one weight tile).
+    pub fn rows(&self) -> u64 {
+        self.rows
+    }
+
+    /// Array width (N capacity of one weight tile).
+    pub fn cols(&self) -> u64 {
+        self.cols
+    }
+
+    /// Number of arrays in the cluster.
+    pub fn arrays(&self) -> u64 {
+        self.arrays
+    }
+
+    /// Steady-state cycles one array spends on one weight tile while `m`
+    /// activation rows stream through (`k` is the tile's K extent).
+    ///
+    /// `max(m, k)`: the next tile's weight load overlaps the current
+    /// stream; when the stream is shorter than the load, the load is
+    /// exposed. A small per-tile sync overhead covers accumulator
+    /// switching.
+    pub fn tile_cycles(&self, m: u64, k: u64) -> Cycle {
+        const TILE_SYNC: u64 = 16;
+        m.max(k) + TILE_SYNC
+    }
+
+    /// One-time pipeline fill/drain per dependent pass.
+    pub fn pass_overhead(&self) -> Cycle {
+        self.rows + self.cols
+    }
+
+    /// Peak MAC throughput of the cluster per cycle.
+    pub fn peak_macs_per_cycle(&self) -> u64 {
+        self.arrays * self.rows * self.cols
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cost() -> SystolicCost {
+        SystolicCost::new(&NpuConfig::table2())
+    }
+
+    #[test]
+    fn table2_geometry() {
+        let c = cost();
+        assert_eq!(c.rows(), 128);
+        assert_eq!(c.cols(), 128);
+        assert_eq!(c.arrays(), 8);
+        assert_eq!(c.peak_macs_per_cycle(), 8 * 128 * 128);
+        assert_eq!(c.pass_overhead(), 256);
+    }
+
+    #[test]
+    fn large_m_hides_weight_load() {
+        let c = cost();
+        // m >> k: cost is stream-dominated.
+        assert_eq!(c.tile_cycles(512, 128), 512 + 16);
+        // m << k: cost is load-dominated (small-batch penalty).
+        assert_eq!(c.tile_cycles(32, 128), 128 + 16);
+    }
+
+    #[test]
+    fn tile_cost_is_monotone_in_m() {
+        let c = cost();
+        let mut prev = 0;
+        for m in [1, 16, 64, 128, 256, 1024] {
+            let t = c.tile_cycles(m, 128);
+            assert!(t >= prev);
+            prev = t;
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Calibration of macro-model constants from the cycle model.
+//!
+//! The system-level simulator in `neupims-core` plans decoder iterations
+//! with a handful of per-channel constants (the same constants Algorithm 1
+//! uses to estimate MHA latency). Rather than hard-coding them, this module
+//! *measures* them by running command streams through the cycle-accurate
+//! channel:
+//!
+//! * `l_tile` — steady-state cycles per PIM tile (one grouped-activation
+//!   round across all banks, the Algorithm 1 `L_tile` parameter);
+//! * `l_gwrite` — cycles per `PIM_GWRITE` (`L_GWRITE` in Algorithm 1);
+//! * `mem_stream_bw` — bytes/cycle of an open-page MEM read stream;
+//! * `mem_stream_bw_shared` — the same stream while the PIM engine runs
+//!   concurrently in dual-row-buffer mode (C/A contention, Section 5.3);
+//! * `pim_stream_bw` — in-bank bytes/cycle consumed by the GEMV datapath.
+
+use neupims_dram::{Controller, DramChannel, MemRequest};
+use neupims_types::{BankId, NeuPimsConfig, SimError};
+
+use crate::duet::DuetDriver;
+use crate::engine::{CommandMode, GemvEngine, GemvJob};
+
+/// Measured macro-model constants for one channel of a configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PimCalibration {
+    /// Steady-state cycles per PIM tile (grouped activation round) under
+    /// composite `PIM_GEMV` control (the NeuPIMs command set).
+    pub l_tile: f64,
+    /// Steady-state cycles per tile under fine-grained Newton control
+    /// (per-group `PIM_DOTPRODUCT` + per-tile `PIM_RDRESULT`) — what the
+    /// naive NPU+PIM baseline pays.
+    pub l_tile_fine: f64,
+    /// Cycles per `PIM_GWRITE` (vector page load into the GVB).
+    pub l_gwrite: f64,
+    /// Per-row dot-product cycles (page through the bank MAC lanes).
+    pub dot_cycles: u64,
+    /// MEM streaming bandwidth, bytes/cycle, channel to itself.
+    pub mem_stream_bw: f64,
+    /// MEM streaming bandwidth while PIM runs concurrently (dual buffers).
+    pub mem_stream_bw_shared: f64,
+    /// In-bank GEMV consumption bandwidth, bytes/cycle.
+    pub pim_stream_bw: f64,
+}
+
+impl PimCalibration {
+    /// Fraction of MEM bandwidth preserved during concurrent PIM execution,
+    /// in `[0, 1]`. This is the dual-row-buffer payoff the ablation (Fig.
+    /// 13, DRB bar) builds on.
+    pub fn shared_bw_fraction(&self) -> f64 {
+        if self.mem_stream_bw <= 0.0 {
+            0.0
+        } else {
+            (self.mem_stream_bw_shared / self.mem_stream_bw).min(1.0)
+        }
+    }
+
+    /// PIM's bandwidth advantage over the external bus for GEMV streams.
+    pub fn pim_advantage(&self) -> f64 {
+        if self.mem_stream_bw <= 0.0 {
+            0.0
+        } else {
+            self.pim_stream_bw / self.mem_stream_bw
+        }
+    }
+}
+
+fn mem_stream(ctrl: &mut Controller, pages: u32, banks: u32) {
+    for p in 0..pages {
+        let bank = BankId::new(p % banks);
+        let row = 20_000 + p / banks;
+        ctrl.enqueue(MemRequest::read(bank, row, 0, 16));
+    }
+}
+
+/// Measures the calibration constants for `cfg` (one channel is
+/// representative; channels are identical and independent).
+///
+/// # Errors
+///
+/// Propagates structural scheduling errors — a failure here means the
+/// configuration cannot execute the canonical command streams.
+pub fn calibrate(cfg: &NeuPimsConfig) -> Result<PimCalibration, SimError> {
+    cfg.validate()?;
+    let mem = cfg.mem;
+    let timing = cfg.timing;
+
+    // --- PIM tile rate (steady state over a long run, refresh included) ---
+    let tiles = 256u32;
+    let mut ch = DramChannel::new(mem, timing, true);
+    let mut engine = GemvEngine::new(cfg.pim, CommandMode::Composite, true);
+    engine.enqueue(GemvJob::synthetic(&mem, tiles, 0, 0));
+    let s = engine.run_to_completion(&mut ch)?;
+    let l_tile = s.span() as f64 / tiles as f64;
+    let tile_bytes = mem.banks_per_channel as u64 * mem.page_bytes;
+    let pim_stream_bw = tile_bytes as f64 / l_tile;
+
+    // Fine-grained (Newton) control style.
+    let mut ch_f = DramChannel::new(mem, timing, true);
+    let mut engine_f = GemvEngine::new(cfg.pim, CommandMode::FineGrained, true);
+    engine_f.enqueue(GemvJob::synthetic(&mem, tiles, 0, 0));
+    let s_f = engine_f.run_to_completion(&mut ch_f)?;
+    let l_tile_fine = s_f.span() as f64 / tiles as f64;
+
+    // --- GWRITE cost (difference method) ---
+    let gwrites = 64u32;
+    let mut ch_g = DramChannel::new(mem, timing, true);
+    let mut engine_g = GemvEngine::new(cfg.pim, CommandMode::Composite, true);
+    engine_g.enqueue(GemvJob::synthetic(&mem, 1, gwrites, 0));
+    let s_g = engine_g.run_to_completion(&mut ch_g)?;
+    let mut ch_0 = DramChannel::new(mem, timing, true);
+    let mut engine_0 = GemvEngine::new(cfg.pim, CommandMode::Composite, true);
+    engine_0.enqueue(GemvJob::synthetic(&mem, 1, 0, 0));
+    let s_0 = engine_0.run_to_completion(&mut ch_0)?;
+    let l_gwrite = (s_g.span().saturating_sub(s_0.span())) as f64 / gwrites as f64;
+
+    // --- Solo MEM streaming bandwidth ---
+    let pages = 512u32;
+    let mut ctrl = Controller::new(mem, timing, true);
+    mem_stream(&mut ctrl, pages, mem.banks_per_channel);
+    let done = ctrl.run_until_drained()?;
+    let end = done.iter().map(|t| t.finished_at).max().unwrap_or(1);
+    let mem_stream_bw = (pages as u64 * mem.page_bytes) as f64 / end as f64;
+
+    // --- MEM streaming while PIM runs (dual-row-buffer concurrency) ---
+    let mut ctrl2 = Controller::new(mem, timing, true);
+    mem_stream(&mut ctrl2, pages, mem.banks_per_channel);
+    let mut engine2 = GemvEngine::new(cfg.pim, CommandMode::Composite, true);
+    // Enough PIM work to overlap the whole MEM stream.
+    engine2.enqueue(GemvJob::synthetic(&mem, 2 * tiles, 4, 0));
+    let mut duet = DuetDriver::new(ctrl2, engine2);
+    let out = duet.run()?;
+    let mem_stream_bw_shared =
+        (pages as u64 * mem.page_bytes) as f64 / out.mem_finished_at.max(1) as f64;
+
+    let dot_cycles = GemvEngine::new(cfg.pim, CommandMode::Composite, true).dot_cycles(&mem);
+
+    Ok(PimCalibration {
+        l_tile,
+        l_tile_fine,
+        l_gwrite,
+        dot_cycles,
+        mem_stream_bw,
+        mem_stream_bw_shared,
+        pim_stream_bw,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_calibration_is_sane() {
+        let cal = calibrate(&NeuPimsConfig::table2()).unwrap();
+        // Tile rate: FAW-paced 8 groups x 30 cycles plus drain overheads.
+        assert!(cal.l_tile > 200.0, "l_tile {}", cal.l_tile);
+        assert!(cal.l_tile < 400.0, "l_tile {}", cal.l_tile);
+        // Newton-style control adds C/A slots per tile, but solo they hide
+        // inside the tFAW pacing gaps — the cost only surfaces under
+        // concurrent MEM traffic (Figure 9). Solo rates stay within 10%.
+        let rel = (cal.l_tile_fine - cal.l_tile).abs() / cal.l_tile;
+        assert!(rel < 0.10, "fine {} vs composite {}", cal.l_tile_fine, cal.l_tile);
+        // GWRITE: activate + page copy + precharge.
+        assert!(cal.l_gwrite > 10.0, "l_gwrite {}", cal.l_gwrite);
+        assert!(cal.l_gwrite < 200.0, "l_gwrite {}", cal.l_gwrite);
+        // Solo MEM streaming approaches the 32 B/cycle bus limit.
+        assert!(cal.mem_stream_bw > 20.0, "mem bw {}", cal.mem_stream_bw);
+        assert!(cal.mem_stream_bw <= 32.0 + 1e-9);
+        // Concurrency preserves most of the MEM bandwidth (the paper's
+        // argument that PIM C/A traffic is light).
+        assert!(
+            cal.shared_bw_fraction() > 0.55,
+            "shared fraction {}",
+            cal.shared_bw_fraction()
+        );
+        // PIM consumes matrix data faster than the external bus could move
+        // it: the whole reason PIM wins on GEMV.
+        assert!(cal.pim_advantage() > 2.0, "advantage {}", cal.pim_advantage());
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let mut cfg = NeuPimsConfig::table2();
+        cfg.mem.channels = 0;
+        assert!(calibrate(&cfg).is_err());
+    }
+}

@@ -1,0 +1,370 @@
+//! Functional GEMV execution through the PIM timing path.
+//!
+//! The timing engine is data-oblivious; this module adds the data. It lays
+//! real K/V matrices out in the channel's functional storage using the
+//! Section 6.3 mappings, runs the timing engine over exactly those rows,
+//! and computes what the in-bank MAC lanes would produce — so tests can
+//! compare the PIM result against plain reference math and catch layout or
+//! packing bugs.
+//!
+//! Two flavors mirror the two MHA GEMVs:
+//!
+//! * [`logit_job`]: `logits = K · q` — K rows (one per past token) are
+//!   packed several-per-page and interleaved row-wise across banks;
+//! * [`attend_job`]: `out = Vᵀ · l` — V is stored transposed, each
+//!   embedding dimension's sequence-major run packed into pages and
+//!   interleaved across banks ("interleaving each head embedding into
+//!   banks").
+
+use neupims_dram::DramChannel;
+use neupims_types::{BankId, SimError};
+
+use crate::engine::{bankgroup_strided_order, GemvEngine, GemvJob, PimStats, TileSpec};
+
+/// A functional GEMV result: the computed vector plus engine counters.
+#[derive(Debug, Clone)]
+pub struct FunctionalGemv {
+    /// The GEMV output in logical order.
+    pub result: Vec<f32>,
+    /// Timing counters of the run.
+    pub stats: PimStats,
+}
+
+/// Packs `matrix` rows into channel pages (row-major, `rows_per_page` per
+/// page, banks interleaved) starting at `row_base`, returning the page list
+/// as `(bank, dram_row)` in page order.
+fn pack_rows(
+    ch: &mut DramChannel,
+    matrix: &[Vec<f32>],
+    row_len: usize,
+    row_base: u32,
+) -> Result<Vec<(BankId, u32)>, SimError> {
+    let page_elems = ch.storage().elems_per_row();
+    if row_len == 0 || row_len > page_elems {
+        return Err(SimError::InvalidShape(format!(
+            "matrix row of {row_len} elements does not fit a {page_elems}-element page"
+        )));
+    }
+    let rows_per_page = page_elems / row_len;
+    let order = bankgroup_strided_order(ch.mem_config());
+    let banks = order.len();
+    let mut pages = Vec::new();
+    for (p, chunk) in matrix.chunks(rows_per_page).enumerate() {
+        let bank = order[p % banks];
+        let dram_row = row_base + (p / banks) as u32;
+        for (i, r) in chunk.iter().enumerate() {
+            if r.len() != row_len {
+                return Err(SimError::InvalidShape(
+                    "ragged matrix rows are not supported".into(),
+                ));
+            }
+            ch.storage_mut().write(bank, dram_row, i * row_len, r)?;
+        }
+        pages.push((bank, dram_row));
+    }
+    Ok(pages)
+}
+
+/// Groups pages into tiles of at most one page per bank.
+fn tiles_from_pages(pages: &[(BankId, u32)], banks: usize) -> Vec<TileSpec> {
+    pages
+        .chunks(banks)
+        .map(|chunk| TileSpec {
+            rows: chunk.to_vec(),
+        })
+        .collect()
+}
+
+/// Builds and runs the logit GEMV `K · q` for one attention head.
+///
+/// `k` is the per-token key matrix (`seq_len` rows of `d_head` elements);
+/// `q` is the query vector. Rows land in storage starting at DRAM row
+/// `row_base` (choose disjoint bases for disjoint operands).
+///
+/// # Errors
+///
+/// Returns [`SimError::InvalidShape`] for ragged input or rows larger than
+/// a page, and propagates engine scheduling errors.
+pub fn logit_job(
+    ch: &mut DramChannel,
+    engine: &mut GemvEngine,
+    k: &[Vec<f32>],
+    q: &[f32],
+    row_base: u32,
+) -> Result<FunctionalGemv, SimError> {
+    let d_head = q.len();
+    if k.is_empty() {
+        return Err(SimError::InvalidShape("empty key matrix".into()));
+    }
+    let pages = pack_rows(ch, k, d_head, row_base)?;
+    // Stage q in a spare row and GWRITE it into the global vector buffer.
+    let q_row = row_base + 16_384;
+    let q_bank = BankId::new(0);
+    ch.storage_mut().write(q_bank, q_row, 0, q)?;
+
+    let banks = ch.mem_config().banks_per_channel as usize;
+    let tiles = tiles_from_pages(&pages, banks);
+    let page_elems = ch.storage().elems_per_row();
+    let rows_per_page = page_elems / d_head;
+    let result_bursts = (k.len() as u64 * 4).div_ceil(ch.burst_bytes()).max(1) as u32;
+    let job = GemvJob {
+        gwrites: vec![(q_bank, q_row)],
+        tiles,
+        result_bursts,
+        min_start: 0,
+    };
+    engine.enqueue(job);
+    let stats = engine.run_to_completion(ch)?;
+
+    // What the in-bank lanes compute: per page, per packed row, dot with q.
+    let mut result = Vec::with_capacity(k.len());
+    for (bank, dram_row) in &pages {
+        let data = ch.storage().read(*bank, *dram_row, 0, page_elems)?;
+        for r in 0..rows_per_page {
+            if result.len() == k.len() {
+                break;
+            }
+            let start = r * d_head;
+            let dot = data[start..start + d_head]
+                .iter()
+                .zip(q)
+                .map(|(a, b)| a * b)
+                .sum();
+            result.push(dot);
+        }
+    }
+    Ok(FunctionalGemv { result, stats })
+}
+
+/// Builds and runs the attend GEMV `Vᵀ · l` for one attention head.
+///
+/// `v` is the per-token value matrix (`seq_len` rows of `d_head` elements);
+/// `l` is the softmaxed logit vector (`seq_len` elements). The matrix is
+/// stored transposed: each embedding dimension's sequence run is packed
+/// into pages interleaved across banks.
+///
+/// # Errors
+///
+/// Returns [`SimError::InvalidShape`] for ragged/oversized input and
+/// propagates engine scheduling errors.
+pub fn attend_job(
+    ch: &mut DramChannel,
+    engine: &mut GemvEngine,
+    v: &[Vec<f32>],
+    l: &[f32],
+    row_base: u32,
+) -> Result<FunctionalGemv, SimError> {
+    if v.len() != l.len() {
+        return Err(SimError::InvalidShape(format!(
+            "value rows {} != logit length {}",
+            v.len(),
+            l.len()
+        )));
+    }
+    if v.is_empty() {
+        return Err(SimError::InvalidShape("empty value matrix".into()));
+    }
+    let d_head = v[0].len();
+    let seq_len = v.len();
+    let page_elems = ch.storage().elems_per_row();
+
+    // Transpose: row j of Vᵀ is the sequence-major run of dimension j.
+    let mut vt = vec![vec![0.0f32; seq_len]; d_head];
+    for (s, row) in v.iter().enumerate() {
+        if row.len() != d_head {
+            return Err(SimError::InvalidShape(
+                "ragged value rows are not supported".into(),
+            ));
+        }
+        for (j, &x) in row.iter().enumerate() {
+            vt[j][s] = x;
+        }
+    }
+
+    // Long sequences split each Vᵀ row into page-sized chunks; each chunk
+    // is a page dotted against the matching chunk of `l`.
+    let chunks = seq_len.div_ceil(page_elems);
+    let mut chunked: Vec<Vec<f32>> = Vec::with_capacity(d_head * chunks);
+    for row in &vt {
+        for c in 0..chunks {
+            let lo = c * page_elems;
+            let hi = ((c + 1) * page_elems).min(seq_len);
+            let mut chunk = row[lo..hi].to_vec();
+            chunk.resize(page_elems.min(seq_len - lo).max(1), 0.0);
+            chunked.push(chunk);
+        }
+    }
+    let chunk_len = chunked[0].len().min(page_elems);
+    // Pad all chunks to a common length for packing.
+    let common = chunked.iter().map(Vec::len).max().unwrap_or(chunk_len);
+    for c in &mut chunked {
+        c.resize(common, 0.0);
+    }
+    let pages = pack_rows(ch, &chunked, common, row_base)?;
+
+    // The logit vector occupies ceil(seq_len / page_elems) GWRITE pages.
+    let l_bank = BankId::new(1);
+    let l_row = row_base + 16_384;
+    let mut gwrites = Vec::new();
+    for c in 0..chunks {
+        let lo = c * page_elems;
+        let hi = ((c + 1) * page_elems).min(seq_len);
+        ch.storage_mut()
+            .write(l_bank, l_row + c as u32, 0, &l[lo..hi])?;
+        gwrites.push((l_bank, l_row + c as u32));
+    }
+
+    let banks = ch.mem_config().banks_per_channel as usize;
+    let tiles = tiles_from_pages(&pages, banks);
+    let result_bursts = (d_head as u64 * 4).div_ceil(ch.burst_bytes()).max(1) as u32;
+    let job = GemvJob {
+        gwrites,
+        tiles,
+        result_bursts,
+        min_start: 0,
+    };
+    engine.enqueue(job);
+    let stats = engine.run_to_completion(ch)?;
+
+    // In-bank math: page p holds dimension j = p / chunks, chunk c = p % chunks.
+    let rows_per_page = page_elems / common;
+    let mut result = vec![0.0f32; d_head];
+    let mut packed_idx = 0usize;
+    for (bank, dram_row) in &pages {
+        let data = ch.storage().read(*bank, *dram_row, 0, page_elems)?;
+        for r in 0..rows_per_page {
+            if packed_idx == chunked.len() {
+                break;
+            }
+            let j = packed_idx / chunks;
+            let c = packed_idx % chunks;
+            let lo = c * page_elems;
+            let hi = ((c + 1) * page_elems).min(seq_len);
+            let start = r * common;
+            let dot: f32 = data[start..start + (hi - lo)]
+                .iter()
+                .zip(&l[lo..hi])
+                .map(|(a, b)| a * b)
+                .sum();
+            result[j] += dot;
+            packed_idx += 1;
+        }
+    }
+    Ok(FunctionalGemv { result, stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::CommandMode;
+    use neupims_types::{config::PimConfig, HbmTiming, MemConfig};
+
+    fn setup() -> (DramChannel, GemvEngine) {
+        let ch = DramChannel::new(MemConfig::table2(), HbmTiming::table2(), true);
+        let engine = GemvEngine::new(PimConfig::newton(), CommandMode::Composite, true);
+        (ch, engine)
+    }
+
+    fn det_matrix(rows: usize, cols: usize, seed: f32) -> Vec<Vec<f32>> {
+        (0..rows)
+            .map(|r| {
+                (0..cols)
+                    .map(|c| ((r * 31 + c * 7) % 13) as f32 * 0.25 - 1.5 + seed)
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn reference_logits(k: &[Vec<f32>], q: &[f32]) -> Vec<f32> {
+        k.iter()
+            .map(|row| row.iter().zip(q).map(|(a, b)| a * b).sum())
+            .collect()
+    }
+
+    fn reference_attend(v: &[Vec<f32>], l: &[f32]) -> Vec<f32> {
+        let d = v[0].len();
+        let mut out = vec![0.0; d];
+        for (s, row) in v.iter().enumerate() {
+            for (j, &x) in row.iter().enumerate() {
+                out[j] += l[s] * x;
+            }
+        }
+        out
+    }
+
+    fn assert_close(a: &[f32], b: &[f32]) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!((x - y).abs() < 1e-4, "elem {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn logit_matches_reference() {
+        let (mut ch, mut engine) = setup();
+        let k = det_matrix(228, 128, 0.0);
+        let q: Vec<f32> = (0..128).map(|i| (i % 5) as f32 * 0.5 - 1.0).collect();
+        let out = logit_job(&mut ch, &mut engine, &k, &q, 0).unwrap();
+        assert_close(&out.result, &reference_logits(&k, &q));
+        assert!(out.stats.tiles_done >= 1);
+        assert_eq!(out.stats.gwrites_done, 1);
+    }
+
+    #[test]
+    fn logit_single_row() {
+        let (mut ch, mut engine) = setup();
+        let k = det_matrix(1, 128, 1.0);
+        let q = vec![1.0f32; 128];
+        let out = logit_job(&mut ch, &mut engine, &k, &q, 0).unwrap();
+        assert_close(&out.result, &reference_logits(&k, &q));
+    }
+
+    #[test]
+    fn attend_matches_reference() {
+        let (mut ch, mut engine) = setup();
+        let v = det_matrix(100, 128, 0.5);
+        let l: Vec<f32> = (0..100).map(|i| 1.0 / (1.0 + i as f32)).collect();
+        let out = attend_job(&mut ch, &mut engine, &v, &l, 0).unwrap();
+        assert_close(&out.result, &reference_attend(&v, &l));
+    }
+
+    #[test]
+    fn attend_long_sequence_spans_pages() {
+        // seq_len 700 > 512 elements per page: chunked layout kicks in.
+        let (mut ch, mut engine) = setup();
+        let v = det_matrix(700, 64, -0.5);
+        let l: Vec<f32> = (0..700).map(|i| ((i % 11) as f32 - 5.0) * 0.1).collect();
+        let out = attend_job(&mut ch, &mut engine, &v, &l, 0).unwrap();
+        assert_close(&out.result, &reference_attend(&v, &l));
+        assert!(out.stats.gwrites_done >= 2, "long l needs several GWRITEs");
+    }
+
+    #[test]
+    fn shape_errors_are_reported() {
+        let (mut ch, mut engine) = setup();
+        let err = logit_job(&mut ch, &mut engine, &[], &[1.0; 128], 0).unwrap_err();
+        assert!(matches!(err, SimError::InvalidShape(_)));
+        let v = det_matrix(4, 16, 0.0);
+        let err = attend_job(&mut ch, &mut engine, &v, &[1.0; 3], 0).unwrap_err();
+        assert!(matches!(err, SimError::InvalidShape(_)));
+        // Row larger than a page.
+        let k = det_matrix(2, 1024, 0.0);
+        let err = logit_job(&mut ch, &mut engine, &k, &vec![0.0; 1024], 0).unwrap_err();
+        assert!(matches!(err, SimError::InvalidShape(_)));
+    }
+
+    #[test]
+    fn timing_scales_with_sequence_length() {
+        let (mut ch1, mut e1) = setup();
+        let (mut ch2, mut e2) = setup();
+        let q = vec![1.0f32; 128];
+        let short = logit_job(&mut ch1, &mut e1, &det_matrix(64, 128, 0.0), &q, 0).unwrap();
+        let long = logit_job(&mut ch2, &mut e2, &det_matrix(1024, 128, 0.0), &q, 0).unwrap();
+        assert!(
+            long.stats.span() > short.stats.span(),
+            "longer sequences must take longer: {} vs {}",
+            long.stats.span(),
+            short.stats.span()
+        );
+    }
+}

@@ -1,0 +1,49 @@
+//! Newton-style in-bank GEMV acceleration with the NeuPIMs command set.
+//!
+//! This crate layers the paper's PIM microarchitecture on top of the
+//! cycle-level DRAM model of `neupims-dram`:
+//!
+//! * [`command`] — the PIM command vocabulary: the baseline Newton commands
+//!   (`PIM_GWRITE`, grouped `PIM_ACTIVATE`, `PIM_DOTPRODUCT`,
+//!   `PIM_RDRESULT`) plus the three NeuPIMs additions (`PIM_HEADER`,
+//!   composite `PIM_GEMV`, `PIM_PRECHARGE`), with wire encodings;
+//! * [`engine`] — a command-stream generator/executor that drives a
+//!   [`neupims_dram::DramChannel`], pacing grouped activations through
+//!   `tFAW`, overlapping per-bank dot products with later activations, and
+//!   scheduling around refresh using the `PIM_HEADER` duration estimate;
+//! * [`duet`] — the MEM+PIM interleaved driver implementing the paper's
+//!   "PIM commands take priority on the C/A bus" controller policy
+//!   (Section 5.3), used to measure concurrent-mode interference;
+//! * [`functional`] — executes *real* logit (`K^T q`) and attend (`L V`)
+//!   GEMVs through the engine and returns numeric results for verification;
+//! * [`calibrate`] — measures the macro-model constants (`L_GWRITE`,
+//!   `L_tile`, streaming bandwidths solo/shared) from the cycle model.
+//!
+//! # Example: timed GEMV on one channel
+//!
+//! ```
+//! use neupims_dram::DramChannel;
+//! use neupims_pim::{CommandMode, GemvEngine, GemvJob};
+//! use neupims_types::{HbmTiming, MemConfig, config::PimConfig};
+//!
+//! let mem = MemConfig::table2();
+//! let mut ch = DramChannel::new(mem, HbmTiming::table2(), true);
+//! let mut engine = GemvEngine::new(PimConfig::newton(), CommandMode::Composite, true);
+//! engine.enqueue(GemvJob::synthetic(&mem, 4, 1, 0));
+//! let stats = engine.run_to_completion(&mut ch).expect("legal PIM schedule");
+//! assert_eq!(stats.tiles_done, 4);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod calibrate;
+pub mod command;
+pub mod duet;
+pub mod engine;
+pub mod functional;
+
+pub use calibrate::{calibrate, PimCalibration};
+pub use command::{GemvHeader, PimCommand};
+pub use duet::{DuetDriver, DuetOutcome};
+pub use engine::{CommandMode, GemvEngine, GemvJob, PimStats, TileSpec};
+pub use functional::{attend_job, logit_job, FunctionalGemv};

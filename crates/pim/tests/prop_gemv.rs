@@ -1,0 +1,92 @@
+//! Property tests: the functional PIM GEMV path computes the same values as
+//! reference math for arbitrary shapes, and its timing behaves sanely.
+
+use proptest::prelude::*;
+
+use neupims_dram::DramChannel;
+use neupims_pim::{attend_job, logit_job, CommandMode, GemvEngine};
+use neupims_types::{config::PimConfig, HbmTiming, MemConfig};
+
+fn setup() -> (DramChannel, GemvEngine) {
+    let ch = DramChannel::new(MemConfig::table2(), HbmTiming::table2(), true);
+    let engine = GemvEngine::new(PimConfig::newton(), CommandMode::Composite, true);
+    (ch, engine)
+}
+
+fn matrix(rows: usize, cols: usize, vals: &[f32]) -> Vec<Vec<f32>> {
+    (0..rows)
+        .map(|r| (0..cols).map(|c| vals[(r * cols + c) % vals.len()]).collect())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// logits = K q matches reference for arbitrary sequence lengths and
+    /// power-of-two head dims that fit a page.
+    #[test]
+    fn logit_gemv_matches_reference(
+        seq_len in 1usize..600,
+        d_head_pow in 4u32..10u32, // 16..512
+        vals in prop::collection::vec(-2.0f32..2.0, 8..64),
+    ) {
+        let d_head = 1usize << d_head_pow;
+        let (mut ch, mut engine) = setup();
+        let k = matrix(seq_len, d_head, &vals);
+        let q: Vec<f32> = (0..d_head).map(|i| vals[i % vals.len()]).collect();
+        let out = logit_job(&mut ch, &mut engine, &k, &q, 0).unwrap();
+        prop_assert_eq!(out.result.len(), seq_len);
+        for (i, row) in k.iter().enumerate() {
+            let expect: f32 = row.iter().zip(&q).map(|(a, b)| a * b).sum();
+            let got = out.result[i];
+            prop_assert!((got - expect).abs() < 1e-3 * (1.0 + expect.abs()),
+                "row {}: {} vs {}", i, got, expect);
+        }
+    }
+
+    /// out = V^T l matches reference, including page-spanning sequences.
+    #[test]
+    fn attend_gemv_matches_reference(
+        seq_len in 1usize..700,
+        d_head_pow in 4u32..8u32, // 16..128
+        vals in prop::collection::vec(-1.5f32..1.5, 8..64),
+    ) {
+        let d_head = 1usize << d_head_pow;
+        let (mut ch, mut engine) = setup();
+        let v = matrix(seq_len, d_head, &vals);
+        let l: Vec<f32> = (0..seq_len).map(|i| vals[(i * 3) % vals.len()]).collect();
+        let out = attend_job(&mut ch, &mut engine, &v, &l, 0).unwrap();
+        prop_assert_eq!(out.result.len(), d_head);
+        for j in 0..d_head {
+            let expect: f32 = v.iter().zip(&l).map(|(row, s)| row[j] * s).sum();
+            let got = out.result[j];
+            prop_assert!((got - expect).abs() < 1e-3 * (1.0 + expect.abs()),
+                "dim {}: {} vs {}", j, got, expect);
+        }
+    }
+
+    /// Tile counts grow monotonically with sequence length (the relation
+    /// Algorithm 1's estimator depends on).
+    #[test]
+    fn logit_tiles_monotone_in_seq_len(
+        base in 8usize..200,
+        extra in 1usize..300,
+    ) {
+        let d_head = 128usize;
+        let q = vec![0.5f32; d_head];
+        let (mut ch1, mut e1) = setup();
+        let short = logit_job(&mut ch1, &mut e1, &matrix(base, d_head, &[1.0, -1.0]), &q, 0)
+            .unwrap();
+        let (mut ch2, mut e2) = setup();
+        let long = logit_job(
+            &mut ch2,
+            &mut e2,
+            &matrix(base + extra, d_head, &[1.0, -1.0]),
+            &q,
+            0,
+        )
+        .unwrap();
+        prop_assert!(long.stats.tiles_done >= short.stats.tiles_done);
+        prop_assert!(long.stats.span() >= short.stats.span() / 2);
+    }
+}

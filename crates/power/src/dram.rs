@@ -1,0 +1,264 @@
+//! Micron-style IDD-based DRAM power model.
+//!
+//! Average power decomposes into background, activate/precharge, read,
+//! write, refresh, and PIM-compute components, each derived from current
+//! draws (`IDD*`) at the supply voltage — the structure of Micron's
+//! DDR power technical note, with constants scaled to a 1 GHz HBM channel.
+//! Two paper-specific extensions:
+//!
+//! * the all-bank PIM compute command draws **4x the read current**
+//!   (Section 8.2, citing Newton);
+//! * the **second row buffer** adds background power for its state
+//!   (modeled as a fractional increase of standby current while enabled).
+
+use neupims_types::Cycle;
+
+/// Current/voltage parameters of one HBM channel.
+///
+/// Defaults are DDR-class IDD values scaled so a typical mixed-traffic
+/// channel lands in the paper's Table 5 band (hundreds of mW per channel).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DramPowerParams {
+    /// Supply voltage (V).
+    pub vdd: f64,
+    /// Activate-precharge current above standby, one bank cycling (mA).
+    pub idd0_delta: f64,
+    /// Precharged standby current (mA).
+    pub idd2n: f64,
+    /// Active standby current (mA).
+    pub idd3n: f64,
+    /// Read burst current above standby (mA).
+    pub idd4r_delta: f64,
+    /// Write burst current above standby (mA).
+    pub idd4w_delta: f64,
+    /// Refresh current above standby (mA).
+    pub idd5_delta: f64,
+    /// Row cycle time used to convert per-ACT energy (cycles).
+    pub t_rc: Cycle,
+    /// Refresh duration (cycles).
+    pub t_rfc: Cycle,
+    /// Burst duration (cycles).
+    pub t_bl: Cycle,
+    /// PIM compute current multiplier over read (the paper's 4x).
+    pub pim_compute_factor: f64,
+    /// Fractional background-power increase of the second row buffer.
+    pub dual_rb_background: f64,
+}
+
+impl Default for DramPowerParams {
+    fn default() -> Self {
+        Self {
+            vdd: 1.2,
+            idd0_delta: 55.0,
+            idd2n: 65.0,
+            idd3n: 95.0,
+            idd4r_delta: 180.0,
+            idd4w_delta: 185.0,
+            idd5_delta: 255.0,
+            t_rc: 48,
+            t_rfc: 260,
+            t_bl: 2,
+            pim_compute_factor: 4.0,
+            dual_rb_background: 0.12,
+        }
+    }
+}
+
+/// Activity counters of one channel over an observation window.
+///
+/// Populated from `neupims_dram::ChannelStats` plus PIM engine counters by
+/// the system simulator (this crate stays dependency-light on purpose).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DramActivity {
+    /// Observation window, cycles.
+    pub cycles: Cycle,
+    /// MEM-row activates.
+    pub acts: u64,
+    /// Read bursts.
+    pub reads: u64,
+    /// Write bursts.
+    pub writes: u64,
+    /// All-bank refreshes.
+    pub refreshes: u64,
+    /// PIM-row activates.
+    pub pim_acts: u64,
+    /// Bank-cycles of in-bank MAC activity (all-bank compute commands).
+    pub pim_compute_cycles: u64,
+    /// Fraction of the window any row was open, `[0, 1]` (drives
+    /// active-standby vs precharged-standby background power).
+    pub open_fraction: f64,
+    /// Whether the channel carries dual row buffers.
+    pub dual_row_buffer: bool,
+}
+
+/// Average-power decomposition of one channel (mW).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PowerBreakdown {
+    /// Standby power incl. row-buffer state holding.
+    pub background_mw: f64,
+    /// Activate/precharge power (MEM + PIM rows).
+    pub activate_mw: f64,
+    /// Read burst power.
+    pub read_mw: f64,
+    /// Write burst power.
+    pub write_mw: f64,
+    /// Refresh power.
+    pub refresh_mw: f64,
+    /// In-bank PIM compute power.
+    pub pim_compute_mw: f64,
+}
+
+impl PowerBreakdown {
+    /// Total average power in mW.
+    pub fn total_mw(&self) -> f64 {
+        self.background_mw
+            + self.activate_mw
+            + self.read_mw
+            + self.write_mw
+            + self.refresh_mw
+            + self.pim_compute_mw
+    }
+}
+
+impl DramPowerParams {
+    /// Average power of one channel showing `activity`.
+    ///
+    /// Returns all-zero for an empty window.
+    pub fn channel_power(&self, activity: &DramActivity) -> PowerBreakdown {
+        if activity.cycles == 0 {
+            return PowerBreakdown::default();
+        }
+        let window = activity.cycles as f64;
+        let mw = |ma: f64| ma * self.vdd; // mA * V = mW
+
+        // Background: blend precharged and active standby by open fraction;
+        // the extra row buffer adds a constant fraction while present.
+        let standby =
+            self.idd2n * (1.0 - activity.open_fraction) + self.idd3n * activity.open_fraction;
+        let rb_scale = if activity.dual_row_buffer {
+            1.0 + self.dual_rb_background
+        } else {
+            1.0
+        };
+        let background_mw = mw(standby) * rb_scale;
+
+        // Event energies expressed as current-over-duration, averaged into
+        // the window.
+        let act_events = (activity.acts + activity.pim_acts) as f64;
+        let activate_mw = mw(self.idd0_delta) * act_events * self.t_rc as f64 / window;
+        let read_mw = mw(self.idd4r_delta) * activity.reads as f64 * self.t_bl as f64 / window;
+        let write_mw = mw(self.idd4w_delta) * activity.writes as f64 * self.t_bl as f64 / window;
+        let refresh_mw =
+            mw(self.idd5_delta) * activity.refreshes as f64 * self.t_rfc as f64 / window;
+        // PIM compute: all-bank command at 4x read current for its duration.
+        let pim_compute_mw = mw(self.idd4r_delta) * self.pim_compute_factor
+            * activity.pim_compute_cycles as f64
+            / window;
+
+        PowerBreakdown {
+            background_mw,
+            activate_mw,
+            read_mw,
+            write_mw,
+            refresh_mw,
+            pim_compute_mw,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn busy_activity(dual: bool, pim: bool) -> DramActivity {
+        DramActivity {
+            cycles: 100_000,
+            acts: 2_000,
+            reads: 20_000,
+            writes: 2_000,
+            refreshes: 25,
+            pim_acts: if pim { 4_000 } else { 0 },
+            pim_compute_cycles: if pim { 40_000 } else { 0 },
+            open_fraction: 0.8,
+            dual_row_buffer: dual,
+        }
+    }
+
+    #[test]
+    fn empty_window_is_zero() {
+        let p = DramPowerParams::default();
+        let z = p.channel_power(&DramActivity::default());
+        assert_eq!(z.total_mw(), 0.0);
+    }
+
+    #[test]
+    fn components_are_nonnegative_and_sum() {
+        let p = DramPowerParams::default();
+        let b = p.channel_power(&busy_activity(true, true));
+        for c in [
+            b.background_mw,
+            b.activate_mw,
+            b.read_mw,
+            b.write_mw,
+            b.refresh_mw,
+            b.pim_compute_mw,
+        ] {
+            assert!(c >= 0.0);
+        }
+        let sum = b.background_mw + b.activate_mw + b.read_mw + b.write_mw + b.refresh_mw
+            + b.pim_compute_mw;
+        assert!((b.total_mw() - sum).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table5_shape_dual_pim_draws_more() {
+        // The paper: dual-row-buffer PIM at ~1.8x the non-PIM HBM power.
+        let p = DramPowerParams::default();
+        let base = p.channel_power(&busy_activity(false, false)).total_mw();
+        let pim = p.channel_power(&busy_activity(true, true)).total_mw();
+        let ratio = pim / base;
+        assert!(ratio > 1.3, "ratio {ratio}");
+        assert!(ratio < 3.0, "ratio {ratio}");
+        // And the absolute band is hundreds of mW, as in Table 5.
+        assert!(base > 100.0 && base < 1_000.0, "base {base}");
+        assert!(pim > 200.0 && pim < 2_000.0, "pim {pim}");
+    }
+
+    #[test]
+    fn pim_compute_is_4x_read_current() {
+        let p = DramPowerParams::default();
+        let mut a = DramActivity {
+            cycles: 1_000,
+            reads: 500, // 500 bursts x 2 cycles = the whole window
+            ..Default::default()
+        };
+        let rd = p.channel_power(&a).read_mw;
+        a.reads = 0;
+        a.pim_compute_cycles = 1_000; // all-bank compute for the window
+        let pim = p.channel_power(&a).pim_compute_mw;
+        assert!((pim / rd - 4.0).abs() < 1e-9, "{pim} vs {rd}");
+    }
+
+    #[test]
+    fn dual_row_buffer_costs_background_power() {
+        let p = DramPowerParams::default();
+        let single = p.channel_power(&busy_activity(false, false));
+        let dual = p.channel_power(&busy_activity(true, false));
+        assert!(dual.background_mw > single.background_mw);
+        let frac = dual.background_mw / single.background_mw - 1.0;
+        assert!((frac - p.dual_rb_background).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_traffic_more_power() {
+        let p = DramPowerParams::default();
+        let mut low = busy_activity(true, true);
+        low.reads /= 10;
+        low.acts /= 10;
+        low.pim_compute_cycles /= 10;
+        assert!(
+            p.channel_power(&busy_activity(true, true)).total_mw()
+                > p.channel_power(&low).total_mw()
+        );
+    }
+}

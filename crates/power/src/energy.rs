@@ -1,0 +1,41 @@
+//! Energy roll-ups combining power and speedup.
+
+/// Energy of a candidate system relative to a baseline, given its power
+/// ratio and speedup: `E_rel = power_ratio / speedup`.
+///
+/// The paper's Table 5 discussion: 1.8x power at 2.4x speedup gives
+/// `1.8 / 2.4 = 0.75`, i.e. a 25% energy reduction.
+///
+/// # Panics
+///
+/// Panics if `speedup <= 0`.
+///
+/// ```
+/// let rel = neupims_power::energy_ratio(1.8, 2.4);
+/// assert!((rel - 0.75).abs() < 1e-12);
+/// ```
+pub fn energy_ratio(power_ratio: f64, speedup: f64) -> f64 {
+    assert!(speedup > 0.0, "speedup must be positive");
+    power_ratio / speedup
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example() {
+        assert!((energy_ratio(1.8, 2.4) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unity_baseline() {
+        assert_eq!(energy_ratio(1.0, 1.0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "speedup must be positive")]
+    fn zero_speedup_panics() {
+        energy_ratio(1.0, 0.0);
+    }
+}

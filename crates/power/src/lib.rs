@@ -1,0 +1,21 @@
+//! DRAM power and area models for the NeuPIMs evaluation.
+//!
+//! * [`dram`] — a Micron-style IDD-based power model (the paper measures
+//!   power "using Micron's DRAM power model provided by DRAMsim3"),
+//!   extended with the paper's two PIM assumptions: an all-bank compute
+//!   command draws 4x the read current, and the extra row buffer adds
+//!   background power to hold its state (Table 5);
+//! * [`area`] — a CACTI-flavored analytical area model of the dual-row-
+//!   buffer overhead (the paper reports 3.11% at 22 nm);
+//! * [`energy`] — energy/speedup roll-ups ("1.8x power at 2.4x speedup is
+//!   a 25% energy reduction").
+
+#![warn(missing_docs)]
+
+pub mod area;
+pub mod dram;
+pub mod energy;
+
+pub use area::AreaModel;
+pub use dram::{DramActivity, DramPowerParams, PowerBreakdown};
+pub use energy::energy_ratio;

@@ -1,0 +1,41 @@
+//! NeuPIMs scheduling: Algorithms 1–3 plus iteration-level serving.
+//!
+//! The paper's algorithmic contribution is a three-piece scheduler:
+//!
+//! * [`estimator::MhaLatencyEstimator`] — **Algorithm 1**: estimates a
+//!   request's MHA latency on the PIM from its context length and the K/V
+//!   memory layout (`L_GWRITE`, `L_tile` calibrated from the cycle model);
+//! * [`binpack`] — **Algorithm 2**: greedy min-load bin packing of requests
+//!   onto PIM channels, balancing the per-channel MHA latency (the paper's
+//!   GMLBP ablation knob), plus the round-robin baseline policy;
+//! * [`partition`] — **Algorithm 3**: splitting each channel's requests
+//!   into two sub-batches of near-equal size for interleaved execution;
+//! * [`pool::RequestPool`] — the request pool table of Figure 7 with
+//!   Orca-style iteration-level scheduling: requests join and leave the
+//!   running batch only at iteration boundaries.
+//!
+//! # Example
+//!
+//! ```
+//! use neupims_kvcache::KvGeometry;
+//! use neupims_sched::{assign_min_load, MhaLatencyEstimator};
+//! use neupims_types::{LlmConfig, MemConfig};
+//!
+//! let geo = KvGeometry::for_model(&LlmConfig::gpt3_7b(), &MemConfig::table2());
+//! let est = MhaLatencyEstimator::new(geo, 280.0, 50.0);
+//! let seqs = vec![900, 40, 700, 100, 50, 300];
+//! let assignment = assign_min_load(&seqs, 4, &est);
+//! assert_eq!(assignment.len(), seqs.len());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod binpack;
+pub mod estimator;
+pub mod partition;
+pub mod pool;
+
+pub use binpack::{assign_min_load, assign_round_robin, channel_loads};
+pub use estimator::MhaLatencyEstimator;
+pub use partition::{partition_sub_batches, SubBatches};
+pub use pool::RequestPool;

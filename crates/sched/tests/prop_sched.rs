@@ -1,0 +1,119 @@
+//! Property tests on the scheduling algorithms: bin-packing quality
+//! bounds, partition invariants, and pool conservation.
+
+use proptest::prelude::*;
+
+use neupims_kvcache::KvGeometry;
+use neupims_sched::{
+    assign_min_load, assign_round_robin, channel_loads, partition_sub_batches,
+    MhaLatencyEstimator, RequestPool,
+};
+use neupims_types::{LlmConfig, MemConfig, Request, RequestId};
+
+fn estimator() -> MhaLatencyEstimator {
+    let geo = KvGeometry::for_model(&LlmConfig::gpt3_7b(), &MemConfig::table2());
+    MhaLatencyEstimator::new(geo, 280.0, 50.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Greedy min-load (LPT) never produces a worse max-load than
+    /// round-robin, and stays within the classical LPT bound of optimal:
+    /// max_load <= avg_load + max_item (a safe relaxation of 4/3 OPT).
+    #[test]
+    fn min_load_quality_bounds(
+        seqs in prop::collection::vec(1u64..4096, 1..200),
+        channels in 1u32..33,
+    ) {
+        let e = estimator();
+        let greedy = assign_min_load(&seqs, channels, &e);
+        let rr = assign_round_robin(&seqs, channels);
+        let max = |a: &[neupims_types::ChannelId]| {
+            channel_loads(&seqs, a, channels, &e)
+                .into_iter()
+                .fold(0.0f64, f64::max)
+        };
+        let g = max(&greedy);
+        let r = max(&rr);
+        prop_assert!(g <= r + 1e-6, "greedy {g} worse than round-robin {r}");
+
+        let total: f64 = seqs.iter().map(|&s| e.estimate(s)).sum();
+        let avg = total / channels as f64;
+        let biggest = seqs.iter().map(|&s| e.estimate(s)).fold(0.0, f64::max);
+        prop_assert!(g <= avg + biggest + 1e-6, "LPT bound violated: {g} > {avg} + {biggest}");
+    }
+
+    /// Every request lands on exactly one channel, in range.
+    #[test]
+    fn assignment_is_total_and_in_range(
+        seqs in prop::collection::vec(1u64..9000, 0..150),
+        channels in 1u32..64,
+    ) {
+        let e = estimator();
+        for assign in [assign_min_load(&seqs, channels, &e), assign_round_robin(&seqs, channels)] {
+            prop_assert_eq!(assign.len(), seqs.len());
+            prop_assert!(assign.iter().all(|c| c.0 < channels));
+        }
+    }
+
+    /// Algorithm 3: no request lost or duplicated; per-channel split sizes
+    /// differ by at most one; global sizes differ by at most one.
+    #[test]
+    fn partition_invariants(
+        sizes in prop::collection::vec(0usize..12, 1..40),
+    ) {
+        let mut next = 0u32;
+        let mut chans = Vec::new();
+        for len in &sizes {
+            let ids: Vec<RequestId> = (next..next + *len as u32).map(RequestId::new).collect();
+            next += *len as u32;
+            chans.push(ids);
+        }
+        let sb = partition_sub_batches(&chans);
+        // Conservation.
+        let mut all: Vec<u32> = sb.sb1.iter().chain(&sb.sb2).map(|r| r.0).collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..next).collect::<Vec<_>>());
+        // Global balance.
+        prop_assert!(sb.sb1.len().abs_diff(sb.sb2.len()) <= 1);
+        // Per-channel balance.
+        let mut start = 0u32;
+        for len in &sizes {
+            let end = start + *len as u32;
+            let in1 = sb.sb1.iter().filter(|r| r.0 >= start && r.0 < end).count();
+            let in2 = *len - in1;
+            prop_assert!(in1.abs_diff(in2) <= 1, "channel [{start},{end}): {in1}/{in2}");
+            start = end;
+        }
+    }
+
+    /// The request pool conserves requests through arbitrary admit/complete
+    /// interleavings and never exceeds its batch cap.
+    #[test]
+    fn pool_conserves_requests(
+        requests in prop::collection::vec((1u32..64, 1u32..12), 1..60),
+        max_batch in 1usize..16,
+    ) {
+        let mut pool = RequestPool::new(max_batch);
+        let total = requests.len() as u64;
+        let expected_tokens: u64 = requests.iter().map(|&(_, o)| o as u64).sum();
+        for (i, (input, output)) in requests.into_iter().enumerate() {
+            pool.submit(Request::new(RequestId::new(i as u32), input, output, 0));
+        }
+        let mut guard = 0;
+        while pool.completed() < total {
+            pool.admit(0, |_| true);
+            prop_assert!(pool.running().len() <= max_batch);
+            if pool.running().is_empty() {
+                break;
+            }
+            pool.complete_iteration();
+            guard += 1;
+            prop_assert!(guard < 10_000, "no forward progress");
+        }
+        prop_assert_eq!(pool.completed(), total);
+        prop_assert_eq!(pool.tokens_generated(), expected_tokens);
+        prop_assert_eq!(pool.waiting_len(), 0);
+    }
+}

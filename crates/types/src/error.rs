@@ -1,0 +1,146 @@
+//! Common error type shared across the simulator crates.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::ids::{BankId, ChannelId, RequestId};
+use crate::units::Cycle;
+
+/// Errors raised by simulator components.
+///
+/// Every fallible public API in the workspace returns `Result<_, SimError>`
+/// so callers deal with a single, `Send + Sync` error type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A DRAM command was issued while a timing constraint still held.
+    TimingViolation {
+        /// Human-readable name of the violated constraint (e.g. `"tRCD"`).
+        constraint: &'static str,
+        /// Channel on which the violation happened.
+        channel: ChannelId,
+        /// Bank on which the violation happened, if bank-scoped.
+        bank: Option<BankId>,
+        /// Cycle at which the offending command was issued.
+        at: Cycle,
+        /// Earliest cycle at which the command would have been legal.
+        legal_at: Cycle,
+    },
+    /// A command referenced a row that is not open in the relevant row buffer.
+    RowNotOpen {
+        /// Channel of the offending command.
+        channel: ChannelId,
+        /// Bank of the offending command.
+        bank: BankId,
+        /// The row the command expected to find open.
+        row: u32,
+    },
+    /// An activation targeted a row already owned by the other row buffer.
+    RowBufferConflict {
+        /// Channel of the offending command.
+        channel: ChannelId,
+        /// Bank of the offending command.
+        bank: BankId,
+        /// The contested row.
+        row: u32,
+    },
+    /// The memory allocator ran out of pages.
+    OutOfMemory {
+        /// Channel whose page pool was exhausted.
+        channel: ChannelId,
+        /// Number of pages requested.
+        requested_pages: u64,
+        /// Number of pages still free.
+        free_pages: u64,
+    },
+    /// An operation referenced an unknown or already-freed request.
+    UnknownRequest(RequestId),
+    /// A configuration was internally inconsistent.
+    InvalidConfig(String),
+    /// An operator shape was malformed (zero dimension, mismatched sizes...).
+    InvalidShape(String),
+    /// The serving scheduler was asked to do something unsupported.
+    Scheduling(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::TimingViolation {
+                constraint,
+                channel,
+                bank,
+                at,
+                legal_at,
+            } => {
+                write!(
+                    f,
+                    "timing constraint {constraint} violated on {channel}{} at cycle {at} (legal at {legal_at})",
+                    bank.map(|b| format!("/{b}")).unwrap_or_default()
+                )
+            }
+            SimError::RowNotOpen { channel, bank, row } => {
+                write!(f, "row {row} not open in {channel}/{bank}")
+            }
+            SimError::RowBufferConflict { channel, bank, row } => {
+                write!(
+                    f,
+                    "row {row} already owned by the other row buffer in {channel}/{bank}"
+                )
+            }
+            SimError::OutOfMemory {
+                channel,
+                requested_pages,
+                free_pages,
+            } => write!(
+                f,
+                "out of memory on {channel}: requested {requested_pages} pages, {free_pages} free"
+            ),
+            SimError::UnknownRequest(id) => write!(f, "unknown request {id}"),
+            SimError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            SimError::InvalidShape(msg) => write!(f, "invalid shape: {msg}"),
+            SimError::Scheduling(msg) => write!(f, "scheduling error: {msg}"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn error_is_send_sync() {
+        assert_send_sync::<SimError>();
+    }
+
+    #[test]
+    fn display_messages() {
+        let e = SimError::TimingViolation {
+            constraint: "tRCD",
+            channel: ChannelId::new(1),
+            bank: Some(BankId::new(2)),
+            at: 10,
+            legal_at: 14,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("tRCD"), "{msg}");
+        assert!(msg.contains("legal at 14"), "{msg}");
+
+        let e = SimError::OutOfMemory {
+            channel: ChannelId::new(0),
+            requested_pages: 4,
+            free_pages: 1,
+        };
+        assert!(e.to_string().contains("requested 4 pages"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn Error + Send + Sync> = Box::new(SimError::UnknownRequest(RequestId::new(9)));
+        assert!(e.to_string().contains("RequestId9"));
+    }
+}

@@ -1,0 +1,155 @@
+//! Basic physical units used throughout the simulator.
+
+/// A simulation timestamp or duration, measured in memory-clock cycles.
+///
+/// The whole NeuPIMs device (NPU, PIM, HBM command interface) is clocked at
+/// [`FREQ_GHZ`] in the paper's Table 2, so a single cycle unit suffices.
+pub type Cycle = u64;
+
+/// A quantity of data, in bytes.
+pub type Bytes = u64;
+
+/// Clock frequency of the prototype device (Table 2: 1 GHz).
+pub const FREQ_GHZ: f64 = 1.0;
+
+/// Converts a cycle count into seconds at the device clock.
+///
+/// ```
+/// assert_eq!(neupims_types::units::cycles_to_secs(1_000_000_000), 1.0);
+/// ```
+pub fn cycles_to_secs(cycles: Cycle) -> f64 {
+    cycles as f64 / (FREQ_GHZ * 1e9)
+}
+
+/// Converts a duration in seconds into device cycles (rounded up).
+///
+/// ```
+/// assert_eq!(neupims_types::units::secs_to_cycles(1e-9), 1);
+/// ```
+pub fn secs_to_cycles(secs: f64) -> Cycle {
+    (secs * FREQ_GHZ * 1e9).ceil() as Cycle
+}
+
+/// Numeric element type carried by tensors in the simulated model.
+///
+/// The paper evaluates fp16 models; fp32 is used by reference math in tests
+/// and int8 is provided for completeness of the cost models.
+#[derive(
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    Hash,
+    Default,
+    serde::Serialize,
+    serde::Deserialize,
+)]
+pub enum DataType {
+    /// IEEE 754 half precision (2 bytes). The paper's evaluation format.
+    #[default]
+    Fp16,
+    /// IEEE 754 single precision (4 bytes).
+    Fp32,
+    /// 8-bit integer (1 byte).
+    Int8,
+}
+
+impl DataType {
+    /// Size of one element in bytes.
+    ///
+    /// ```
+    /// use neupims_types::DataType;
+    /// assert_eq!(DataType::Fp16.size_bytes(), 2);
+    /// ```
+    pub const fn size_bytes(self) -> u64 {
+        match self {
+            DataType::Fp16 => 2,
+            DataType::Fp32 => 4,
+            DataType::Int8 => 1,
+        }
+    }
+}
+
+impl std::fmt::Display for DataType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DataType::Fp16 => write!(f, "fp16"),
+            DataType::Fp32 => write!(f, "fp32"),
+            DataType::Int8 => write!(f, "int8"),
+        }
+    }
+}
+
+/// Rounds `value` up to the next multiple of `quantum`.
+///
+/// Used pervasively for tile and page rounding. `quantum` must be non-zero.
+///
+/// # Panics
+///
+/// Panics if `quantum == 0`.
+///
+/// ```
+/// assert_eq!(neupims_types::units::round_up(5, 4), 8);
+/// assert_eq!(neupims_types::units::round_up(8, 4), 8);
+/// ```
+pub fn round_up(value: u64, quantum: u64) -> u64 {
+    assert!(quantum != 0, "quantum must be non-zero");
+    value.div_ceil(quantum) * quantum
+}
+
+/// Integer ceiling division.
+///
+/// ```
+/// assert_eq!(neupims_types::units::div_ceil(7, 2), 4);
+/// ```
+pub fn div_ceil(a: u64, b: u64) -> u64 {
+    a.div_ceil(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn datatype_sizes() {
+        assert_eq!(DataType::Fp16.size_bytes(), 2);
+        assert_eq!(DataType::Fp32.size_bytes(), 4);
+        assert_eq!(DataType::Int8.size_bytes(), 1);
+    }
+
+    #[test]
+    fn datatype_display() {
+        assert_eq!(DataType::Fp16.to_string(), "fp16");
+        assert_eq!(DataType::Fp32.to_string(), "fp32");
+        assert_eq!(DataType::Int8.to_string(), "int8");
+    }
+
+    #[test]
+    fn cycle_second_roundtrip() {
+        let c = 123_456_789;
+        assert_eq!(secs_to_cycles(cycles_to_secs(c)), c);
+    }
+
+    #[test]
+    fn round_up_basics() {
+        assert_eq!(round_up(0, 8), 0);
+        assert_eq!(round_up(1, 8), 8);
+        assert_eq!(round_up(8, 8), 8);
+        assert_eq!(round_up(9, 8), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantum must be non-zero")]
+    fn round_up_zero_quantum_panics() {
+        round_up(4, 0);
+    }
+
+    #[test]
+    fn div_ceil_basics() {
+        assert_eq!(div_ceil(0, 3), 0);
+        assert_eq!(div_ceil(1, 3), 1);
+        assert_eq!(div_ceil(3, 3), 1);
+        assert_eq!(div_ceil(4, 3), 2);
+    }
+}

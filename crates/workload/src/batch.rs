@@ -1,0 +1,132 @@
+//! Warm-batch synthesis and streaming arrivals (the Section 8.1
+//! methodology).
+//!
+//! "For each permutation of these hyperparameters, we simulate the
+//! inference serving for a fixed amount of time, randomly picking sequence
+//! lengths from the datasets. This way, we can warm up the inference batch
+//! in a way that the batch is filled with requests having various sequence
+//! lengths." — reproduced here by sampling each request's prompt and
+//! target output from the dataset and placing it at a uniformly random
+//! point of its generation progress.
+
+use rand::{Rng, RngExt};
+
+use neupims_types::Cycle;
+
+use crate::dataset::Dataset;
+
+/// One request of a warmed batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WarmRequest {
+    /// Prompt length in tokens.
+    pub input_len: u32,
+    /// Target generation length in tokens.
+    pub output_len: u32,
+    /// Tokens already generated (uniform in `[0, output_len)`).
+    pub generated: u32,
+}
+
+impl WarmRequest {
+    /// Current context length (prompt + generated tokens).
+    pub fn seq_len(&self) -> u64 {
+        (self.input_len + self.generated) as u64
+    }
+
+    /// Tokens still to generate.
+    pub fn remaining(&self) -> u32 {
+        self.output_len - self.generated
+    }
+}
+
+/// Samples a warmed batch of `batch_size` requests from `dataset`.
+pub fn warm_batch<R: Rng + ?Sized>(
+    rng: &mut R,
+    dataset: Dataset,
+    batch_size: usize,
+) -> Vec<WarmRequest> {
+    (0..batch_size)
+        .map(|_| {
+            let input_len = dataset.sample_input(rng);
+            let output_len = dataset.sample_output(rng).max(1);
+            let generated = rng.random_range(0..output_len);
+            WarmRequest {
+                input_len,
+                output_len,
+                generated,
+            }
+        })
+        .collect()
+}
+
+/// Samples Poisson arrival times: exponential inter-arrival gaps at
+/// `rate_per_mcycle` requests per million cycles, until `horizon`.
+pub fn poisson_arrivals<R: Rng + ?Sized>(
+    rng: &mut R,
+    rate_per_mcycle: f64,
+    horizon: Cycle,
+) -> Vec<Cycle> {
+    assert!(rate_per_mcycle > 0.0, "arrival rate must be positive");
+    let mean_gap = 1.0e6 / rate_per_mcycle;
+    let mut t = 0.0f64;
+    let mut out = Vec::new();
+    loop {
+        let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+        t += -mean_gap * u.ln();
+        if t as Cycle >= horizon {
+            break;
+        }
+        out.push(t as Cycle);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn warm_batch_has_varied_progress() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let batch = warm_batch(&mut rng, Dataset::ShareGpt, 256);
+        assert_eq!(batch.len(), 256);
+        for r in &batch {
+            assert!(r.generated < r.output_len);
+            assert!(r.seq_len() >= r.input_len as u64);
+            assert!(r.remaining() >= 1);
+        }
+        // Progress must actually vary (not all fresh, not all nearly done).
+        let fresh = batch.iter().filter(|r| r.generated == 0).count();
+        assert!(fresh < batch.len() / 2, "{fresh} fresh of {}", batch.len());
+    }
+
+    #[test]
+    fn warm_batch_seq_lens_longer_for_sharegpt() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let sg = warm_batch(&mut rng, Dataset::ShareGpt, 512);
+        let al = warm_batch(&mut rng, Dataset::Alpaca, 512);
+        let mean = |b: &[WarmRequest]| {
+            b.iter().map(WarmRequest::seq_len).sum::<u64>() as f64 / b.len() as f64
+        };
+        assert!(mean(&sg) > 2.5 * mean(&al));
+    }
+
+    #[test]
+    fn poisson_arrivals_are_sorted_and_bounded() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let arr = poisson_arrivals(&mut rng, 50.0, 10_000_000);
+        assert!(!arr.is_empty());
+        assert!(arr.windows(2).all(|w| w[0] <= w[1]));
+        assert!(arr.iter().all(|&t| t < 10_000_000));
+        // Rate check: ~50 per Mcycle over 10 Mcycles = ~500 arrivals.
+        assert!((arr.len() as f64 - 500.0).abs() < 150.0, "{}", arr.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "arrival rate must be positive")]
+    fn zero_rate_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        poisson_arrivals(&mut rng, 0.0, 100);
+    }
+}

@@ -1,0 +1,23 @@
+//! Workload synthesis: ShareGPT/Alpaca length distributions and the
+//! paper's batch warm-up methodology.
+//!
+//! The evaluation (Section 8.1) draws request input/output lengths from two
+//! real datasets — ShareGPT (mean input 80, mean output 296 tokens) and
+//! Alpaca (mean input 12, mean output 56) — and, because cycle simulation
+//! of full serving runs is infeasible, samples *warmed* batches: batches
+//! whose requests sit at random points of their generation progress. This
+//! crate reproduces both pieces synthetically with seeded RNGs:
+//!
+//! * [`dataset::Dataset`] — log-normal length distributions matched to the
+//!   published means;
+//! * [`batch::warm_batch`] — the warm-batch sampler;
+//! * [`batch::poisson_arrivals`] — streaming arrivals for serving
+//!   simulations.
+
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod dataset;
+
+pub use batch::{poisson_arrivals, warm_batch, WarmRequest};
+pub use dataset::Dataset;

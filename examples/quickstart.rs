@@ -1,0 +1,61 @@
+//! Quickstart: build a NeuPIMs device, run one batched decode iteration,
+//! and compare it against the baselines.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use neupims_core::device::{Device, DeviceMode};
+use neupims_pim::calibrate;
+use neupims_types::{LlmConfig, NeuPimsConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Hardware: the paper's Table 2 prototype.
+    let cfg = NeuPimsConfig::table2();
+    cfg.validate()?;
+
+    // 2. Calibrate the macro model from the cycle-accurate DRAM/PIM model.
+    println!("calibrating PIM constants from the cycle model ...");
+    let cal = calibrate(&cfg)?;
+    println!(
+        "  L_tile = {:.0} cycles, L_GWRITE = {:.0} cycles, \
+         PIM in-bank advantage = {:.1}x\n",
+        cal.l_tile,
+        cal.l_gwrite,
+        cal.pim_advantage()
+    );
+
+    // 3. Model and workload: GPT3-13B, a 256-request batch mid-generation
+    //    with 300 tokens of context each.
+    let model = LlmConfig::gpt3_13b();
+    let seq_lens = vec![300u64; 256];
+
+    // 4. Price one decode iteration on each system.
+    println!(
+        "{:<12} {:>14} {:>14} {:>8}",
+        "system", "cycles/iter", "tokens/s", "speedup"
+    );
+    let mut baseline = None;
+    for mode in [
+        DeviceMode::NpuOnly,
+        DeviceMode::NaiveNpuPim,
+        DeviceMode::neupims(),
+    ] {
+        let device = Device::new(cfg, cal, mode);
+        let iter = device.decode_iteration(
+            &model,
+            model.parallelism.tp,
+            model.num_layers,
+            &seq_lens,
+        )?;
+        let base = *baseline.get_or_insert(iter.total_cycles);
+        println!(
+            "{:<12} {:>14} {:>14.0} {:>7.2}x",
+            mode.label(),
+            iter.total_cycles,
+            iter.tokens_per_sec(),
+            base as f64 / iter.total_cycles as f64
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,72 @@
+//! End-to-end inference serving: streaming Poisson arrivals with
+//! ShareGPT-like lengths through the Orca-style iteration-level scheduler,
+//! paged KV cache, and a NeuPIMs device.
+//!
+//! ```text
+//! cargo run --release --example serving_simulation
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use neupims_core::device::{Device, DeviceMode};
+use neupims_core::serving::{ServingConfig, ServingSim};
+use neupims_pim::calibrate;
+use neupims_types::{LlmConfig, NeuPimsConfig};
+use neupims_workload::{poisson_arrivals, Dataset};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = NeuPimsConfig::table2();
+    println!("calibrating ...");
+    let cal = calibrate(&cfg)?;
+    let model = LlmConfig::gpt3_7b();
+
+    // 60 requests arriving at ~3 per million cycles (3000 req/s at 1 GHz),
+    // lengths drawn from the ShareGPT distributions.
+    let mut rng = StdRng::seed_from_u64(1234);
+    let arrivals = poisson_arrivals(&mut rng, 3.0, 20_000_000);
+    let dataset = Dataset::ShareGpt;
+
+    for mode in [DeviceMode::NaiveNpuPim, DeviceMode::neupims()] {
+        let device = Device::new(cfg, cal, mode);
+        let mut sim = ServingSim::new(
+            device,
+            model.clone(),
+            ServingConfig {
+                max_batch: 64,
+                tp: model.parallelism.tp,
+                layers: model.num_layers,
+                target_completions: 0,
+            },
+        );
+        let mut rng = StdRng::seed_from_u64(99);
+        for (i, &at) in arrivals.iter().take(60).enumerate() {
+            let input = dataset.sample_input(&mut rng);
+            let output = dataset.sample_output(&mut rng).min(64); // cap for demo
+            sim.submit(i as u32, input, output, at);
+        }
+        let out = sim.run()?;
+        println!(
+            "\n{:<10}: {} requests, {} tokens in {:.1} ms",
+            mode.label(),
+            out.completed,
+            out.tokens,
+            out.total_cycles as f64 / 1e6
+        );
+        println!(
+            "  throughput {:.0} tokens/s | mean latency {:.2} ms | \
+             {} iterations | peak KV util {:.1}%",
+            out.tokens_per_sec(),
+            out.mean_latency / 1e6,
+            out.iterations,
+            out.peak_kv_utilization * 100.0
+        );
+        println!(
+            "  latency p50 {:.2} ms | p95 {:.2} ms | p99 {:.2} ms",
+            out.latency_percentile(50.0) as f64 / 1e6,
+            out.latency_percentile(95.0) as f64 / 1e6,
+            out.latency_percentile(99.0) as f64 / 1e6
+        );
+    }
+    Ok(())
+}

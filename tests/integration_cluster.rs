@@ -1,0 +1,65 @@
+//! Cross-crate integration: multi-device scaling (Section 7 / Figure 14)
+//! and its interaction with the model zoo.
+
+use neupims_core::cluster::{cluster_throughput, ClusterSpec};
+use neupims_core::device::{Device, DeviceMode};
+use neupims_core::experiments::{fig14_parallelism, ExperimentContext};
+use neupims_pim::calibrate;
+use neupims_types::{LlmConfig, NeuPimsConfig};
+
+fn device() -> Device {
+    let cfg = NeuPimsConfig::table2();
+    let cal = calibrate(&cfg).unwrap();
+    Device::new(cfg, cal, DeviceMode::neupims())
+}
+
+#[test]
+fn fig14_prefers_tp_at_every_device_count() {
+    let ctx = ExperimentContext::table2().unwrap().with_samples(2);
+    let rows = fig14_parallelism(&ctx).unwrap();
+    let get = |tp, pp| {
+        rows.iter()
+            .find(|r| r.tp == tp && r.pp == pp)
+            .unwrap()
+            .tokens_per_sec
+    };
+    for (winner, loser) in [((4, 1), (2, 2)), ((8, 1), (4, 2)), ((8, 2), (4, 4)), ((16, 4), (8, 8))]
+    {
+        assert!(
+            get(winner.0, winner.1) > get(loser.0, loser.1),
+            "TP-heavy {winner:?} must beat PP-heavy {loser:?}"
+        );
+    }
+}
+
+#[test]
+fn table3_defaults_deploy_cleanly() {
+    // Every Table 3 model runs at its published (TP, PP) with 256 requests.
+    let d = device();
+    let seqs = vec![300u64; 256];
+    for model in LlmConfig::table3() {
+        let spec = ClusterSpec::new(model.parallelism.tp, model.parallelism.pp);
+        let thr = cluster_throughput(&d, &model, spec, &seqs)
+            .unwrap_or_else(|e| panic!("{}: {e}", model.name));
+        assert!(thr > 0.0, "{}", model.name);
+    }
+}
+
+#[test]
+fn bigger_models_are_slower_at_equal_deployment() {
+    let d = device();
+    let seqs = vec![300u64; 256];
+    let spec = ClusterSpec::new(4, 1);
+    let t7 = cluster_throughput(&d, &LlmConfig::gpt3_7b(), spec, &seqs).unwrap();
+    let t13 = cluster_throughput(&d, &LlmConfig::gpt3_13b(), spec, &seqs).unwrap();
+    assert!(t7 > t13, "7B {t7} vs 13B {t13}");
+}
+
+#[test]
+fn pipeline_needs_enough_requests() {
+    let d = device();
+    let model = LlmConfig::gpt3_7b();
+    // PP=8 with only 4 requests cannot form micro-batches.
+    let err = cluster_throughput(&d, &model, ClusterSpec::new(4, 8), &[100; 4]);
+    assert!(err.is_err());
+}
