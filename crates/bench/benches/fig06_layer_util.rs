@@ -9,7 +9,12 @@ fn bench(c: &mut Criterion) {
     let ctx = bench_context();
     println!("\n=== Figure 6 rows (stage, NPU util, PIM util) ===");
     for r in fig6_layer_util(&ctx).unwrap() {
-        println!("{:<22} {:>6.1}% {:>6.1}%", r.stage, r.npu * 100.0, r.pim * 100.0);
+        println!(
+            "{:<22} {:>6.1}% {:>6.1}%",
+            r.stage,
+            r.npu * 100.0,
+            r.pim * 100.0
+        );
     }
     c.bench_function("fig06_naive_stage_utilization", |b| {
         b.iter(|| black_box(fig6_layer_util(&ctx).unwrap()))

@@ -35,7 +35,12 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             let mut ctrl = Controller::new(mem, timing, true);
             for p in 0..128u32 {
-                ctrl.enqueue(MemRequest::read(BankId::new(p % 32), 20_000 + p / 32, 0, 16));
+                ctrl.enqueue(MemRequest::read(
+                    BankId::new(p % 32),
+                    20_000 + p / 32,
+                    0,
+                    16,
+                ));
             }
             let mut e = GemvEngine::new(PimConfig::newton(), CommandMode::Composite, true);
             e.enqueue(GemvJob::synthetic(&mem, 32, 1, 0));

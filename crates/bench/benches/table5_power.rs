@@ -10,15 +10,24 @@ fn bench(c: &mut Criterion) {
     let ctx = bench_context();
     let t = table5_power(&ctx).unwrap();
     println!("\n=== Table 5 ===");
-    println!("NPU-only HBM (non-PIM):       {:>7.1} mW/channel", t.baseline_mw);
-    println!("NeuPIMs dual-row-buffer PIM:  {:>7.1} mW/channel", t.neupims_mw);
+    println!(
+        "NPU-only HBM (non-PIM):       {:>7.1} mW/channel",
+        t.baseline_mw
+    );
+    println!(
+        "NeuPIMs dual-row-buffer PIM:  {:>7.1} mW/channel",
+        t.neupims_mw
+    );
     println!(
         "power {:.2}x, speedup {:.2}x, relative energy {:.2}",
         t.neupims_mw / t.baseline_mw,
         t.speedup,
         t.energy_ratio
     );
-    println!("area overhead: {:.2}% (paper 3.11%)", area_overhead() * 100.0);
+    println!(
+        "area overhead: {:.2}% (paper 3.11%)",
+        area_overhead() * 100.0
+    );
     c.bench_function("table5_power", |b| {
         b.iter(|| black_box(table5_power(&ctx).unwrap()))
     });

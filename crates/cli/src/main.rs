@@ -1,10 +1,13 @@
 //! `neupims` — experiment driver reproducing every table and figure of the
-//! NeuPIMs paper (ASPLOS'24).
+//! NeuPIMs paper (ASPLOS'24), plus backend-generic sweeps and serving.
 //!
 //! ```text
-//! neupims <command> [--samples N] [--quick]
+//! neupims <command> [--samples N] [--quick] [--backend NAME] [--model NAME]
+//!                   [--dataset NAME] [--batch N] [--requests N] [--max-batch N]
 //!
 //! commands:
+//!   sweep       throughput sweep of one backend across batch sizes
+//!   serve       serving simulation (streaming arrivals) on one backend
 //!   calibrate   print the cycle-model calibration constants
 //!   fig4        roofline / arithmetic-intensity points (Figure 4)
 //!   fig5        GPU utilization for four LLMs (Figure 5)
@@ -16,7 +19,12 @@
 //!   table4      resource utilization (Table 4)
 //!   table5      power and energy (Table 5)
 //!   area        dual-row-buffer area overhead (Section 8.2)
-//!   all         everything above, in order
+//!   all         every figure/table above, in order
+//!
+//! backends (for --backend): gpu, npu-only, naive, neupims, transpim,
+//!   neupims-drb, neupims-drb-gmlbp, neupims-drb-gmlbp-sbi
+//! models (for --model): gpt3-7b, gpt3-13b, gpt3-30b, gpt3-175b
+//! datasets (for --dataset): sharegpt, alpaca
 //! ```
 
 use std::process::ExitCode;
@@ -26,12 +34,39 @@ use neupims_core::experiments::{
     fig4_roofline, fig5_gpu_util, fig6_layer_util, table4_utilization, table5_power,
     ExperimentContext,
 };
+use neupims_core::BACKEND_NAMES;
 use neupims_types::{LlmConfig, Phase};
-use neupims_workload::Dataset;
+use neupims_workload::{poisson_arrivals, Dataset};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 struct Options {
     samples: usize,
     quick: bool,
+    backend: String,
+    model: LlmConfig,
+    dataset: Dataset,
+    batch: Option<usize>,
+    requests: usize,
+    max_batch: usize,
+}
+
+fn parse_model(name: &str) -> Option<LlmConfig> {
+    match name.to_ascii_lowercase().as_str() {
+        "gpt3-7b" | "7b" => Some(LlmConfig::gpt3_7b()),
+        "gpt3-13b" | "13b" => Some(LlmConfig::gpt3_13b()),
+        "gpt3-30b" | "30b" => Some(LlmConfig::gpt3_30b()),
+        "gpt3-175b" | "175b" => Some(LlmConfig::gpt3_175b()),
+        _ => None,
+    }
+}
+
+fn parse_dataset(name: &str) -> Option<Dataset> {
+    match name.to_ascii_lowercase().as_str() {
+        "sharegpt" => Some(Dataset::ShareGpt),
+        "alpaca" => Some(Dataset::Alpaca),
+        _ => None,
+    }
 }
 
 fn main() -> ExitCode {
@@ -40,6 +75,12 @@ fn main() -> ExitCode {
     let mut opts = Options {
         samples: 10,
         quick: false,
+        backend: "neupims".to_owned(),
+        model: LlmConfig::gpt3_7b(),
+        dataset: Dataset::ShareGpt,
+        batch: None,
+        requests: 64,
+        max_batch: 64,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -48,6 +89,48 @@ fn main() -> ExitCode {
                 Some(n) => opts.samples = n,
                 None => {
                     eprintln!("--samples requires a number");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--batch" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => opts.batch = Some(n),
+                None => {
+                    eprintln!("--batch requires a number");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--requests" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => opts.requests = n,
+                None => {
+                    eprintln!("--requests requires a number");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--max-batch" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => opts.max_batch = n,
+                None => {
+                    eprintln!("--max-batch requires a number");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--backend" => match it.next() {
+                Some(name) => opts.backend = name.clone(),
+                None => {
+                    eprintln!("--backend requires a name ({})", BACKEND_NAMES.join("|"));
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--model" => match it.next().and_then(|v| parse_model(v)) {
+                Some(m) => opts.model = m,
+                None => {
+                    eprintln!("--model requires one of: gpt3-7b, gpt3-13b, gpt3-30b, gpt3-175b");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--dataset" => match it.next().and_then(|v| parse_dataset(v)) {
+                Some(d) => opts.dataset = d,
+                None => {
+                    eprintln!("--dataset requires one of: sharegpt, alpaca");
                     return ExitCode::FAILURE;
                 }
             },
@@ -89,6 +172,8 @@ fn run(command: &str, opts: &Options) -> Result<(), Box<dyn std::error::Error>> 
     let ctx = ExperimentContext::table2()?.with_samples(opts.samples);
 
     match command {
+        "sweep" => cmd_sweep(&ctx, opts),
+        "serve" => cmd_serve(&ctx, opts),
         "calibrate" => cmd_calibrate(&ctx),
         "fig6" => cmd_fig6(&ctx),
         "fig12" => cmd_fig12(&ctx, opts),
@@ -117,25 +202,109 @@ fn run(command: &str, opts: &Options) -> Result<(), Box<dyn std::error::Error>> 
     }
 }
 
+fn cmd_sweep(ctx: &ExperimentContext, opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    let batches: Vec<usize> = match opts.batch {
+        Some(b) => vec![b],
+        None if opts.quick => vec![64, 256],
+        None => vec![64, 128, 256, 384, 512],
+    };
+    println!(
+        "\n## Sweep — {} / {} / {} (tokens/s, mean of {} warm batches)\n",
+        opts.backend,
+        opts.model.name,
+        opts.dataset.name(),
+        ctx.samples
+    );
+    println!("| batch | tokens/s |");
+    println!("|---:|---:|");
+    for &batch in &batches {
+        let sim = ctx
+            .simulation()
+            .model(opts.model.clone())
+            .backend(ctx.backend(&opts.backend)?)
+            .dataset(opts.dataset)
+            .batch(batch)
+            .build()?;
+        println!("| {} | {:.0} |", batch, sim.throughput()?);
+    }
+    Ok(())
+}
+
+fn cmd_serve(ctx: &ExperimentContext, opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    let sim = ctx
+        .simulation()
+        .model(opts.model.clone())
+        .backend(ctx.backend(&opts.backend)?)
+        .dataset(opts.dataset)
+        .batch(opts.max_batch.max(1))
+        .build()?;
+    println!(
+        "\n## Serve — {} requests ({}) through {} serving {}\n",
+        opts.requests,
+        opts.dataset.name(),
+        sim.backend().label(),
+        opts.model.name
+    );
+
+    let mut serving = sim.serving(opts.max_batch, 0);
+    let mut rng = StdRng::seed_from_u64(0x5EED ^ opts.requests as u64);
+    // Horizon sized so ~3x the requested arrivals land inside it.
+    let arrivals = poisson_arrivals(&mut rng, 3.0, (opts.requests as u64 + 16) * 1_000_000);
+    for (i, &at) in arrivals.iter().take(opts.requests).enumerate() {
+        let input = opts.dataset.sample_input(&mut rng);
+        let output = opts.dataset.sample_output(&mut rng).min(128);
+        serving.submit(i as u32, input, output, at);
+    }
+    let out = serving.run()?;
+    println!("| metric | value |");
+    println!("|---|---:|");
+    println!("| completed requests | {} |", out.completed);
+    println!("| generated tokens | {} |", out.tokens);
+    println!("| decode iterations | {} |", out.iterations);
+    println!(
+        "| simulated time | {:.2} ms |",
+        out.total_cycles as f64 / 1e6
+    );
+    println!("| throughput | {:.0} tokens/s |", out.tokens_per_sec());
+    println!("| mean latency | {:.2} ms |", out.mean_latency / 1e6);
+    println!(
+        "| p50 / p95 / p99 latency | {:.2} / {:.2} / {:.2} ms |",
+        out.latency_percentile(50.0) as f64 / 1e6,
+        out.latency_percentile(95.0) as f64 / 1e6,
+        out.latency_percentile(99.0) as f64 / 1e6
+    );
+    println!(
+        "| peak KV utilization | {:.1}% |",
+        out.peak_kv_utilization * 100.0
+    );
+    Ok(())
+}
+
 fn cmd_calibrate(ctx: &ExperimentContext) -> Result<(), Box<dyn std::error::Error>> {
     println!("\n## Calibrated PIM constants (from the cycle model)\n");
     let c = &ctx.cal;
     println!("| constant | value |");
     println!("|---|---|");
     println!("| L_tile (composite PIM_GEMV) | {:.1} cycles |", c.l_tile);
-    println!("| L_tile (fine-grained Newton) | {:.1} cycles |", c.l_tile_fine);
+    println!(
+        "| L_tile (fine-grained Newton) | {:.1} cycles |",
+        c.l_tile_fine
+    );
     println!("| L_GWRITE | {:.1} cycles |", c.l_gwrite);
     println!("| dot-product round | {} cycles |", c.dot_cycles);
-    println!("| MEM stream bandwidth (solo) | {:.2} B/cycle/channel |", c.mem_stream_bw);
+    println!(
+        "| MEM stream bandwidth (solo) | {:.2} B/cycle/channel |",
+        c.mem_stream_bw
+    );
     println!(
         "| MEM stream bandwidth (during PIM) | {:.2} B/cycle/channel |",
         c.mem_stream_bw_shared
     );
-    println!("| PIM in-bank bandwidth | {:.2} B/cycle/channel |", c.pim_stream_bw);
     println!(
-        "| PIM bandwidth advantage | {:.2}x |",
-        c.pim_advantage()
+        "| PIM in-bank bandwidth | {:.2} B/cycle/channel |",
+        c.pim_stream_bw
     );
+    println!("| PIM bandwidth advantage | {:.2}x |", c.pim_advantage());
     Ok(())
 }
 
@@ -206,43 +375,42 @@ fn cmd_fig12(ctx: &ExperimentContext, opts: &Options) -> Result<(), Box<dyn std:
     type PanelKey = (usize, usize); // (dataset idx, model idx)
     type PanelRows = Vec<(usize, Vec<neupims_core::experiments::Fig12Row>)>;
     type PanelMap = std::collections::HashMap<PanelKey, PanelRows>;
-    let results: parking_lot::Mutex<PanelMap> =
-        parking_lot::Mutex::new(std::collections::HashMap::new());
+    let results: std::sync::Mutex<PanelMap> =
+        std::sync::Mutex::new(std::collections::HashMap::new());
     let mut panels = Vec::new();
     for (di, dataset) in Dataset::ALL.into_iter().enumerate() {
         for (mi, model) in models.iter().enumerate() {
             panels.push((di, dataset, mi, model.clone()));
         }
     }
-    let err: parking_lot::Mutex<Option<String>> = parking_lot::Mutex::new(None);
-    crossbeam::thread::scope(|scope| {
+    let err: std::sync::Mutex<Option<String>> = std::sync::Mutex::new(None);
+    std::thread::scope(|scope| {
         for chunk in panels.chunks(1.max(panels.len() / 8)) {
             let results = &results;
             let err = &err;
             let batches = &batches;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for (di, dataset, mi, model) in chunk {
                     let mut rows = Vec::new();
                     for &batch in batches.iter() {
                         match fig12_throughput(ctx, *dataset, model, batch) {
                             Ok(r) => rows.push((batch, r)),
                             Err(e) => {
-                                *err.lock() = Some(e.to_string());
+                                *err.lock().unwrap() = Some(e.to_string());
                                 return;
                             }
                         }
                     }
-                    results.lock().insert((*di, *mi), rows);
+                    results.lock().unwrap().insert((*di, *mi), rows);
                 }
             });
         }
-    })
-    .expect("sweep threads never panic");
-    if let Some(e) = err.lock().take() {
+    });
+    if let Some(e) = err.lock().unwrap().take() {
         return Err(e.into());
     }
 
-    let results = results.into_inner();
+    let results = results.into_inner().unwrap();
     for (di, dataset) in Dataset::ALL.into_iter().enumerate() {
         for (mi, model) in models.iter().enumerate() {
             println!("\n### {} / {}\n", dataset.name(), model.name);
@@ -345,11 +513,7 @@ fn cmd_table4(ctx: &ExperimentContext) -> Result<(), Box<dyn std::error::Error>>
         pct(rows[1].npu),
         pct(rows[2].npu)
     );
-    println!(
-        "| PIM | - | {} | {} |",
-        pct(rows[1].pim),
-        pct(rows[2].pim)
-    );
+    println!("| PIM | - | {} | {} |", pct(rows[1].pim), pct(rows[2].pim));
     println!(
         "| Bandwidth | {} | {} | {} |",
         pct(rows[0].bandwidth),

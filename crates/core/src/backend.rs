@@ -1,0 +1,790 @@
+//! The unified simulation backend abstraction.
+//!
+//! Every system the paper compares — the NeuPIMs device in each of its
+//! [`DeviceMode`]s, the GPU-only roofline baseline, and the TransPIM
+//! comparator — implements one trait, [`Backend`], exposing the two
+//! operations batched LLM inference needs priced ([`Backend::prefill_cycles`]
+//! and [`Backend::decode_iteration`]) plus enough self-description
+//! ([`Backend::label`], [`Backend::caps`], [`Backend::peak_compute`]) for
+//! harnesses to sweep heterogeneous systems uniformly.
+//!
+//! Everything above the device models is generic over this trait: the
+//! [`Simulation`](crate::simulation::Simulation) builder, the serving loop
+//! ([`ServingSim<B>`](crate::serving::ServingSim)), and the multi-device
+//! scaling model ([`cluster_throughput`](crate::cluster::cluster_throughput)).
+//! Adding a new accelerator model to every experiment, scheduler policy,
+//! and serving scenario is therefore one `impl Backend` away.
+//!
+//! # Example
+//!
+//! ```
+//! use neupims_core::backend::{Backend, GpuRooflineBackend, NeuPimsBackend};
+//! use neupims_types::LlmConfig;
+//!
+//! let model = LlmConfig::gpt3_7b();
+//! let backends: Vec<Box<dyn Backend>> = vec![
+//!     Box::new(NeuPimsBackend::table2().unwrap()),
+//!     Box::new(GpuRooflineBackend::a100()),
+//! ];
+//! for b in &backends {
+//!     let iter = b
+//!         .decode_iteration(&model, 4, model.num_layers, &[300; 64])
+//!         .unwrap();
+//!     println!("{:<10} {:>12} cycles", b.label(), iter.total_cycles());
+//! }
+//! ```
+
+use neupims_pim::{calibrate, PimCalibration};
+use neupims_types::{
+    config::InterconnectConfig, Cycle, GpuSpec, LlmConfig, MemConfig, NeuPimsConfig, SimError,
+};
+
+use crate::device::{Device, DeviceMode, SbiPolicy};
+use crate::gpu;
+use crate::metrics::{IterationBreakdown, Utilization};
+use crate::transpim;
+
+/// Static capability flags of a backend, used by harnesses to decide which
+/// metrics and experiments apply to it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackendCaps {
+    /// The system has an NPU-class batched-GEMM engine.
+    pub uses_npu: bool,
+    /// MHA (or more) executes on in-memory compute units.
+    pub uses_pim: bool,
+    /// PIM banks carry dual row buffers (MEM traffic flows during PIM).
+    pub dual_row_buffer: bool,
+    /// The system batches requests within one decode iteration (TransPIM's
+    /// token dataflow cannot).
+    pub batched_mha: bool,
+}
+
+/// Error type of the backend API.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum BackendError {
+    /// The backend cannot perform the requested operation.
+    Unsupported {
+        /// Label of the refusing backend.
+        backend: String,
+        /// The unsupported operation.
+        operation: String,
+    },
+    /// An underlying simulator error, tagged with the backend raising it.
+    Sim {
+        /// Label of the failing backend.
+        backend: String,
+        /// The underlying error.
+        source: SimError,
+    },
+    /// A backend name passed to [`backend_from_name`] was not recognized.
+    UnknownBackend(String),
+    /// A [`Simulation`](crate::simulation::Simulation) was misconfigured.
+    InvalidSimulation(String),
+}
+
+impl BackendError {
+    /// Wraps a simulator error with the originating backend's label.
+    pub fn sim(backend: &str, source: SimError) -> Self {
+        BackendError::Sim {
+            backend: backend.to_owned(),
+            source,
+        }
+    }
+}
+
+impl std::fmt::Display for BackendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BackendError::Unsupported { backend, operation } => {
+                write!(f, "backend {backend} does not support {operation}")
+            }
+            BackendError::Sim { backend, source } => write!(f, "[{backend}] {source}"),
+            BackendError::UnknownBackend(name) => write!(
+                f,
+                "unknown backend {name:?} (expected one of: {})",
+                ALL_BACKEND_NAMES.join(", ")
+            ),
+            BackendError::InvalidSimulation(msg) => write!(f, "invalid simulation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BackendError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BackendError::Sim { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<BackendError> for SimError {
+    fn from(e: BackendError) -> Self {
+        match e {
+            BackendError::Sim { source, .. } => source,
+            other => SimError::Scheduling(other.to_string()),
+        }
+    }
+}
+
+/// One priced decode iteration, tagged with the backend that produced it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IterationResult {
+    /// Label of the producing backend.
+    pub backend: String,
+    /// The full per-resource breakdown.
+    pub breakdown: IterationBreakdown,
+}
+
+impl IterationResult {
+    /// Wraps a breakdown under a backend label.
+    pub fn new(backend: &str, breakdown: IterationBreakdown) -> Self {
+        Self {
+            backend: backend.to_owned(),
+            breakdown,
+        }
+    }
+
+    /// Wall-clock cycles of the iteration.
+    pub fn total_cycles(&self) -> Cycle {
+        self.breakdown.total_cycles
+    }
+
+    /// Tokens produced by the iteration.
+    pub fn tokens(&self) -> u64 {
+        self.breakdown.tokens
+    }
+
+    /// Tokens per second at the device clock.
+    pub fn tokens_per_sec(&self) -> f64 {
+        self.breakdown.tokens_per_sec()
+    }
+
+    /// Resource utilization against a reference hardware configuration.
+    pub fn utilization(&self, cfg: &NeuPimsConfig) -> Utilization {
+        self.breakdown.utilization(cfg)
+    }
+
+    /// Unwraps the breakdown.
+    pub fn into_breakdown(self) -> IterationBreakdown {
+        self.breakdown
+    }
+}
+
+/// An accelerator system that can price batched LLM inference.
+///
+/// Implementations must be deterministic: identical inputs produce
+/// identical cycle counts (the experiment harness and the parity tests
+/// rely on it).
+pub trait Backend {
+    /// Human-readable system label (e.g. `"NeuPIMs"`, `"GPU-only"`).
+    fn label(&self) -> &str;
+
+    /// Capability flags of the system.
+    fn caps(&self) -> BackendCaps;
+
+    /// Peak compute throughput in FLOPs per device cycle (1 GHz clock).
+    fn peak_compute(&self) -> f64;
+
+    /// Memory organization backing the KV cache when this backend serves
+    /// (the paper's Section 8.1 fairness rule gives every baseline an
+    /// equivalent memory system, so the Table 2 organization is the
+    /// default).
+    fn mem_config(&self) -> MemConfig {
+        MemConfig::table2()
+    }
+
+    /// Inter-device link used by tensor/pipeline-parallel deployments.
+    fn interconnect(&self) -> InterconnectConfig {
+        InterconnectConfig::pcie_cxl()
+    }
+
+    /// Prices the summarization (prefill) phase for a batch of prompts over
+    /// `layers` decoder blocks at tensor parallelism `tp`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects empty batches and zero layer counts; propagates model and
+    /// compilation errors.
+    fn prefill_cycles(
+        &self,
+        model: &LlmConfig,
+        tp: u32,
+        layers: u32,
+        prompt_lens: &[u64],
+    ) -> Result<Cycle, BackendError>;
+
+    /// Prices one generation-phase iteration (one token per request in
+    /// `seq_lens`) over `layers` decoder blocks at tensor parallelism `tp`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects empty batches and zero layer counts; propagates model and
+    /// compilation errors.
+    fn decode_iteration(
+        &self,
+        model: &LlmConfig,
+        tp: u32,
+        layers: u32,
+        seq_lens: &[u64],
+    ) -> Result<IterationResult, BackendError>;
+}
+
+impl<B: Backend + ?Sized> Backend for &B {
+    fn label(&self) -> &str {
+        (**self).label()
+    }
+
+    fn caps(&self) -> BackendCaps {
+        (**self).caps()
+    }
+
+    fn peak_compute(&self) -> f64 {
+        (**self).peak_compute()
+    }
+
+    fn mem_config(&self) -> MemConfig {
+        (**self).mem_config()
+    }
+
+    fn interconnect(&self) -> InterconnectConfig {
+        (**self).interconnect()
+    }
+
+    fn prefill_cycles(
+        &self,
+        model: &LlmConfig,
+        tp: u32,
+        layers: u32,
+        prompt_lens: &[u64],
+    ) -> Result<Cycle, BackendError> {
+        (**self).prefill_cycles(model, tp, layers, prompt_lens)
+    }
+
+    fn decode_iteration(
+        &self,
+        model: &LlmConfig,
+        tp: u32,
+        layers: u32,
+        seq_lens: &[u64],
+    ) -> Result<IterationResult, BackendError> {
+        (**self).decode_iteration(model, tp, layers, seq_lens)
+    }
+}
+
+impl<B: Backend + ?Sized> Backend for Box<B> {
+    fn label(&self) -> &str {
+        (**self).label()
+    }
+
+    fn caps(&self) -> BackendCaps {
+        (**self).caps()
+    }
+
+    fn peak_compute(&self) -> f64 {
+        (**self).peak_compute()
+    }
+
+    fn mem_config(&self) -> MemConfig {
+        (**self).mem_config()
+    }
+
+    fn interconnect(&self) -> InterconnectConfig {
+        (**self).interconnect()
+    }
+
+    fn prefill_cycles(
+        &self,
+        model: &LlmConfig,
+        tp: u32,
+        layers: u32,
+        prompt_lens: &[u64],
+    ) -> Result<Cycle, BackendError> {
+        (**self).prefill_cycles(model, tp, layers, prompt_lens)
+    }
+
+    fn decode_iteration(
+        &self,
+        model: &LlmConfig,
+        tp: u32,
+        layers: u32,
+        seq_lens: &[u64],
+    ) -> Result<IterationResult, BackendError> {
+        (**self).decode_iteration(model, tp, layers, seq_lens)
+    }
+}
+
+/// The low-level [`Device`] is itself a backend, so existing code holding a
+/// device plugs directly into the generic serving/cluster harnesses.
+impl Backend for Device {
+    fn label(&self) -> &str {
+        self.mode().label()
+    }
+
+    fn caps(&self) -> BackendCaps {
+        BackendCaps {
+            uses_npu: true,
+            uses_pim: self.mode().uses_pim(),
+            dual_row_buffer: self.mode().dual_row_buffer(),
+            batched_mha: true,
+        }
+    }
+
+    fn peak_compute(&self) -> f64 {
+        self.config().npu.peak_flops_per_cycle() as f64
+    }
+
+    fn mem_config(&self) -> MemConfig {
+        self.config().mem
+    }
+
+    fn interconnect(&self) -> InterconnectConfig {
+        self.config().interconnect
+    }
+
+    fn prefill_cycles(
+        &self,
+        model: &LlmConfig,
+        tp: u32,
+        layers: u32,
+        prompt_lens: &[u64],
+    ) -> Result<Cycle, BackendError> {
+        Device::prefill_cycles(self, model, tp, layers, prompt_lens)
+            .map_err(|e| BackendError::sim(Backend::label(self), e))
+    }
+
+    fn decode_iteration(
+        &self,
+        model: &LlmConfig,
+        tp: u32,
+        layers: u32,
+        seq_lens: &[u64],
+    ) -> Result<IterationResult, BackendError> {
+        Device::decode_iteration(self, model, tp, layers, seq_lens)
+            .map(|b| IterationResult::new(Backend::label(self), b))
+            .map_err(|e| BackendError::sim(Backend::label(self), e))
+    }
+}
+
+/// The NeuPIMs accelerator (or one of its ablation arms) as a backend.
+///
+/// Wraps a [`Device`] in any [`DeviceMode`]: `NpuOnly` and `NaiveNpuPim`
+/// cover the paper's simulator baselines, `NeuPims { .. }` covers the
+/// Figure 13 ablation arms and the full system.
+#[derive(Debug, Clone)]
+pub struct NeuPimsBackend {
+    device: Device,
+}
+
+impl NeuPimsBackend {
+    /// Builds a backend from a hardware config, calibration, and mode.
+    pub fn new(cfg: NeuPimsConfig, cal: PimCalibration, mode: DeviceMode) -> Self {
+        Self {
+            device: Device::new(cfg, cal, mode),
+        }
+    }
+
+    /// Wraps an existing device.
+    pub fn from_device(device: Device) -> Self {
+        Self { device }
+    }
+
+    /// The full NeuPIMs system on the Table 2 hardware (calibrates the PIM
+    /// constants from the cycle model).
+    ///
+    /// # Errors
+    ///
+    /// Propagates calibration failures.
+    pub fn table2() -> Result<Self, SimError> {
+        Self::table2_mode(DeviceMode::neupims())
+    }
+
+    /// A specific [`DeviceMode`] on the Table 2 hardware.
+    ///
+    /// # Errors
+    ///
+    /// Propagates calibration failures.
+    pub fn table2_mode(mode: DeviceMode) -> Result<Self, SimError> {
+        let cfg = NeuPimsConfig::table2();
+        let cal = calibrate(&cfg)?;
+        Ok(Self::new(cfg, cal, mode))
+    }
+
+    /// The wrapped device.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+}
+
+impl Backend for NeuPimsBackend {
+    fn label(&self) -> &str {
+        self.device.mode().label()
+    }
+
+    fn caps(&self) -> BackendCaps {
+        Backend::caps(&self.device)
+    }
+
+    fn peak_compute(&self) -> f64 {
+        Backend::peak_compute(&self.device)
+    }
+
+    fn mem_config(&self) -> MemConfig {
+        Backend::mem_config(&self.device)
+    }
+
+    fn interconnect(&self) -> InterconnectConfig {
+        Backend::interconnect(&self.device)
+    }
+
+    fn prefill_cycles(
+        &self,
+        model: &LlmConfig,
+        tp: u32,
+        layers: u32,
+        prompt_lens: &[u64],
+    ) -> Result<Cycle, BackendError> {
+        Backend::prefill_cycles(&self.device, model, tp, layers, prompt_lens)
+    }
+
+    fn decode_iteration(
+        &self,
+        model: &LlmConfig,
+        tp: u32,
+        layers: u32,
+        seq_lens: &[u64],
+    ) -> Result<IterationResult, BackendError> {
+        Backend::decode_iteration(&self.device, model, tp, layers, seq_lens)
+    }
+}
+
+/// The GPU-only roofline baseline as a backend (A100-class by default).
+#[derive(Debug, Clone)]
+pub struct GpuRooflineBackend {
+    gpu: GpuSpec,
+    label: String,
+}
+
+impl GpuRooflineBackend {
+    /// Builds the backend from a GPU spec.
+    pub fn new(gpu: GpuSpec) -> Self {
+        Self {
+            gpu,
+            label: "GPU-only".to_owned(),
+        }
+    }
+
+    /// The A100 roofline of the paper's GPU-only baseline.
+    pub fn a100() -> Self {
+        Self::new(GpuSpec::a100())
+    }
+
+    /// Overrides the memory bandwidth (the Section 8.1 fairness rule gives
+    /// the GPU the same calibrated HBM the accelerator devices stream from).
+    pub fn with_mem_bw(mut self, bytes_per_sec: f64) -> Self {
+        self.gpu.mem_bw_bytes_per_sec = bytes_per_sec;
+        self
+    }
+
+    /// The underlying GPU spec.
+    pub fn gpu(&self) -> &GpuSpec {
+        &self.gpu
+    }
+}
+
+impl Backend for GpuRooflineBackend {
+    fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn caps(&self) -> BackendCaps {
+        BackendCaps {
+            uses_npu: true, // GPU tensor cores play the NPU role
+            uses_pim: false,
+            dual_row_buffer: false,
+            batched_mha: true,
+        }
+    }
+
+    fn peak_compute(&self) -> f64 {
+        // FLOP/s at a 1 GHz reference clock -> FLOPs per cycle.
+        self.gpu.peak_fp16_flops / 1e9
+    }
+
+    fn prefill_cycles(
+        &self,
+        model: &LlmConfig,
+        tp: u32,
+        layers: u32,
+        prompt_lens: &[u64],
+    ) -> Result<Cycle, BackendError> {
+        gpu::prefill_impl(&self.gpu, model, tp, layers, prompt_lens)
+            .map_err(|e| BackendError::sim(&self.label, e))
+    }
+
+    fn decode_iteration(
+        &self,
+        model: &LlmConfig,
+        tp: u32,
+        layers: u32,
+        seq_lens: &[u64],
+    ) -> Result<IterationResult, BackendError> {
+        gpu::decode_impl(&self.gpu, model, tp, layers, seq_lens)
+            .map(|b| IterationResult::new(&self.label, b))
+            .map_err(|e| BackendError::sim(&self.label, e))
+    }
+}
+
+/// The TransPIM comparator (PIM-only token dataflow) as a backend.
+#[derive(Debug, Clone)]
+pub struct TransPimBackend {
+    cfg: NeuPimsConfig,
+    cal: PimCalibration,
+}
+
+impl TransPimBackend {
+    /// Builds the backend from a memory configuration and calibration.
+    pub fn new(cfg: NeuPimsConfig, cal: PimCalibration) -> Self {
+        Self { cfg, cal }
+    }
+
+    /// TransPIM on the Table 2 memory system.
+    ///
+    /// # Errors
+    ///
+    /// Propagates calibration failures.
+    pub fn table2() -> Result<Self, SimError> {
+        let cfg = NeuPimsConfig::table2();
+        let cal = calibrate(&cfg)?;
+        Ok(Self::new(cfg, cal))
+    }
+}
+
+impl Backend for TransPimBackend {
+    fn label(&self) -> &str {
+        "TransPIM"
+    }
+
+    fn caps(&self) -> BackendCaps {
+        BackendCaps {
+            uses_npu: false,
+            uses_pim: true,
+            dual_row_buffer: false,
+            batched_mha: false,
+        }
+    }
+
+    fn peak_compute(&self) -> f64 {
+        // In-bank MAC throughput: one FLOP per streamed fp16 pair element.
+        self.cal.pim_stream_bw * self.cfg.mem.channels as f64
+    }
+
+    fn mem_config(&self) -> MemConfig {
+        self.cfg.mem
+    }
+
+    fn interconnect(&self) -> InterconnectConfig {
+        self.cfg.interconnect
+    }
+
+    fn prefill_cycles(
+        &self,
+        model: &LlmConfig,
+        tp: u32,
+        layers: u32,
+        prompt_lens: &[u64],
+    ) -> Result<Cycle, BackendError> {
+        transpim::prefill_impl(&self.cfg, &self.cal, model, tp, layers, prompt_lens)
+            .map_err(|e| BackendError::sim(self.label(), e))
+    }
+
+    fn decode_iteration(
+        &self,
+        model: &LlmConfig,
+        tp: u32,
+        layers: u32,
+        seq_lens: &[u64],
+    ) -> Result<IterationResult, BackendError> {
+        transpim::decode_impl(&self.cfg, &self.cal, model, tp, layers, seq_lens)
+            .map(|b| IterationResult::new(self.label(), b))
+            .map_err(|e| BackendError::sim(self.label(), e))
+    }
+}
+
+/// Canonical names accepted by [`backend_from_name`] (and the CLI's
+/// `--backend` flag), in the paper's comparison order.
+pub const BACKEND_NAMES: [&str; 5] = ["gpu", "npu-only", "naive", "neupims", "transpim"];
+
+/// Every name [`backend_from_name`] accepts: the canonical five plus the
+/// Figure 13 ablation arms.
+pub const ALL_BACKEND_NAMES: [&str; 8] = [
+    "gpu",
+    "npu-only",
+    "naive",
+    "neupims",
+    "transpim",
+    "neupims-drb",
+    "neupims-drb-gmlbp",
+    "neupims-drb-gmlbp-sbi",
+];
+
+/// Builds a boxed backend from its CLI name.
+///
+/// Accepted names (case-insensitive): `gpu`/`gpu-only`, `npu-only`/`npu`,
+/// `naive`/`npu-pim`/`npu+pim`, `neupims`, `neupims-drb`,
+/// `neupims-drb-gmlbp`, `neupims-drb-gmlbp-sbi`, and `transpim`. The GPU
+/// backend gets the Section 8.1 fairness treatment: A100 compute peaks over
+/// the calibrated HBM bandwidth of `cfg`.
+///
+/// # Errors
+///
+/// Returns [`BackendError::UnknownBackend`] for unrecognized names.
+pub fn backend_from_name(
+    name: &str,
+    cfg: &NeuPimsConfig,
+    cal: &PimCalibration,
+) -> Result<Box<dyn Backend>, BackendError> {
+    let mode = |m| Box::new(NeuPimsBackend::new(*cfg, *cal, m));
+    Ok(match name.to_ascii_lowercase().as_str() {
+        "gpu" | "gpu-only" => Box::new(
+            GpuRooflineBackend::a100()
+                .with_mem_bw(cal.mem_stream_bw * cfg.mem.channels as f64 * 1e9),
+        ),
+        "npu" | "npu-only" => mode(DeviceMode::NpuOnly),
+        "naive" | "npu-pim" | "npu+pim" => mode(DeviceMode::NaiveNpuPim),
+        "neupims" => mode(DeviceMode::neupims()),
+        "neupims-drb" => mode(DeviceMode::NeuPims {
+            gmlbp: false,
+            sbi: SbiPolicy::Off,
+        }),
+        "neupims-drb-gmlbp" => mode(DeviceMode::NeuPims {
+            gmlbp: true,
+            sbi: SbiPolicy::Off,
+        }),
+        "neupims-drb-gmlbp-sbi" => mode(DeviceMode::NeuPims {
+            gmlbp: true,
+            sbi: SbiPolicy::Always,
+        }),
+        "transpim" => Box::new(TransPimBackend::new(*cfg, *cal)),
+        other => return Err(BackendError::UnknownBackend(other.to_owned())),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table2() -> (NeuPimsConfig, PimCalibration) {
+        let cfg = NeuPimsConfig::table2();
+        let cal = calibrate(&cfg).unwrap();
+        (cfg, cal)
+    }
+
+    #[test]
+    fn labels_and_caps() {
+        let (cfg, cal) = table2();
+        let neu = NeuPimsBackend::new(cfg, cal, DeviceMode::neupims());
+        assert_eq!(neu.label(), "NeuPIMs");
+        assert!(neu.caps().uses_pim && neu.caps().dual_row_buffer);
+
+        let npu = NeuPimsBackend::new(cfg, cal, DeviceMode::NpuOnly);
+        assert_eq!(npu.label(), "NPU-only");
+        assert!(!npu.caps().uses_pim);
+
+        let gpu = GpuRooflineBackend::a100();
+        assert_eq!(gpu.label(), "GPU-only");
+        assert!(!gpu.caps().uses_pim && gpu.caps().batched_mha);
+
+        let tp = TransPimBackend::new(cfg, cal);
+        assert_eq!(tp.label(), "TransPIM");
+        assert!(tp.caps().uses_pim && !tp.caps().batched_mha);
+    }
+
+    #[test]
+    fn peak_compute_is_positive_everywhere() {
+        let (cfg, cal) = table2();
+        let backends: Vec<Box<dyn Backend>> = vec![
+            Box::new(NeuPimsBackend::new(cfg, cal, DeviceMode::neupims())),
+            Box::new(GpuRooflineBackend::a100()),
+            Box::new(TransPimBackend::new(cfg, cal)),
+        ];
+        for b in &backends {
+            assert!(b.peak_compute() > 0.0, "{}", b.label());
+        }
+    }
+
+    #[test]
+    fn registry_builds_every_published_name() {
+        let (cfg, cal) = table2();
+        let model = LlmConfig::gpt3_7b();
+        for name in BACKEND_NAMES {
+            let b = backend_from_name(name, &cfg, &cal).unwrap();
+            let iter = b.decode_iteration(&model, 4, 8, &[128; 16]).unwrap();
+            assert!(iter.total_cycles() > 0, "{name}");
+            assert_eq!(iter.tokens(), 16, "{name}");
+        }
+        assert!(backend_from_name("quantum", &cfg, &cal).is_err());
+    }
+
+    #[test]
+    fn registry_ablation_arms_are_distinct() {
+        let (cfg, cal) = table2();
+        let model = LlmConfig::gpt3_7b();
+        let t = |name: &str| {
+            backend_from_name(name, &cfg, &cal)
+                .unwrap()
+                .decode_iteration(&model, 4, model.num_layers, &[376; 256])
+                .unwrap()
+                .total_cycles()
+        };
+        let naive = t("naive");
+        let drb = t("neupims-drb");
+        let full = t("neupims");
+        assert!(drb < naive, "DRB {drb} must beat naive {naive}");
+        assert!(full <= drb, "full {full} must be <= DRB {drb}");
+    }
+
+    #[test]
+    fn device_is_a_backend() {
+        let (cfg, cal) = table2();
+        let d = Device::new(cfg, cal, DeviceMode::neupims());
+        let model = LlmConfig::gpt3_7b();
+        let via_trait = Backend::decode_iteration(&d, &model, 4, 8, &[100; 8]).unwrap();
+        let direct = d.decode_iteration(&model, 4, 8, &[100; 8]).unwrap();
+        assert_eq!(via_trait.breakdown, direct);
+        assert_eq!(via_trait.backend, "NeuPIMs");
+    }
+
+    #[test]
+    fn errors_carry_backend_labels() {
+        let (cfg, cal) = table2();
+        let b = NeuPimsBackend::new(cfg, cal, DeviceMode::neupims());
+        let model = LlmConfig::gpt3_7b();
+        let err = b.decode_iteration(&model, 4, 8, &[]).unwrap_err();
+        assert!(err.to_string().contains("NeuPIMs"), "{err}");
+        let sim: SimError = err.into();
+        assert!(matches!(sim, SimError::InvalidShape(_)));
+    }
+
+    #[test]
+    fn prefill_works_on_all_backends() {
+        let (cfg, cal) = table2();
+        let model = LlmConfig::gpt3_7b();
+        let backends: Vec<Box<dyn Backend>> = vec![
+            Box::new(NeuPimsBackend::new(cfg, cal, DeviceMode::neupims())),
+            Box::new(GpuRooflineBackend::a100()),
+            Box::new(TransPimBackend::new(cfg, cal)),
+        ];
+        for b in &backends {
+            let short = b.prefill_cycles(&model, 4, 8, &[64; 4]).unwrap();
+            let long = b.prefill_cycles(&model, 4, 8, &[512; 4]).unwrap();
+            assert!(
+                long > short,
+                "{}: prefill must scale ({short} -> {long})",
+                b.label()
+            );
+            assert!(b.prefill_cycles(&model, 4, 8, &[]).is_err());
+        }
+    }
+}

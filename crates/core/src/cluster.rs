@@ -16,8 +16,7 @@
 
 use neupims_types::{LlmConfig, SimError};
 
-use crate::device::Device;
-use crate::metrics::IterationBreakdown;
+use crate::backend::Backend;
 
 /// A (TP, PP) deployment of one model across `tp * pp` devices.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,15 +39,19 @@ impl ClusterSpec {
     }
 }
 
-/// System tokens-per-second of `device`s deployed as `spec`, serving
-/// `seq_lens` (the whole request set; micro-batching splits it).
+/// System tokens-per-second of `backend` devices deployed as `spec`,
+/// serving `seq_lens` (the whole request set; micro-batching splits it).
+///
+/// Generic over [`Backend`], so TP/PP scaling sweeps run against every
+/// system — the NeuPIMs device in any mode, the GPU roofline, TransPIM, or
+/// any future accelerator model.
 ///
 /// # Errors
 ///
 /// Returns [`SimError::InvalidConfig`] when the model's layers don't divide
-/// by `pp` or the request count is below `pp`, plus device-model errors.
-pub fn cluster_throughput(
-    device: &Device,
+/// by `pp` or the request count is below `pp`, plus backend errors.
+pub fn cluster_throughput<B: Backend>(
+    backend: &B,
     model: &LlmConfig,
     spec: ClusterSpec,
     seq_lens: &[u64],
@@ -74,19 +77,21 @@ pub fn cluster_throughput(
     // Steady state: every stage processes one micro-batch per beat. Use the
     // first micro-batch as representative (callers pass sampled batches).
     let mb = &seq_lens[..micro];
-    let iter: IterationBreakdown = device.decode_iteration(model, spec.tp, layers_per_stage, mb)?;
+    let iter = backend
+        .decode_iteration(model, spec.tp, layers_per_stage, mb)
+        .map_err(SimError::from)?;
 
     // Inter-stage activation transfer per beat (hidden behind compute when
     // small; the beat takes the max).
-    let act_bytes = micro as u64 * model.d_model as u64 * model.dtype.size_bytes()
-        / spec.tp.max(1) as u64;
-    let ic = &device.config().interconnect;
+    let act_bytes =
+        micro as u64 * model.d_model as u64 * model.dtype.size_bytes() / spec.tp.max(1) as u64;
+    let ic = backend.interconnect();
     let comm = if spec.pp > 1 {
         act_bytes / ic.link_bytes_per_cycle.max(1) + ic.link_latency
     } else {
         0
     };
-    let beat = iter.total_cycles.max(comm).max(1);
+    let beat = iter.total_cycles().max(comm).max(1);
     let beat_secs = neupims_types::units::cycles_to_secs(beat);
     Ok(micro as f64 / beat_secs)
 }
@@ -94,7 +99,8 @@ pub fn cluster_throughput(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::device::DeviceMode;
+    use crate::backend::{GpuRooflineBackend, TransPimBackend};
+    use crate::device::{Device, DeviceMode};
     use neupims_pim::calibrate;
     use neupims_types::NeuPimsConfig;
 
@@ -165,5 +171,21 @@ mod tests {
     #[test]
     fn device_math() {
         assert_eq!(ClusterSpec::new(8, 4).devices(), 32);
+    }
+
+    #[test]
+    fn scaling_sweeps_run_on_every_backend() {
+        // The generic harness prices (TP, PP) deployments of the GPU
+        // roofline and TransPIM, not just the NeuPIMs device.
+        let model = LlmConfig::gpt3_7b();
+        let seqs = vec![300u64; 64];
+        let gpu = GpuRooflineBackend::a100();
+        let trans = TransPimBackend::table2().unwrap();
+        for spec in [ClusterSpec::new(4, 1), ClusterSpec::new(4, 2)] {
+            let g = cluster_throughput(&gpu, &model, spec, &seqs).unwrap();
+            let t = cluster_throughput(&trans, &model, spec, &seqs).unwrap();
+            assert!(g > 0.0 && t > 0.0, "{spec:?}");
+            assert!(g > t, "GPU must outserve TransPIM at {spec:?}");
+        }
     }
 }

@@ -798,8 +798,12 @@ mod tests {
     fn prefill_is_compute_bound_and_scales() {
         let model = LlmConfig::gpt3_7b();
         let d = device(DeviceMode::neupims());
-        let short = d.prefill_cycles(&model, 4, model.num_layers, &[64; 8]).unwrap();
-        let long = d.prefill_cycles(&model, 4, model.num_layers, &[512; 8]).unwrap();
+        let short = d
+            .prefill_cycles(&model, 4, model.num_layers, &[64; 8])
+            .unwrap();
+        let long = d
+            .prefill_cycles(&model, 4, model.num_layers, &[512; 8])
+            .unwrap();
         assert!(long > 4 * short, "prefill must scale with prompt tokens");
         // Degenerate inputs rejected.
         assert!(d.prefill_cycles(&model, 4, 32, &[]).is_err());

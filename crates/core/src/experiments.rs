@@ -22,18 +22,18 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use neupims_llm::roofline::{
-    gpu_utilization, operator_intensity, roofline_tflops, OperatorClass,
-};
+use neupims_llm::roofline::{gpu_utilization, operator_intensity, roofline_tflops, OperatorClass};
 use neupims_pim::{calibrate, PimCalibration};
 use neupims_power::{energy_ratio, AreaModel, DramPowerParams};
 use neupims_types::{GpuSpec, LlmConfig, NeuPimsConfig, Phase};
 use neupims_workload::{warm_batch, Dataset};
 
+use crate::backend::{
+    backend_from_name, Backend, BackendError, GpuRooflineBackend, NeuPimsBackend, TransPimBackend,
+};
 use crate::cluster::{cluster_throughput, ClusterSpec};
 use crate::device::{Device, DeviceMode, SbiPolicy};
-use crate::gpu::gpu_decode_iteration;
-use crate::transpim::transpim_decode_iteration;
+use crate::simulation::{Simulation, SimulationBuilder};
 
 /// Shared context: hardware config plus one-time PIM calibration.
 #[derive(Debug, Clone)]
@@ -73,6 +73,41 @@ impl ExperimentContext {
 
     fn device(&self, mode: DeviceMode) -> Device {
         Device::new(self.cfg, self.cal, mode)
+    }
+
+    /// The NeuPIMs device in `mode` as a backend.
+    pub fn neupims_backend(&self, mode: DeviceMode) -> NeuPimsBackend {
+        NeuPimsBackend::new(self.cfg, self.cal, mode)
+    }
+
+    /// The GPU-only roofline baseline under the Section 8.1 fairness rule:
+    /// A100 compute peaks over the calibrated HBM bandwidth of this
+    /// context's memory system.
+    pub fn gpu_backend(&self) -> GpuRooflineBackend {
+        GpuRooflineBackend::a100()
+            .with_mem_bw(self.cal.mem_stream_bw * self.cfg.mem.channels as f64 * 1e9)
+    }
+
+    /// The TransPIM comparator on this context's memory system.
+    pub fn transpim_backend(&self) -> TransPimBackend {
+        TransPimBackend::new(self.cfg, self.cal)
+    }
+
+    /// Builds any named backend (see
+    /// [`backend_from_name`](crate::backend::backend_from_name)) from this
+    /// context's calibrated hardware.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BackendError::UnknownBackend`] for unrecognized names.
+    pub fn backend(&self, name: &str) -> Result<Box<dyn Backend>, BackendError> {
+        backend_from_name(name, &self.cfg, &self.cal)
+    }
+
+    /// Starts a [`Simulation`] builder pre-seeded with this context's RNG
+    /// seed and sample count.
+    pub fn simulation(&self) -> SimulationBuilder {
+        Simulation::builder().seed(self.seed).samples(self.samples)
     }
 
     fn warm_seqs(&self, rng: &mut StdRng, dataset: Dataset, batch: usize) -> Vec<u64> {
@@ -187,9 +222,7 @@ pub struct Fig6Row {
 /// # Errors
 ///
 /// Propagates device-model errors.
-pub fn fig6_layer_util(
-    ctx: &ExperimentContext,
-) -> Result<Vec<Fig6Row>, neupims_types::SimError> {
+pub fn fig6_layer_util(ctx: &ExperimentContext) -> Result<Vec<Fig6Row>, neupims_types::SimError> {
     let model = LlmConfig::gpt3_30b();
     let mut rng = StdRng::seed_from_u64(ctx.seed);
     let seqs = ctx.warm_seqs(&mut rng, Dataset::ShareGpt, 128);
@@ -241,8 +274,8 @@ pub struct Fig12Row {
     pub model: String,
     /// Batch size.
     pub batch: usize,
-    /// System label.
-    pub system: &'static str,
+    /// System label (the producing backend's [`Backend::label`]).
+    pub system: String,
     /// Tokens per second (mean over warm-batch samples).
     pub tokens_per_sec: f64,
 }
@@ -268,39 +301,36 @@ pub fn fig12_throughput(
     let micro = (batch / pp as usize).max(1);
     let mut rng = StdRng::seed_from_u64(ctx.seed ^ batch as u64);
 
-    let devices: Vec<(&'static str, Option<Device>)> = vec![
-        ("GPU-only", None),
-        ("NPU-only", Some(ctx.device(DeviceMode::NpuOnly))),
-        ("NPU+PIM", Some(ctx.device(DeviceMode::NaiveNpuPim))),
-        ("NeuPIMs", Some(ctx.device(DeviceMode::neupims()))),
+    // The four systems of the figure behind one trait: the Section 8.1
+    // fairness rule (equivalent memory bandwidth for every baseline) is
+    // baked into `ExperimentContext::gpu_backend`.
+    let backends: Vec<Box<dyn Backend>> = vec![
+        Box::new(ctx.gpu_backend()),
+        Box::new(ctx.neupims_backend(DeviceMode::NpuOnly)),
+        Box::new(ctx.neupims_backend(DeviceMode::NaiveNpuPim)),
+        Box::new(ctx.neupims_backend(DeviceMode::neupims())),
     ];
-    // Section 8.1 fairness rule: all baselines get equivalent memory
-    // bandwidth. The GPU keeps A100 compute peaks but its memory system is
-    // the same calibrated HBM the accelerator devices stream from.
-    let mut gpu = GpuSpec::a100();
-    gpu.mem_bw_bytes_per_sec =
-        ctx.cal.mem_stream_bw * ctx.cfg.mem.channels as f64 * 1e9;
 
-    let mut sums = vec![0.0f64; devices.len()];
+    let mut sums = vec![0.0f64; backends.len()];
     for _ in 0..ctx.samples {
         let seqs = ctx.warm_seqs(&mut rng, dataset, micro);
-        for (i, (_, dev)) in devices.iter().enumerate() {
-            let iter = match dev {
-                Some(d) => d.decode_iteration(model, tp, layers, &seqs)?,
-                None => gpu_decode_iteration(&gpu, model, tp, layers, &seqs)?,
-            };
+        for (i, backend) in backends.iter().enumerate() {
             // Steady-state pipeline: one micro-batch completes per beat.
+            let iter = backend.decode_iteration(model, tp, layers, &seqs)?;
             sums[i] += iter.tokens_per_sec();
         }
     }
-    Ok(devices
+    // Rows carry each backend's own label, so adding or reordering
+    // backends cannot mislabel a bar (FIG12_SYSTEMS stays the published
+    // paper ordering for presentation code).
+    Ok(backends
         .iter()
         .enumerate()
-        .map(|(i, (name, _))| Fig12Row {
+        .map(|(i, backend)| Fig12Row {
             dataset: dataset.name(),
             model: model.name.clone(),
             batch,
-            system: name,
+            system: backend.label().to_owned(),
             tokens_per_sec: sums[i] / ctx.samples as f64,
         })
         .collect())
@@ -365,9 +395,12 @@ pub fn fig13_ablation(
         for _ in 0..ctx.samples {
             let seqs = ctx.warm_seqs(&mut rng, Dataset::ShareGpt, batch);
             for (i, (_, mode)) in fig13_variants().iter().enumerate() {
-                let iter = ctx
-                    .device(*mode)
-                    .decode_iteration(&model, 4, model.num_layers, &seqs)?;
+                let iter = ctx.neupims_backend(*mode).decode_iteration(
+                    &model,
+                    4,
+                    model.num_layers,
+                    &seqs,
+                )?;
                 thr[i] += iter.tokens_per_sec();
             }
         }
@@ -418,13 +451,13 @@ pub fn fig14_parallelism(
         (16, 4),
         (8, 8),
     ];
-    let device = ctx.device(DeviceMode::neupims());
+    let backend = ctx.neupims_backend(DeviceMode::neupims());
     let mut rng = StdRng::seed_from_u64(ctx.seed ^ 0x14);
     let seqs = ctx.warm_seqs(&mut rng, Dataset::ShareGpt, 256);
     let mut rows = Vec::new();
     for (tp, pp) in combos {
         let spec = ClusterSpec::new(tp, pp);
-        let thr = cluster_throughput(&device, &model, spec, &seqs)?;
+        let thr = cluster_throughput(&backend, &model, spec, &seqs)?;
         rows.push(Fig14Row {
             devices: spec.devices(),
             tp,
@@ -459,7 +492,8 @@ pub fn fig15_transpim(
     batches: &[usize],
 ) -> Result<Vec<Fig15Row>, neupims_types::SimError> {
     let model = LlmConfig::gpt3_7b();
-    let device = ctx.device(DeviceMode::neupims());
+    let neupims_backend = ctx.neupims_backend(DeviceMode::neupims());
+    let transpim_backend = ctx.transpim_backend();
     let mut rows = Vec::new();
     for dataset in Dataset::ALL {
         for &batch in batches {
@@ -467,16 +501,11 @@ pub fn fig15_transpim(
             let mut speedup = 0.0;
             for _ in 0..ctx.samples {
                 let seqs = ctx.warm_seqs(&mut rng, dataset, batch);
-                let neupims = device.decode_iteration(&model, 4, model.num_layers, &seqs)?;
-                let trans = transpim_decode_iteration(
-                    &ctx.cfg,
-                    &ctx.cal,
-                    &model,
-                    4,
-                    model.num_layers,
-                    &seqs,
-                )?;
-                speedup += trans.total_cycles as f64 / neupims.total_cycles.max(1) as f64;
+                let neupims =
+                    neupims_backend.decode_iteration(&model, 4, model.num_layers, &seqs)?;
+                let trans =
+                    transpim_backend.decode_iteration(&model, 4, model.num_layers, &seqs)?;
+                speedup += trans.total_cycles() as f64 / neupims.total_cycles().max(1) as f64;
             }
             rows.push(Fig15Row {
                 dataset: dataset.name(),
@@ -525,9 +554,12 @@ pub fn table4_utilization(
         let mut acc = crate::metrics::Utilization::default();
         for _ in 0..ctx.samples {
             let seqs = ctx.warm_seqs(&mut rng, Dataset::ShareGpt, micro);
-            let b = ctx
-                .device(mode)
-                .decode_iteration(&model, model.parallelism.tp, layers, &seqs)?;
+            let b = ctx.neupims_backend(mode).decode_iteration(
+                &model,
+                model.parallelism.tp,
+                layers,
+                &seqs,
+            )?;
             let u = b.utilization(&ctx.cfg);
             acc.npu += u.npu;
             acc.pim += u.pim;
@@ -579,19 +611,22 @@ pub fn table5_power(ctx: &ExperimentContext) -> Result<Table5Result, neupims_typ
     let mut rng = StdRng::seed_from_u64(ctx.seed ^ 0x55);
     let seqs = ctx.warm_seqs(&mut rng, Dataset::ShareGpt, micro);
 
-    let base = ctx
-        .device(DeviceMode::NpuOnly)
-        .decode_iteration(&model, model.parallelism.tp, layers, &seqs)?;
+    let base = ctx.neupims_backend(DeviceMode::NpuOnly).decode_iteration(
+        &model,
+        model.parallelism.tp,
+        layers,
+        &seqs,
+    )?;
     let neu = ctx
-        .device(DeviceMode::neupims())
+        .neupims_backend(DeviceMode::neupims())
         .decode_iteration(&model, model.parallelism.tp, layers, &seqs)?;
 
     let params = DramPowerParams::default();
     let baseline_mw = params
-        .channel_power(&base.dram_activity(&ctx.cfg, false))
+        .channel_power(&base.breakdown.dram_activity(&ctx.cfg, false))
         .total_mw();
     let neupims_mw = params
-        .channel_power(&neu.dram_activity(&ctx.cfg, true))
+        .channel_power(&neu.breakdown.dram_activity(&ctx.cfg, true))
         .total_mw();
 
     // Fleet-average speedup over ShareGPT at the larger batch sizes (the
@@ -601,13 +636,16 @@ pub fn table5_power(ctx: &ExperimentContext) -> Result<Table5Result, neupims_typ
         for batch in [256usize, 512] {
             let mut rng = StdRng::seed_from_u64(ctx.seed ^ batch as u64 ^ 0x5500);
             let s = ctx.warm_seqs(&mut rng, Dataset::ShareGpt, batch);
-            let b0 = ctx
-                .device(DeviceMode::NpuOnly)
-                .decode_iteration(&m, m.parallelism.tp, m.num_layers, &s)?;
+            let b0 = ctx.neupims_backend(DeviceMode::NpuOnly).decode_iteration(
+                &m,
+                m.parallelism.tp,
+                m.num_layers,
+                &s,
+            )?;
             let b1 = ctx
-                .device(DeviceMode::neupims())
+                .neupims_backend(DeviceMode::neupims())
                 .decode_iteration(&m, m.parallelism.tp, m.num_layers, &s)?;
-            speedups.push(b0.total_cycles as f64 / b1.total_cycles.max(1) as f64);
+            speedups.push(b0.total_cycles() as f64 / b1.total_cycles().max(1) as f64);
         }
     }
     let speedup = speedups.iter().sum::<f64>() / speedups.len() as f64;
@@ -670,15 +708,9 @@ mod tests {
     #[test]
     fn fig12_one_panel_ordering() {
         let c = ctx();
-        let rows =
-            fig12_throughput(&c, Dataset::ShareGpt, &LlmConfig::gpt3_7b(), 256).unwrap();
+        let rows = fig12_throughput(&c, Dataset::ShareGpt, &LlmConfig::gpt3_7b(), 256).unwrap();
         assert_eq!(rows.len(), 4);
-        let get = |s: &str| {
-            rows.iter()
-                .find(|r| r.system == s)
-                .unwrap()
-                .tokens_per_sec
-        };
+        let get = |s: &str| rows.iter().find(|r| r.system == s).unwrap().tokens_per_sec;
         assert!(get("NeuPIMs") > get("NPU+PIM"));
         assert!(get("NPU+PIM") > get("NPU-only"));
         // GPU-only and NPU-only are the close pair of the paper.
@@ -757,4 +789,3 @@ mod tests {
         assert!((a - 0.0311).abs() < 0.001, "{a}");
     }
 }
-

@@ -23,7 +23,23 @@ use crate::metrics::IterationBreakdown;
 /// # Errors
 ///
 /// Propagates model validation/compilation errors; rejects empty batches.
+#[deprecated(
+    since = "0.1.0",
+    note = "use neupims_core::backend::GpuRooflineBackend via the Backend trait"
+)]
 pub fn gpu_decode_iteration(
+    gpu: &GpuSpec,
+    model: &LlmConfig,
+    tp: u32,
+    layers: u32,
+    seq_lens: &[u64],
+) -> Result<IterationBreakdown, SimError> {
+    decode_impl(gpu, model, tp, layers, seq_lens)
+}
+
+/// Shared implementation behind [`gpu_decode_iteration`] and
+/// [`crate::backend::GpuRooflineBackend`].
+pub(crate) fn decode_impl(
     gpu: &GpuSpec,
     model: &LlmConfig,
     tp: u32,
@@ -55,15 +71,14 @@ pub fn gpu_decode_iteration(
     // only marginally.
     let t_gemm = (gemm_flops as f64 / gpu.peak_fp16_flops)
         .max(weight_bytes as f64 / gpu.mem_bw_bytes_per_sec);
-    let t_mha = (kv_bytes as f64 / gpu.mem_bw_bytes_per_sec)
-        .max(mha_flops as f64 / gpu.peak_fp16_flops);
+    let t_mha =
+        (kv_bytes as f64 / gpu.mem_bw_bytes_per_sec).max(mha_flops as f64 / gpu.peak_fp16_flops);
     // Ring all-reduce over the same interconnect class (cycles = ns).
     let ic = neupims_types::config::InterconnectConfig::pcie_cxl();
     let allreduce = if tp > 1 {
         let steps = 2 * (tp as u64 - 1);
         let per_dev = cb.allreduce_bytes * (tp as u64 - 1) * 2 / tp as u64;
-        (per_dev / ic.link_bytes_per_cycle.max(1) + steps * ic.link_latency)
-            * cb.allreduces as u64
+        (per_dev / ic.link_bytes_per_cycle.max(1) + steps * ic.link_latency) * cb.allreduces as u64
     } else {
         0
     };
@@ -82,6 +97,45 @@ pub fn gpu_decode_iteration(
     })
 }
 
+/// Prices the summarization (prefill) phase on the GPU roofline: the GEMMs
+/// and the batched attention run at whichever of compute or bandwidth
+/// binds, exactly like the motivation study's Figure 4 analysis. Returns
+/// device cycles at 1 GHz.
+pub(crate) fn prefill_impl(
+    gpu: &GpuSpec,
+    model: &LlmConfig,
+    tp: u32,
+    layers: u32,
+    prompt_lens: &[u64],
+) -> Result<Cycle, SimError> {
+    if prompt_lens.is_empty() {
+        return Err(SimError::InvalidShape("empty prompt batch".into()));
+    }
+    if layers == 0 {
+        return Err(SimError::InvalidShape("zero resident layers".into()));
+    }
+    let cb = compile_block(
+        &NpuConfig::table2(),
+        model,
+        tp,
+        prompt_lens,
+        Phase::Summarization,
+    )?;
+    let weight_bytes: u64 = cb.gemms.iter().map(|g| g.weight_bytes).sum();
+    let gemm_flops = cb.gemm_flops();
+    // Summarization attention is a batched activation-activation GEMM over
+    // each prompt: 4 * s^2 * d_dev FLOPs with full reuse (compute-bound).
+    let attn_flops: u64 = prompt_lens
+        .iter()
+        .map(|&s| 4 * s * s * (model.d_model as u64 / tp.max(1) as u64))
+        .sum();
+    let t_gemm = (gemm_flops as f64 / gpu.peak_fp16_flops)
+        .max(weight_bytes as f64 / gpu.mem_bw_bytes_per_sec);
+    let t_attn = attn_flops as f64 / gpu.peak_fp16_flops;
+    let layer_secs = t_gemm + t_attn;
+    Ok(((layer_secs * layers as f64 * 1e9).ceil() as Cycle).max(1))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -90,7 +144,7 @@ mod tests {
     fn decode_is_memory_bound() {
         let gpu = GpuSpec::a100();
         let model = LlmConfig::gpt3_7b();
-        let b = gpu_decode_iteration(&gpu, &model, 4, model.num_layers, &[376; 256]).unwrap();
+        let b = decode_impl(&gpu, &model, 4, model.num_layers, &[376; 256]).unwrap();
         // At decode batch sizes an A100 iteration is bandwidth-limited:
         // busy compute well below the makespan.
         assert!(b.npu_busy < b.total_cycles);
@@ -101,16 +155,16 @@ mod tests {
     fn errors_on_degenerate_input() {
         let gpu = GpuSpec::a100();
         let model = LlmConfig::gpt3_7b();
-        assert!(gpu_decode_iteration(&gpu, &model, 4, 32, &[]).is_err());
-        assert!(gpu_decode_iteration(&gpu, &model, 4, 0, &[3]).is_err());
+        assert!(decode_impl(&gpu, &model, 4, 32, &[]).is_err());
+        assert!(decode_impl(&gpu, &model, 4, 0, &[3]).is_err());
     }
 
     #[test]
     fn longer_contexts_cost_more() {
         let gpu = GpuSpec::a100();
         let model = LlmConfig::gpt3_13b();
-        let short = gpu_decode_iteration(&gpu, &model, 4, 40, &[64; 128]).unwrap();
-        let long = gpu_decode_iteration(&gpu, &model, 4, 40, &[1024; 128]).unwrap();
+        let short = decode_impl(&gpu, &model, 4, 40, &[64; 128]).unwrap();
+        let long = decode_impl(&gpu, &model, 4, 40, &[1024; 128]).unwrap();
         assert!(long.total_cycles > short.total_cycles);
     }
 }

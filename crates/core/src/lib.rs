@@ -1,56 +1,80 @@
 //! The NeuPIMs system simulator: heterogeneous NPU-PIM device, baselines,
-//! multi-device scaling, and end-to-end serving.
+//! multi-device scaling, and end-to-end serving behind one backend API.
 //!
 //! This crate is the paper's primary contribution, assembled from the
 //! substrate crates:
 //!
+//! * [`backend`] — the unified [`Backend`](backend::Backend) trait every
+//!   simulated system implements ([`NeuPimsBackend`](backend::NeuPimsBackend)
+//!   in all three device modes, [`GpuRooflineBackend`](backend::GpuRooflineBackend),
+//!   [`TransPimBackend`](backend::TransPimBackend)), with structured
+//!   [`IterationResult`](backend::IterationResult) /
+//!   [`BackendError`](backend::BackendError) types and a name registry for
+//!   CLI selection;
+//! * [`simulation`] — the [`Simulation`](simulation::Simulation) builder
+//!   tying a backend to a model, dataset, and batch geometry: the single
+//!   entry point for iteration pricing, throughput sweeps, (TP, PP)
+//!   scaling, and serving;
 //! * [`device`] — one accelerator executing batched decode iterations
 //!   under a [`device::DeviceMode`]: `NpuOnly`, `NaiveNpuPim` (blocked-mode
 //!   PIM, round-robin channels), or `NeuPims` (dual row buffers, optional
 //!   greedy min-load bin packing and sub-batch interleaving) — the ablation
-//!   axes of Figure 13. Stage timings combine the NPU cost models, the
-//!   calibrated PIM constants, and a list-scheduled two-chain pipeline that
-//!   reproduces the Figure 11(b) interleave;
+//!   axes of Figure 13;
 //! * [`gpu`] — the GPU-only roofline baseline (A100-class);
 //! * [`transpim`] — the TransPIM comparator (PIM-only, single-request
 //!   token dataflow) for Figure 15;
 //! * [`cluster`] — tensor/pipeline-parallel multi-device throughput
-//!   (Section 7, Figure 14);
-//! * [`serving`] — Orca-style iteration-level serving with paged KV cache
-//!   over one simulated device;
+//!   (Section 7, Figure 14), generic over any backend;
+//! * [`serving`] — Orca-style iteration-level serving with paged KV cache,
+//!   generic over any backend;
 //! * [`metrics`] — iteration breakdowns, utilization, and the DRAM
 //!   activity bridge into the power model.
 //!
 //! # Example
 //!
 //! ```
-//! use neupims_core::device::{Device, DeviceMode};
-//! use neupims_types::{LlmConfig, NeuPimsConfig};
+//! use neupims_core::backend::NeuPimsBackend;
+//! use neupims_core::simulation::Simulation;
+//! use neupims_types::LlmConfig;
+//! use neupims_workload::Dataset;
 //!
-//! let cfg = NeuPimsConfig::table2();
-//! let cal = neupims_pim::calibrate(&cfg).unwrap();
-//! let device = Device::new(cfg, cal, DeviceMode::neupims());
 //! let model = LlmConfig::gpt3_7b();
-//! let out = device
-//!     .decode_iteration(&model, 4, model.num_layers, &[256; 64])
+//! let sim = Simulation::builder()
+//!     .model(model)
+//!     .backend(NeuPimsBackend::table2().unwrap())
+//!     .dataset(Dataset::ShareGpt)
+//!     .batch(64)
+//!     .build()
 //!     .unwrap();
-//! assert!(out.total_cycles > 0);
+//! let iter = sim.decode_iteration(&[256; 64]).unwrap();
+//! assert_eq!(iter.backend, "NeuPIMs");
+//! assert!(iter.total_cycles() > 0);
+//! assert!(sim.throughput().unwrap() > 0.0);
 //! ```
 
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod cluster;
 pub mod device;
 pub mod experiments;
 pub mod gpu;
 pub mod metrics;
 pub mod serving;
+pub mod simulation;
 pub mod transpim;
 
+pub use backend::{
+    backend_from_name, Backend, BackendCaps, BackendError, GpuRooflineBackend, IterationResult,
+    NeuPimsBackend, TransPimBackend, BACKEND_NAMES,
+};
 pub use cluster::{cluster_throughput, ClusterSpec};
 pub use device::{Device, DeviceMode, SbiPolicy};
 pub use experiments::ExperimentContext;
+#[allow(deprecated)]
 pub use gpu::gpu_decode_iteration;
 pub use metrics::{IterationBreakdown, Utilization};
 pub use serving::{ServingConfig, ServingOutcome, ServingSim};
+pub use simulation::{Simulation, SimulationBuilder};
+#[allow(deprecated)]
 pub use transpim::transpim_decode_iteration;

@@ -11,10 +11,9 @@
 
 use neupims_kvcache::{KvGeometry, PagedKvCache};
 use neupims_sched::RequestPool;
-use neupims_types::{
-    ChannelId, Cycle, LlmConfig, Request, RequestId, SimError,
-};
+use neupims_types::{ChannelId, Cycle, LlmConfig, Request, RequestId, SimError};
 
+use crate::backend::Backend;
 use crate::device::Device;
 use crate::metrics::IterationBreakdown;
 
@@ -79,10 +78,15 @@ impl ServingOutcome {
     }
 }
 
-/// An iteration-level serving simulation over one device.
+/// An iteration-level serving simulation over one simulated system.
+///
+/// Generic over [`Backend`], so the same Orca-style scheduler, request
+/// pool, and paged KV cache drive the NeuPIMs device (the default type
+/// parameter, preserving the original API), the GPU roofline, TransPIM, or
+/// any future accelerator model.
 #[derive(Debug)]
-pub struct ServingSim {
-    device: Device,
+pub struct ServingSim<B: Backend = Device> {
+    backend: B,
     model: LlmConfig,
     cfg: ServingConfig,
     pool: RequestPool,
@@ -94,11 +98,13 @@ pub struct ServingSim {
     next_channel: u32,
 }
 
-impl ServingSim {
-    /// Builds a serving simulation.
-    pub fn new(device: Device, model: LlmConfig, cfg: ServingConfig) -> Self {
-        let geo = KvGeometry::with_tp(&model, &device.config().mem, cfg.tp);
-        let kv = PagedKvCache::new(&device.config().mem, geo, cfg.layers);
+impl<B: Backend> ServingSim<B> {
+    /// Builds a serving simulation over any backend. The KV cache is paged
+    /// across the backend's memory organization ([`Backend::mem_config`]).
+    pub fn new(backend: B, model: LlmConfig, cfg: ServingConfig) -> Self {
+        let mem = backend.mem_config();
+        let geo = KvGeometry::with_tp(&model, &mem, cfg.tp);
+        let kv = PagedKvCache::new(&mem, geo, cfg.layers);
         Self {
             pool: RequestPool::new(cfg.max_batch),
             kv,
@@ -107,10 +113,15 @@ impl ServingSim {
             now: 0,
             latencies: Vec::new(),
             next_channel: 0,
-            device,
+            backend,
             model,
             cfg,
         }
+    }
+
+    /// The simulated backend.
+    pub fn backend(&self) -> &B {
+        &self.backend
     }
 
     /// Submits one request (prompt `input_len`, target `output_len`,
@@ -138,7 +149,7 @@ impl ServingSim {
             // live there for their lifetime).
             let kv = &mut self.kv;
             let next_channel = &mut self.next_channel;
-            let channels = self.device.config().mem.channels;
+            let channels = self.backend.mem_config().channels;
             let home = &mut self.home_channel;
             self.pool.admit(self.now, |req| {
                 let ch = ChannelId::new(*next_channel % channels);
@@ -175,12 +186,11 @@ impl ServingSim {
 
             // One decode iteration for the whole running batch.
             let seqs = self.pool.seq_lens();
-            let iter = self.device.decode_iteration(
-                &self.model,
-                self.cfg.tp,
-                self.cfg.layers,
-                &seqs,
-            )?;
+            let iter = self
+                .backend
+                .decode_iteration(&self.model, self.cfg.tp, self.cfg.layers, &seqs)
+                .map_err(SimError::from)?
+                .into_breakdown();
             self.now += iter.total_cycles;
             totals.merge(&iter);
             iterations += 1;
@@ -314,7 +324,10 @@ mod tests {
         let p99 = out.latency_percentile(99.0);
         assert!(p50 > 0);
         assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
-        assert_eq!(out.latency_percentile(100.0), *out.latencies.last().unwrap());
+        assert_eq!(
+            out.latency_percentile(100.0),
+            *out.latencies.last().unwrap()
+        );
         // Mean sits between min and max.
         assert!(out.mean_latency >= out.latencies[0] as f64);
         assert!(out.mean_latency <= *out.latencies.last().unwrap() as f64);

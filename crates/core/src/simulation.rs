@@ -1,0 +1,439 @@
+//! The `Simulation` builder: one entry point for every experiment shape.
+//!
+//! A [`Simulation`] binds a [`Backend`] to a model, a dataset, and a batch
+//! geometry, then prices decode iterations, warm-batch throughput,
+//! multi-device (TP, PP) deployments, and full serving runs — replacing
+//! the scattered per-system entry points the harness used to hard-wire.
+//!
+//! # Example
+//!
+//! ```
+//! use neupims_core::backend::NeuPimsBackend;
+//! use neupims_core::simulation::Simulation;
+//! use neupims_types::LlmConfig;
+//! use neupims_workload::Dataset;
+//!
+//! let sim = Simulation::builder()
+//!     .model(LlmConfig::gpt3_7b())
+//!     .backend(NeuPimsBackend::table2().unwrap())
+//!     .dataset(Dataset::ShareGpt)
+//!     .batch(64)
+//!     .build()
+//!     .unwrap();
+//! assert!(sim.throughput().unwrap() > 0.0);
+//! ```
+//!
+//! Backends are interchangeable: swap `NeuPimsBackend` for
+//! [`GpuRooflineBackend`](crate::backend::GpuRooflineBackend),
+//! [`TransPimBackend`](crate::backend::TransPimBackend), or a boxed backend
+//! from [`backend_from_name`](crate::backend::backend_from_name), and every
+//! method keeps working.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use neupims_types::{Cycle, LlmConfig};
+use neupims_workload::{warm_batch, Dataset};
+
+use crate::backend::{Backend, BackendError, IterationResult};
+use crate::cluster::{cluster_throughput, ClusterSpec};
+use crate::serving::{ServingConfig, ServingSim};
+
+/// Default RNG seed of the experiment harness (kept from the seed repo so
+/// regenerated tables stay comparable across versions).
+pub const DEFAULT_SEED: u64 = 0xA5F0_2024;
+
+/// A configured simulation of one backend serving one model.
+#[derive(Debug, Clone)]
+pub struct Simulation<B: Backend> {
+    backend: B,
+    model: LlmConfig,
+    dataset: Dataset,
+    batch: usize,
+    tp: u32,
+    layers: u32,
+    seed: u64,
+    samples: usize,
+}
+
+/// Builder for [`Simulation`] (see [`Simulation::builder`]).
+///
+/// The backend is a type-state: [`SimulationBuilder::build`] only exists
+/// once [`SimulationBuilder::backend`] has been called, so a simulation
+/// without a backend is a compile error rather than a runtime one.
+#[derive(Debug, Clone)]
+pub struct SimulationBuilder<B = NoBackend> {
+    backend: B,
+    model: Option<LlmConfig>,
+    dataset: Dataset,
+    batch: usize,
+    tp: Option<u32>,
+    layers: Option<u32>,
+    seed: u64,
+    samples: usize,
+}
+
+/// Type-state marker: no backend selected yet.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoBackend;
+
+impl Simulation<Box<dyn Backend>> {
+    /// Starts a builder. Defaults: ShareGPT dataset, batch 256, the
+    /// model's published (TP, PP) sharding, [`DEFAULT_SEED`], 10 samples.
+    ///
+    /// (`builder` is anchored on the boxed-backend instantiation so the
+    /// call needs no type annotation; the builder's
+    /// [`backend`](SimulationBuilder::backend) call fixes the actual
+    /// backend type, boxed or not.)
+    pub fn builder() -> SimulationBuilder<NoBackend> {
+        SimulationBuilder {
+            backend: NoBackend,
+            model: None,
+            dataset: Dataset::ShareGpt,
+            batch: 256,
+            tp: None,
+            layers: None,
+            seed: DEFAULT_SEED,
+            samples: 10,
+        }
+    }
+}
+
+impl<T> SimulationBuilder<T> {
+    /// Selects (or replaces) the backend to simulate.
+    pub fn backend<B: Backend>(self, backend: B) -> SimulationBuilder<B> {
+        SimulationBuilder {
+            backend,
+            model: self.model,
+            dataset: self.dataset,
+            batch: self.batch,
+            tp: self.tp,
+            layers: self.layers,
+            seed: self.seed,
+            samples: self.samples,
+        }
+    }
+
+    /// Sets the model (defaults to GPT3-7B when unset).
+    pub fn model(mut self, model: LlmConfig) -> Self {
+        self.model = Some(model);
+        self
+    }
+
+    /// Sets the dataset the warm batches are drawn from.
+    pub fn dataset(mut self, dataset: Dataset) -> Self {
+        self.dataset = dataset;
+        self
+    }
+
+    /// Sets the decode batch size (requests per iteration).
+    pub fn batch(mut self, batch: usize) -> Self {
+        self.batch = batch;
+        self
+    }
+
+    /// Overrides the tensor-parallel degree (defaults to the model's
+    /// published Table 3 value).
+    pub fn tp(mut self, tp: u32) -> Self {
+        self.tp = Some(tp);
+        self
+    }
+
+    /// Overrides the resident layer count (defaults to
+    /// `num_layers / parallelism.pp`, the per-stage share).
+    pub fn layers(mut self, layers: u32) -> Self {
+        self.layers = Some(layers);
+        self
+    }
+
+    /// Sets the workload-sampling RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets how many warm batches [`Simulation::throughput`] averages over.
+    pub fn samples(mut self, samples: usize) -> Self {
+        self.samples = samples;
+        self
+    }
+}
+
+impl<B: Backend> SimulationBuilder<B> {
+    /// Finalizes the simulation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BackendError::InvalidSimulation`] for a zero batch, zero
+    /// samples, an invalid model, or a layer count that doesn't divide by
+    /// the model's pipeline degree when layers are defaulted.
+    pub fn build(self) -> Result<Simulation<B>, BackendError> {
+        let model = self.model.unwrap_or_else(LlmConfig::gpt3_7b);
+        model
+            .validate()
+            .map_err(|e| BackendError::InvalidSimulation(e.to_string()))?;
+        if self.batch == 0 {
+            return Err(BackendError::InvalidSimulation("zero batch size".into()));
+        }
+        if self.samples == 0 {
+            return Err(BackendError::InvalidSimulation("zero sample count".into()));
+        }
+        let tp = self.tp.unwrap_or(model.parallelism.tp);
+        let layers = self
+            .layers
+            .unwrap_or(model.num_layers / model.parallelism.pp);
+        if tp == 0 || layers == 0 {
+            return Err(BackendError::InvalidSimulation(
+                "zero tensor-parallel degree or layer count".into(),
+            ));
+        }
+        Ok(Simulation {
+            backend: self.backend,
+            model,
+            dataset: self.dataset,
+            batch: self.batch,
+            tp,
+            layers,
+            seed: self.seed,
+            samples: self.samples,
+        })
+    }
+}
+
+impl<B: Backend> Simulation<B> {
+    /// The simulated backend.
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// The simulated model.
+    pub fn model(&self) -> &LlmConfig {
+        &self.model
+    }
+
+    /// The dataset warm batches are drawn from.
+    pub fn dataset(&self) -> Dataset {
+        self.dataset
+    }
+
+    /// The configured decode batch size.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// The tensor-parallel degree in effect.
+    pub fn tp(&self) -> u32 {
+        self.tp
+    }
+
+    /// The resident decoder layers in effect.
+    pub fn layers(&self) -> u32 {
+        self.layers
+    }
+
+    /// Samples one warm batch of sequence lengths from the dataset.
+    pub fn sample_seq_lens(&self, rng: &mut StdRng) -> Vec<u64> {
+        warm_batch(rng, self.dataset, self.batch)
+            .iter()
+            .map(|r| r.seq_len())
+            .collect()
+    }
+
+    /// Prices one decode iteration for an explicit batch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend errors.
+    pub fn decode_iteration(&self, seq_lens: &[u64]) -> Result<IterationResult, BackendError> {
+        self.backend
+            .decode_iteration(&self.model, self.tp, self.layers, seq_lens)
+    }
+
+    /// Prices the prefill phase for an explicit prompt batch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend errors.
+    pub fn prefill_cycles(&self, prompt_lens: &[u64]) -> Result<Cycle, BackendError> {
+        self.backend
+            .prefill_cycles(&self.model, self.tp, self.layers, prompt_lens)
+    }
+
+    /// Mean decode throughput (tokens/s) over the configured number of
+    /// warm-batch samples — the quantity Figure 12's bars plot.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend errors.
+    pub fn throughput(&self) -> Result<f64, BackendError> {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ self.batch as u64);
+        let mut sum = 0.0;
+        for _ in 0..self.samples {
+            let seqs = self.sample_seq_lens(&mut rng);
+            sum += self.decode_iteration(&seqs)?.tokens_per_sec();
+        }
+        Ok(sum / self.samples as f64)
+    }
+
+    /// System throughput of a multi-device `(TP, PP)` deployment of this
+    /// simulation's backend, over one sampled warm batch of the configured
+    /// size (Figure 14's bars).
+    ///
+    /// # Errors
+    ///
+    /// Propagates cluster validation and backend errors.
+    pub fn cluster_throughput(&self, spec: ClusterSpec) -> Result<f64, BackendError> {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x14);
+        let seqs = self.sample_seq_lens(&mut rng);
+        cluster_throughput(&self.backend, &self.model, spec, &seqs)
+            .map_err(|e| BackendError::sim(self.backend.label(), e))
+    }
+
+    /// Builds a serving simulation over this backend (borrowed), with the
+    /// simulation's TP degree and resident layers.
+    pub fn serving(&self, max_batch: usize, target_completions: u64) -> ServingSim<&B> {
+        ServingSim::new(
+            &self.backend,
+            self.model.clone(),
+            ServingConfig {
+                max_batch,
+                tp: self.tp,
+                layers: self.layers,
+                target_completions,
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{backend_from_name, GpuRooflineBackend, NeuPimsBackend, TransPimBackend};
+    use neupims_pim::calibrate;
+    use neupims_types::NeuPimsConfig;
+
+    #[test]
+    fn builder_defaults_follow_the_model() {
+        let sim = Simulation::builder()
+            .model(LlmConfig::gpt3_30b())
+            .backend(NeuPimsBackend::table2().unwrap())
+            .build()
+            .unwrap();
+        // GPT3-30B publishes TP=4, PP=2: half the layers resident.
+        assert_eq!(sim.tp(), 4);
+        assert_eq!(sim.layers(), 24);
+        assert_eq!(sim.batch(), 256);
+    }
+
+    #[test]
+    fn builder_rejects_degenerate_configs() {
+        let b = || {
+            Simulation::builder()
+                .backend(GpuRooflineBackend::a100())
+                .model(LlmConfig::gpt3_7b())
+        };
+        assert!(b().batch(0).build().is_err());
+        assert!(b().samples(0).build().is_err());
+        assert!(b().tp(0).build().is_err());
+        let mut bad = LlmConfig::gpt3_7b();
+        bad.d_model = 0;
+        assert!(b().model(bad).build().is_err());
+    }
+
+    #[test]
+    fn throughput_ranks_systems_like_figure12() {
+        let cfg = NeuPimsConfig::table2();
+        let cal = calibrate(&cfg).unwrap();
+        let thr = |name: &str| {
+            Simulation::builder()
+                .model(LlmConfig::gpt3_7b())
+                .backend(backend_from_name(name, &cfg, &cal).unwrap())
+                .batch(256)
+                .samples(2)
+                .build()
+                .unwrap()
+                .throughput()
+                .unwrap()
+        };
+        let npu = thr("npu-only");
+        let naive = thr("naive");
+        let neupims = thr("neupims");
+        let transpim = thr("transpim");
+        assert!(neupims > naive, "{neupims} vs {naive}");
+        assert!(naive > npu, "{naive} vs {npu}");
+        assert!(npu > transpim, "{npu} vs {transpim}");
+    }
+
+    #[test]
+    fn cluster_and_serving_run_through_the_builder() {
+        let sim = Simulation::builder()
+            .model(LlmConfig::gpt3_7b())
+            .backend(NeuPimsBackend::table2().unwrap())
+            .batch(64)
+            .samples(2)
+            .build()
+            .unwrap();
+        let thr = sim.cluster_throughput(ClusterSpec::new(4, 2)).unwrap();
+        assert!(thr > 0.0);
+
+        let mut serving = sim.serving(16, 0);
+        for i in 0..8 {
+            serving.submit(i, 64, 4, 0);
+        }
+        let out = serving.run().unwrap();
+        assert_eq!(out.completed, 8);
+        assert!(out.tokens_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn serving_runs_on_every_backend_kind() {
+        let cfg = NeuPimsConfig::table2();
+        let cal = calibrate(&cfg).unwrap();
+        let run = |sim: &Simulation<Box<dyn crate::backend::Backend>>| {
+            let mut s = sim.serving(8, 0);
+            for i in 0..8 {
+                s.submit(i, 64, 2, 0);
+            }
+            s.run().unwrap()
+        };
+        for name in crate::backend::BACKEND_NAMES {
+            let sim = Simulation::builder()
+                .model(LlmConfig::gpt3_7b())
+                .backend(backend_from_name(name, &cfg, &cal).unwrap())
+                .batch(8)
+                .samples(1)
+                .build()
+                .unwrap();
+            let out = run(&sim);
+            assert_eq!(out.completed, 8, "{name}");
+            assert_eq!(out.tokens, 16, "{name}");
+        }
+    }
+
+    #[test]
+    fn transpim_backend_throughput_is_orders_below_neupims() {
+        let sim = |b: bool| {
+            if b {
+                Simulation::builder()
+                    .backend(NeuPimsBackend::table2().unwrap())
+                    .batch(64)
+                    .samples(2)
+                    .build()
+                    .unwrap()
+                    .throughput()
+                    .unwrap()
+            } else {
+                Simulation::builder()
+                    .backend(TransPimBackend::table2().unwrap())
+                    .batch(64)
+                    .samples(2)
+                    .build()
+                    .unwrap()
+                    .throughput()
+                    .unwrap()
+            }
+        };
+        let ratio = sim(true) / sim(false);
+        assert!(ratio > 30.0, "ratio {ratio}");
+    }
+}

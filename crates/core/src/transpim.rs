@@ -33,7 +33,24 @@ const TOKEN_DATAFLOW_OVERHEAD: f64 = 1.5;
 /// # Errors
 ///
 /// Rejects empty batches and zero layer counts.
+#[deprecated(
+    since = "0.1.0",
+    note = "use neupims_core::backend::TransPimBackend via the Backend trait"
+)]
 pub fn transpim_decode_iteration(
+    cfg: &NeuPimsConfig,
+    cal: &PimCalibration,
+    model: &LlmConfig,
+    tp: u32,
+    layers: u32,
+    seq_lens: &[u64],
+) -> Result<IterationBreakdown, SimError> {
+    decode_impl(cfg, cal, model, tp, layers, seq_lens)
+}
+
+/// Shared implementation behind [`transpim_decode_iteration`] and
+/// [`crate::backend::TransPimBackend`].
+pub(crate) fn decode_impl(
     cfg: &NeuPimsConfig,
     cal: &PimCalibration,
     model: &LlmConfig,
@@ -74,13 +91,45 @@ pub fn transpim_decode_iteration(
     Ok(IterationBreakdown {
         total_cycles: total_cycles.max(1),
         pim_inbank_bytes: inbank_bytes * layers as u64,
-        pim_busy: vec![
-            total_cycles / cfg.mem.channels as u64;
-            cfg.mem.channels as usize
-        ],
+        pim_busy: vec![total_cycles / cfg.mem.channels as u64; cfg.mem.channels as usize],
         tokens: seq_lens.len() as u64,
         ..Default::default()
     })
+}
+
+/// Prices the summarization (prefill) phase on TransPIM: the token-based
+/// dataflow processes prompt tokens sequentially, re-streaming the layer
+/// weights per token (no batched-GEMM reuse exists in-bank) and reading
+/// the K/V context accumulated so far — `s * gemm + (s^2 / 2)`-scaled
+/// attention traffic per request, times the ring-broadcast overhead.
+pub(crate) fn prefill_impl(
+    cfg: &NeuPimsConfig,
+    cal: &PimCalibration,
+    model: &LlmConfig,
+    tp: u32,
+    layers: u32,
+    prompt_lens: &[u64],
+) -> Result<Cycle, SimError> {
+    if prompt_lens.is_empty() {
+        return Err(SimError::InvalidShape("empty prompt batch".into()));
+    }
+    if layers == 0 {
+        return Err(SimError::InvalidShape("zero resident layers".into()));
+    }
+    let geo = KvGeometry::with_tp(model, &cfg.mem, tp);
+    let gemm_bw_device = cal.mem_stream_bw * cfg.mem.channels as f64;
+    let weight_bytes = weight_bytes_per_layer_dev(model, tp);
+    let es = model.dtype.size_bytes();
+
+    let mut total = 0f64;
+    for &s in prompt_lens {
+        let gemm = s as f64 * weight_bytes as f64 / gemm_bw_device;
+        // Attention context grows token by token: sum_{t=1..s} t = s(s+1)/2.
+        let kv_bytes = s * (s + 1) * geo.embed * es; // 2 (K,V) * s(s+1)/2
+        let mha = kv_bytes as f64 / cal.pim_stream_bw;
+        total += (gemm + mha) * TOKEN_DATAFLOW_OVERHEAD;
+    }
+    Ok(((total * layers as f64).ceil() as Cycle).max(1))
 }
 
 #[cfg(test)]
@@ -99,8 +148,7 @@ mod tests {
         let neupims = Device::new(cfg, cal, DeviceMode::neupims())
             .decode_iteration(&model, 4, model.num_layers, &seqs)
             .unwrap();
-        let trans =
-            transpim_decode_iteration(&cfg, &cal, &model, 4, model.num_layers, &seqs).unwrap();
+        let trans = decode_impl(&cfg, &cal, &model, 4, model.num_layers, &seqs).unwrap();
         let speedup = trans.total_cycles as f64 / neupims.total_cycles as f64;
         // Paper band: 79x-431x.
         assert!(speedup > 30.0, "speedup {speedup}");
@@ -112,8 +160,8 @@ mod tests {
         let cfg = NeuPimsConfig::table2();
         let cal = calibrate(&cfg).unwrap();
         let model = LlmConfig::gpt3_7b();
-        let one = transpim_decode_iteration(&cfg, &cal, &model, 4, 32, &[376]).unwrap();
-        let many = transpim_decode_iteration(&cfg, &cal, &model, 4, 32, &[376; 64]).unwrap();
+        let one = decode_impl(&cfg, &cal, &model, 4, 32, &[376]).unwrap();
+        let many = decode_impl(&cfg, &cal, &model, 4, 32, &[376; 64]).unwrap();
         // Per-token cost is flat: 64 requests cost ~64x one request.
         let ratio = many.total_cycles as f64 / one.total_cycles as f64;
         assert!((ratio - 64.0).abs() < 1.0, "ratio {ratio}");
@@ -124,7 +172,7 @@ mod tests {
         let cfg = NeuPimsConfig::table2();
         let cal = calibrate(&cfg).unwrap();
         let model = LlmConfig::gpt3_7b();
-        assert!(transpim_decode_iteration(&cfg, &cal, &model, 4, 32, &[]).is_err());
-        assert!(transpim_decode_iteration(&cfg, &cal, &model, 4, 0, &[1]).is_err());
+        assert!(decode_impl(&cfg, &cal, &model, 4, 32, &[]).is_err());
+        assert!(decode_impl(&cfg, &cal, &model, 4, 0, &[1]).is_err());
     }
 }

@@ -498,7 +498,10 @@ mod tests {
         };
         // Too early: cycle 5 < tRCD.
         let err = c.issue_at(rd, 5).unwrap_err();
-        assert!(matches!(err, SimError::TimingViolation { legal_at: 14, .. }));
+        assert!(matches!(
+            err,
+            SimError::TimingViolation { legal_at: 14, .. }
+        ));
         let info = c.issue(rd, 0).unwrap();
         assert_eq!(info.issued_at, 14);
         assert_eq!(info.done_at, 14 + 14 + 2); // + tCL + tBL
@@ -617,7 +620,7 @@ mod tests {
             .unwrap();
         let info = c.issue(DramCommand::RefreshAll, 0).unwrap();
         assert_eq!(info.done_at - info.issued_at, 260); // tRFC
-        // The next activate waits for the refresh to complete.
+                                                        // The next activate waits for the refresh to complete.
         let nxt = c.issue(act(0, 0, Slot::Mem), 0).unwrap();
         assert!(nxt.issued_at >= info.done_at);
         // And the next refresh is scheduled one tREFI later.

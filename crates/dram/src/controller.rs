@@ -215,7 +215,8 @@ impl Controller {
             let better = match &best {
                 None => true,
                 Some((_, _, best_at, best_hit)) => {
-                    (is_hit && !best_hit && at <= *best_at) || (is_hit == *best_hit && at < *best_at)
+                    (is_hit && !best_hit && at <= *best_at)
+                        || (is_hit == *best_hit && at < *best_at)
                 }
             };
             if better {
@@ -298,11 +299,10 @@ impl Controller {
                     return Ok(Some(done));
                 }
             }
-            DramCommand::Activate { .. }
-                if !fl.counted_hit => {
-                    self.channel.stats_row_miss();
-                    fl.counted_hit = true;
-                }
+            DramCommand::Activate { .. } if !fl.counted_hit => {
+                self.channel.stats_row_miss();
+                fl.counted_hit = true;
+            }
             _ => {}
         }
         Ok(None)

@@ -128,7 +128,11 @@ pub fn verify_protocol(
                         out.push(Violation {
                             rule: "tRRD_L",
                             index: i,
-                            detail: format!("ACTs {} apart in group {}", e.at - prev, group(bank.0)),
+                            detail: format!(
+                                "ACTs {} apart in group {}",
+                                e.at - prev,
+                                group(bank.0)
+                            ),
                         });
                     }
                 }

@@ -155,7 +155,10 @@ impl PagedKvCache {
     ///
     /// Returns [`SimError::UnknownRequest`] for unregistered ids.
     pub fn release(&mut self, id: RequestId) -> Result<u64, SimError> {
-        let alloc = self.requests.remove(&id).ok_or(SimError::UnknownRequest(id))?;
+        let alloc = self
+            .requests
+            .remove(&id)
+            .ok_or(SimError::UnknownRequest(id))?;
         self.used[alloc.channel.index()] -= alloc.pages;
         Ok(alloc.pages)
     }

@@ -24,8 +24,11 @@ enum OpKind {
 
 fn op_strategy() -> impl Strategy<Value = OpKind> {
     prop_oneof![
-        (0u32..12, 0u32..4, 1u64..300)
-            .prop_map(|(id, channel, seq)| OpKind::Admit { id, channel, seq }),
+        (0u32..12, 0u32..4, 1u64..300).prop_map(|(id, channel, seq)| OpKind::Admit {
+            id,
+            channel,
+            seq
+        }),
         (0u32..12).prop_map(|id| OpKind::Append { id }),
         (0u32..12).prop_map(|id| OpKind::Release { id }),
     ]

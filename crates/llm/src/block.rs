@@ -25,12 +25,7 @@ use crate::ops::{Op, OpKind};
 /// current context length. For [`Phase::Summarization`] the GEMM row count
 /// is the sum of prompt lengths; for [`Phase::Generation`] it is the number
 /// of requests.
-pub fn decoder_block_ops(
-    model: &LlmConfig,
-    tp: u32,
-    seq_lens: &[u64],
-    phase: Phase,
-) -> Vec<Op> {
+pub fn decoder_block_ops(model: &LlmConfig, tp: u32, seq_lens: &[u64], phase: Phase) -> Vec<Op> {
     let d = model.d_model as u64;
     let d_ff = model.d_ff as u64;
     let tp = tp.max(1) as u64;
@@ -69,11 +64,7 @@ pub fn decoder_block_ops(
     });
     ops.push(Op {
         name: "attn_proj",
-        kind: OpKind::Gemm {
-            m,
-            k: d / tp,
-            n: d,
-        },
+        kind: OpKind::Gemm { m, k: d / tp, n: d },
     });
     ops.push(Op {
         name: "allreduce_attn",

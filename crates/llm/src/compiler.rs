@@ -9,9 +9,7 @@
 //! scheduler consumes.
 
 use neupims_npu::{plan_gemm, GemmPlan, VectorCost};
-use neupims_types::{
-    DataType, LlmConfig, NpuConfig, ParallelismConfig, Phase, SimError,
-};
+use neupims_types::{DataType, LlmConfig, NpuConfig, ParallelismConfig, Phase, SimError};
 
 use crate::block::decoder_block_ops;
 use crate::ops::OpKind;
@@ -192,7 +190,8 @@ pub fn parse_spec(text: &str) -> Result<LlmConfig, SimError> {
     };
     let d_model = require(d_model, "d_model")?;
     let model = LlmConfig {
-        name: name.ok_or_else(|| SimError::InvalidConfig("missing required key \"name\"".into()))?,
+        name: name
+            .ok_or_else(|| SimError::InvalidConfig("missing required key \"name\"".into()))?,
         num_layers: require(layers, "layers")?,
         num_heads: require(heads, "heads")?,
         d_model,
@@ -281,9 +280,7 @@ mod tests {
         assert!(parse_spec("name = x\nlayers = two\nheads = 1\nd_model = 64").is_err());
         assert!(parse_spec("name = x\nbogus_key = 4").is_err());
         assert!(parse_spec("name = x\nlayers 4").is_err()); // no '='
-        assert!(
-            parse_spec("name = x\nlayers = 4\nheads = 3\nd_model = 64\ndtype = fp8").is_err()
-        );
+        assert!(parse_spec("name = x\nlayers = 4\nheads = 3\nd_model = 64\ndtype = fp8").is_err());
         // heads not dividing d_model fails validation.
         assert!(parse_spec("name = x\nlayers = 4\nheads = 5\nd_model = 64").is_err());
     }

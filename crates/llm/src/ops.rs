@@ -85,7 +85,9 @@ impl Op {
         match self.kind {
             OpKind::Gemm { .. } => Engine::NpuSystolic,
             OpKind::MhaGemv { .. } => Engine::Pim,
-            OpKind::Softmax { .. } | OpKind::LayerNorm { .. } | OpKind::Gelu { .. }
+            OpKind::Softmax { .. }
+            | OpKind::LayerNorm { .. }
+            | OpKind::Gelu { .. }
             | OpKind::Add { .. } => Engine::NpuVector,
             OpKind::AllReduce { .. } => Engine::Interconnect,
         }
@@ -147,11 +149,7 @@ mod tests {
     fn gemm_flops() {
         let op = Op {
             name: "ffn1",
-            kind: OpKind::Gemm {
-                m: 8,
-                k: 16,
-                n: 32,
-            },
+            kind: OpKind::Gemm { m: 8, k: 16, n: 32 },
         };
         assert_eq!(op.flops(), 2 * 8 * 16 * 32);
     }

@@ -132,8 +132,12 @@ mod tests {
         let gen = operator_intensity(&model, OperatorClass::LogitAttend, 256, Phase::Generation);
         // No reuse: ~1 FLOP per byte at fp16 (paper's 0.25–1 band).
         assert!(gen < 1.5, "{gen}");
-        let sum =
-            operator_intensity(&model, OperatorClass::LogitAttend, 256, Phase::Summarization);
+        let sum = operator_intensity(
+            &model,
+            OperatorClass::LogitAttend,
+            256,
+            Phase::Summarization,
+        );
         assert!(sum > 10.0 * gen, "summarization batches the query side");
     }
 
@@ -156,8 +160,20 @@ mod tests {
                 LlmConfig::mpt_30b(),
             ] {
                 let u = gpu_utilization(&gpu, &model, 512);
-                assert!(u.capacity > 0.6, "{} {}: cap {}", gpu.name, model.name, u.capacity);
-                assert!(u.compute < 0.4, "{} {}: compute {}", gpu.name, model.name, u.compute);
+                assert!(
+                    u.capacity > 0.6,
+                    "{} {}: cap {}",
+                    gpu.name,
+                    model.name,
+                    u.capacity
+                );
+                assert!(
+                    u.compute < 0.4,
+                    "{} {}: compute {}",
+                    gpu.name,
+                    model.name,
+                    u.compute
+                );
                 assert!(
                     u.bandwidth > 0.9,
                     "{} {}: decode must be bandwidth-bound ({})",

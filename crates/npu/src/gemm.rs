@@ -80,9 +80,7 @@ pub fn plan_gemm(
     // Tiles round-robin over arrays; the slowest array bounds the pass.
     let rounds = w_tiles.div_ceil(sa.arrays());
     let per_round = if interior > 0 { per_interior } else { per_edge };
-    let compute_cycles = (rounds * per_round)
-        .max(serial_cycles / sa.arrays())
-        + sa.pass_overhead();
+    let compute_cycles = (rounds * per_round).max(serial_cycles / sa.arrays()) + sa.pass_overhead();
 
     let es = dtype.size_bytes();
     let flops = 2 * m * k * n;
@@ -158,6 +156,10 @@ mod tests {
         // m = 1 (pure GEMV): the NPU runs it, just very inefficiently —
         // this is the Figure 4 memory-bound regime.
         let p = plan_gemm(&npu(), 1, 4096, 4096, DataType::Fp16).unwrap();
-        assert!(p.efficiency < 0.02, "GEMV must be inefficient: {}", p.efficiency);
+        assert!(
+            p.efficiency < 0.02,
+            "GEMV must be inefficient: {}",
+            p.efficiency
+        );
     }
 }

@@ -159,7 +159,12 @@ mod tests {
         // inside the tFAW pacing gaps — the cost only surfaces under
         // concurrent MEM traffic (Figure 9). Solo rates stay within 10%.
         let rel = (cal.l_tile_fine - cal.l_tile).abs() / cal.l_tile;
-        assert!(rel < 0.10, "fine {} vs composite {}", cal.l_tile_fine, cal.l_tile);
+        assert!(
+            rel < 0.10,
+            "fine {} vs composite {}",
+            cal.l_tile_fine,
+            cal.l_tile
+        );
         // GWRITE: activate + page copy + precharge.
         assert!(cal.l_gwrite > 10.0, "l_gwrite {}", cal.l_gwrite);
         assert!(cal.l_gwrite < 200.0, "l_gwrite {}", cal.l_gwrite);
@@ -175,7 +180,11 @@ mod tests {
         );
         // PIM consumes matrix data faster than the external bus could move
         // it: the whole reason PIM wins on GEMV.
-        assert!(cal.pim_advantage() > 2.0, "advantage {}", cal.pim_advantage());
+        assert!(
+            cal.pim_advantage() > 2.0,
+            "advantage {}",
+            cal.pim_advantage()
+        );
     }
 
     #[test]

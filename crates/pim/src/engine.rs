@@ -164,10 +164,22 @@ impl PimStats {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Phase {
     Start,
-    Gwrite { idx: usize, step: GwriteStep },
-    TileActs { tile: usize, act_idx: usize, replayed: bool },
-    TileDrain { tile: usize, replayed: bool },
-    Results { burst: u32 },
+    Gwrite {
+        idx: usize,
+        step: GwriteStep,
+    },
+    TileActs {
+        tile: usize,
+        act_idx: usize,
+        replayed: bool,
+    },
+    TileDrain {
+        tile: usize,
+        replayed: bool,
+    },
+    Results {
+        burst: u32,
+    },
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -339,7 +351,8 @@ impl GemvEngine {
             match phase {
                 Phase::Start => {
                     let start = self.front().job.min_start;
-                    let first_tile_rows = self.front().job.tiles.first().map_or(0, |t| t.rows.len());
+                    let first_tile_rows =
+                        self.front().job.tiles.first().map_or(0, |t| t.rows.len());
                     if self.use_header {
                         let est = self.tile_estimate(ch, first_tile_rows);
                         if ch.refresh_overdue(ch.ca_free_at(start) + est) {

@@ -15,7 +15,11 @@ fn setup() -> (DramChannel, GemvEngine) {
 
 fn matrix(rows: usize, cols: usize, vals: &[f32]) -> Vec<Vec<f32>> {
     (0..rows)
-        .map(|r| (0..cols).map(|c| vals[(r * cols + c) % vals.len()]).collect())
+        .map(|r| {
+            (0..cols)
+                .map(|c| vals[(r * cols + c) % vals.len()])
+                .collect()
+        })
         .collect()
 }
 

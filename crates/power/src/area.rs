@@ -68,8 +68,8 @@ mod tests {
     fn fractions_form_a_whole_die() {
         let m = AreaModel::default();
         assert!(m.periphery_fraction() > 0.0);
-        let total = m.cell_fraction + m.sense_amp_fraction + m.decoder_fraction
-            + m.periphery_fraction();
+        let total =
+            m.cell_fraction + m.sense_amp_fraction + m.decoder_fraction + m.periphery_fraction();
         assert!((total - 1.0).abs() < 1e-12);
     }
 

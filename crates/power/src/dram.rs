@@ -151,9 +151,9 @@ impl DramPowerParams {
         let refresh_mw =
             mw(self.idd5_delta) * activity.refreshes as f64 * self.t_rfc as f64 / window;
         // PIM compute: all-bank command at 4x read current for its duration.
-        let pim_compute_mw = mw(self.idd4r_delta) * self.pim_compute_factor
-            * activity.pim_compute_cycles as f64
-            / window;
+        let pim_compute_mw =
+            mw(self.idd4r_delta) * self.pim_compute_factor * activity.pim_compute_cycles as f64
+                / window;
 
         PowerBreakdown {
             background_mw,
@@ -205,7 +205,11 @@ mod tests {
         ] {
             assert!(c >= 0.0);
         }
-        let sum = b.background_mw + b.activate_mw + b.read_mw + b.write_mw + b.refresh_mw
+        let sum = b.background_mw
+            + b.activate_mw
+            + b.read_mw
+            + b.write_mw
+            + b.refresh_mw
             + b.pim_compute_mw;
         assert!((b.total_mw() - sum).abs() < 1e-12);
     }

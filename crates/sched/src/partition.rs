@@ -91,10 +91,7 @@ mod tests {
                 .filter(|r| r.0 >= start && r.0 < start + len as u32)
                 .count();
             let in2 = len - in1;
-            assert!(
-                in1.abs_diff(in2) <= 1,
-                "channel at {start}: {in1} vs {in2}"
-            );
+            assert!(in1.abs_diff(in2) <= 1, "channel at {start}: {in1} vs {in2}");
         }
     }
 

@@ -5,8 +5,8 @@ use proptest::prelude::*;
 
 use neupims_kvcache::KvGeometry;
 use neupims_sched::{
-    assign_min_load, assign_round_robin, channel_loads, partition_sub_batches,
-    MhaLatencyEstimator, RequestPool,
+    assign_min_load, assign_round_robin, channel_loads, partition_sub_batches, MhaLatencyEstimator,
+    RequestPool,
 };
 use neupims_types::{LlmConfig, MemConfig, Request, RequestId};
 

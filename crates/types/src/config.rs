@@ -300,7 +300,10 @@ impl NeuPimsConfig {
             ));
         }
         if self.mem.banks_per_bankgroup == 0
-            || !self.mem.banks_per_channel.is_multiple_of(self.mem.banks_per_bankgroup)
+            || !self
+                .mem
+                .banks_per_channel
+                .is_multiple_of(self.mem.banks_per_bankgroup)
         {
             return Err(SimError::InvalidConfig(format!(
                 "banks per channel ({}) must be a multiple of banks per bank group ({})",

@@ -35,15 +35,7 @@ pub fn secs_to_cycles(secs: f64) -> Cycle {
 /// The paper evaluates fp16 models; fp32 is used by reference math in tests
 /// and int8 is provided for completeness of the cost models.
 #[derive(
-    Debug,
-    Clone,
-    Copy,
-    PartialEq,
-    Eq,
-    Hash,
-    Default,
-    serde::Serialize,
-    serde::Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize,
 )]
 pub enum DataType {
     /// IEEE 754 half precision (2 bytes). The paper's evaluation format.

@@ -1,6 +1,6 @@
 //! Ablation explorer: toggle the NeuPIMs techniques (dual row buffers,
-//! greedy min-load bin packing, sub-batch interleaving) and watch the
-//! Figure 13 crossover emerge across batch sizes.
+//! greedy min-load bin packing, sub-batch interleaving) by backend name and
+//! watch the Figure 13 crossover emerge across batch sizes.
 //!
 //! ```text
 //! cargo run --release --example ablation_explorer
@@ -9,7 +9,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use neupims_core::device::{Device, DeviceMode, SbiPolicy};
+use neupims_core::backend::{backend_from_name, Backend};
 use neupims_pim::calibrate;
 use neupims_types::{LlmConfig, NeuPimsConfig};
 use neupims_workload::{warm_batch, Dataset};
@@ -20,35 +20,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cal = calibrate(&cfg)?;
     let model = LlmConfig::gpt3_7b();
 
-    let variants: [(&str, DeviceMode); 5] = [
-        ("NPU+PIM (baseline)", DeviceMode::NaiveNpuPim),
-        (
-            "+DRB",
-            DeviceMode::NeuPims {
-                gmlbp: false,
-                sbi: SbiPolicy::Off,
-            },
-        ),
-        (
-            "+DRB+GMLBP",
-            DeviceMode::NeuPims {
-                gmlbp: true,
-                sbi: SbiPolicy::Off,
-            },
-        ),
-        (
-            "+DRB+GMLBP+SBI",
-            DeviceMode::NeuPims {
-                gmlbp: true,
-                sbi: SbiPolicy::Always,
-            },
-        ),
-        ("adaptive SBI", DeviceMode::neupims()),
+    // Every ablation arm is a named backend in the registry.
+    let variants: [(&str, &str); 5] = [
+        ("NPU+PIM (baseline)", "naive"),
+        ("+DRB", "neupims-drb"),
+        ("+DRB+GMLBP", "neupims-drb-gmlbp"),
+        ("+DRB+GMLBP+SBI", "neupims-drb-gmlbp-sbi"),
+        ("adaptive SBI", "neupims"),
     ];
 
-    println!(
-        "\nGPT3-7B / ShareGPT — throughput normalized to NPU+PIM\n"
-    );
+    println!("\nGPT3-7B / ShareGPT — throughput normalized to NPU+PIM\n");
     print!("{:<20}", "variant");
     let batches = [64usize, 128, 256, 384, 512];
     for b in batches {
@@ -57,7 +38,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!();
 
     let mut base = vec![0.0f64; batches.len()];
-    for (name, mode) in variants {
+    for (name, backend_name) in variants {
+        let backend = backend_from_name(backend_name, &cfg, &cal)?;
         print!("{name:<20}");
         for (i, &batch) in batches.iter().enumerate() {
             let mut rng = StdRng::seed_from_u64(7 ^ batch as u64);
@@ -65,9 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .iter()
                 .map(|r| r.seq_len())
                 .collect();
-            let device = Device::new(cfg, cal, mode);
-            let iter =
-                device.decode_iteration(&model, 4, model.num_layers, &seqs)?;
+            let iter = backend.decode_iteration(&model, 4, model.num_layers, &seqs)?;
             let thr = iter.tokens_per_sec();
             if base[i] == 0.0 {
                 base[i] = thr;

@@ -8,9 +8,7 @@
 //! ```
 
 use neupims_dram::{Controller, DramChannel, MemRequest};
-use neupims_pim::{
-    attend_job, logit_job, CommandMode, DuetDriver, GemvEngine, GemvJob,
-};
+use neupims_pim::{attend_job, logit_job, CommandMode, DuetDriver, GemvEngine, GemvJob};
 use neupims_types::{config::PimConfig, BankId, HbmTiming, MemConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -21,7 +19,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let seq_len = 300usize;
     let d_head = 128usize;
     let k: Vec<Vec<f32>> = (0..seq_len)
-        .map(|s| (0..d_head).map(|j| ((s * 7 + j) % 13) as f32 * 0.1 - 0.6).collect())
+        .map(|s| {
+            (0..d_head)
+                .map(|j| ((s * 7 + j) % 13) as f32 * 0.1 - 0.6)
+                .collect()
+        })
         .collect();
     let q: Vec<f32> = (0..d_head).map(|j| (j % 5) as f32 * 0.25 - 0.5).collect();
 
@@ -57,10 +59,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // ---- The paper's core observation: blocked vs concurrent ----
     println!("\nMEM stream (256 pages) + PIM GEMV (32 tiles) on one channel:");
-    for (name, dual) in [("blocked (single row buffer)", false), ("dual row buffers", true)] {
+    for (name, dual) in [
+        ("blocked (single row buffer)", false),
+        ("dual row buffers", true),
+    ] {
         let mut ctrl = Controller::new(mem, timing, dual);
         for p in 0..256u32 {
-            ctrl.enqueue(MemRequest::read(BankId::new(p % 32), 20_000 + p / 32, 0, 16));
+            ctrl.enqueue(MemRequest::read(
+                BankId::new(p % 32),
+                20_000 + p / 32,
+                0,
+                16,
+            ));
         }
         let mut engine = GemvEngine::new(PimConfig::newton(), CommandMode::Composite, true);
         engine.enqueue(GemvJob::synthetic(&mem, 32, 1, 0));

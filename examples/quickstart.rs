@@ -1,20 +1,19 @@
-//! Quickstart: build a NeuPIMs device, run one batched decode iteration,
-//! and compare it against the baselines.
+//! Quickstart: build a `Simulation` per backend, run one batched decode
+//! iteration on each system, and compare.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
-use neupims_core::device::{Device, DeviceMode};
+use neupims_core::backend::{backend_from_name, BACKEND_NAMES};
+use neupims_core::simulation::Simulation;
 use neupims_pim::calibrate;
 use neupims_types::{LlmConfig, NeuPimsConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // 1. Hardware: the paper's Table 2 prototype.
+    // 1. Hardware: the paper's Table 2 prototype, calibrated once.
     let cfg = NeuPimsConfig::table2();
     cfg.validate()?;
-
-    // 2. Calibrate the macro model from the cycle-accurate DRAM/PIM model.
     println!("calibrating PIM constants from the cycle model ...");
     let cal = calibrate(&cfg)?;
     println!(
@@ -25,36 +24,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         cal.pim_advantage()
     );
 
-    // 3. Model and workload: GPT3-13B, a 256-request batch mid-generation
+    // 2. Model and workload: GPT3-13B, a 256-request batch mid-generation
     //    with 300 tokens of context each.
     let model = LlmConfig::gpt3_13b();
     let seq_lens = vec![300u64; 256];
 
-    // 4. Price one decode iteration on each system.
+    // 3. One `Simulation` per system — every backend behind the same API.
     println!(
-        "{:<12} {:>14} {:>14} {:>8}",
-        "system", "cycles/iter", "tokens/s", "speedup"
+        "{:<12} {:>14} {:>14} {:>10}",
+        "system", "cycles/iter", "tokens/s", "vs NPU"
     );
-    let mut baseline = None;
-    for mode in [
-        DeviceMode::NpuOnly,
-        DeviceMode::NaiveNpuPim,
-        DeviceMode::neupims(),
-    ] {
-        let device = Device::new(cfg, cal, mode);
-        let iter = device.decode_iteration(
-            &model,
-            model.parallelism.tp,
-            model.num_layers,
-            &seq_lens,
-        )?;
-        let base = *baseline.get_or_insert(iter.total_cycles);
+    let mut npu_only_cycles = None;
+    for name in BACKEND_NAMES {
+        let sim = Simulation::builder()
+            .model(model.clone())
+            .backend(backend_from_name(name, &cfg, &cal)?)
+            .build()?;
+        let iter = sim.decode_iteration(&seq_lens)?;
+        if name == "npu-only" {
+            npu_only_cycles = Some(iter.total_cycles());
+        }
+        let speedup = npu_only_cycles
+            .map(|b| format!("{:>9.2}x", b as f64 / iter.total_cycles() as f64))
+            .unwrap_or_else(|| "         -".to_owned());
         println!(
-            "{:<12} {:>14} {:>14.0} {:>7.2}x",
-            mode.label(),
-            iter.total_cycles,
+            "{:<12} {:>14} {:>14.0} {}",
+            iter.backend,
+            iter.total_cycles(),
             iter.tokens_per_sec(),
-            base as f64 / iter.total_cycles as f64
+            speedup
         );
     }
     Ok(())

@@ -1,6 +1,7 @@
 //! End-to-end inference serving: streaming Poisson arrivals with
 //! ShareGPT-like lengths through the Orca-style iteration-level scheduler,
-//! paged KV cache, and a NeuPIMs device.
+//! paged KV cache, and any simulation backend — built with the
+//! `Simulation` builder.
 //!
 //! ```text
 //! cargo run --release --example serving_simulation
@@ -9,8 +10,8 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use neupims_core::device::{Device, DeviceMode};
-use neupims_core::serving::{ServingConfig, ServingSim};
+use neupims_core::backend::{backend_from_name, Backend};
+use neupims_core::simulation::Simulation;
 use neupims_pim::calibrate;
 use neupims_types::{LlmConfig, NeuPimsConfig};
 use neupims_workload::{poisson_arrivals, Dataset};
@@ -27,28 +28,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let arrivals = poisson_arrivals(&mut rng, 3.0, 20_000_000);
     let dataset = Dataset::ShareGpt;
 
-    for mode in [DeviceMode::NaiveNpuPim, DeviceMode::neupims()] {
-        let device = Device::new(cfg, cal, mode);
-        let mut sim = ServingSim::new(
-            device,
-            model.clone(),
-            ServingConfig {
-                max_batch: 64,
-                tp: model.parallelism.tp,
-                layers: model.num_layers,
-                target_completions: 0,
-            },
-        );
+    // The same serving loop drives every system: swap the backend name.
+    for backend_name in ["naive", "neupims"] {
+        let sim = Simulation::builder()
+            .model(model.clone())
+            .backend(backend_from_name(backend_name, &cfg, &cal)?)
+            .dataset(dataset)
+            .build()?;
+        let mut serving = sim.serving(64, 0);
         let mut rng = StdRng::seed_from_u64(99);
         for (i, &at) in arrivals.iter().take(60).enumerate() {
             let input = dataset.sample_input(&mut rng);
             let output = dataset.sample_output(&mut rng).min(64); // cap for demo
-            sim.submit(i as u32, input, output, at);
+            serving.submit(i as u32, input, output, at);
         }
-        let out = sim.run()?;
+        let out = serving.run()?;
         println!(
             "\n{:<10}: {} requests, {} tokens in {:.1} ms",
-            mode.label(),
+            sim.backend().label(),
             out.completed,
             out.tokens,
             out.total_cycles as f64 / 1e6

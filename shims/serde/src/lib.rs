@@ -1,0 +1,16 @@
+//! Minimal offline stand-in for `serde`.
+//!
+//! Exposes `Serialize`/`Deserialize` as both marker traits and (no-op)
+//! derive macros, so `#[derive(serde::Serialize, serde::Deserialize)]`
+//! compiles unchanged. No actual serialization happens until the real
+//! crate is swapped back in.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

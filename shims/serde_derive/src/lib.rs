@@ -1,0 +1,19 @@
+//! No-op derive macros standing in for `serde_derive`.
+//!
+//! The real macros generate `Serialize`/`Deserialize` impls; nothing in
+//! this workspace serializes yet, so deriving is a marker-only operation.
+//! Swapping in the real serde restores full behavior without code changes.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -78,7 +78,12 @@ fn composite_commands_pay_off_under_contention() {
     let run = |mode| {
         let mut ctrl = Controller::new(mem, timing, true);
         for p in 0..512u32 {
-            ctrl.enqueue(MemRequest::read(BankId::new(p % 32), 20_000 + p / 32, 0, 16));
+            ctrl.enqueue(MemRequest::read(
+                BankId::new(p % 32),
+                20_000 + p / 32,
+                0,
+                16,
+            ));
         }
         let mut e = GemvEngine::new(PimConfig::newton(), mode, true);
         e.enqueue(GemvJob::synthetic(&mem, 64, 1, 0));

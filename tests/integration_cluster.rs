@@ -23,8 +23,12 @@ fn fig14_prefers_tp_at_every_device_count() {
             .unwrap()
             .tokens_per_sec
     };
-    for (winner, loser) in [((4, 1), (2, 2)), ((8, 1), (4, 2)), ((8, 2), (4, 4)), ((16, 4), (8, 8))]
-    {
+    for (winner, loser) in [
+        ((4, 1), (2, 2)),
+        ((8, 1), (4, 2)),
+        ((8, 2), (4, 4)),
+        ((16, 4), (8, 8)),
+    ] {
         assert!(
             get(winner.0, winner.1) > get(loser.0, loser.1),
             "TP-heavy {winner:?} must beat PP-heavy {loser:?}"

@@ -81,7 +81,10 @@ fn headline_speedups_match_paper_bands() {
         avg_naive > 1.13 && avg_naive < 3.0,
         "NeuPIMs/NPU+PIM avg {avg_naive}"
     );
-    assert!(avg_npu > 1.5 && avg_npu < 4.5, "NeuPIMs/NPU-only avg {avg_npu}");
+    assert!(
+        avg_npu > 1.5 && avg_npu < 4.5,
+        "NeuPIMs/NPU-only avg {avg_npu}"
+    );
     // Gains grow with batch size (Figure 12's trend).
     assert!(
         over_naive.last().unwrap() >= over_naive.first().unwrap(),
@@ -106,7 +109,10 @@ fn scheduler_estimator_matches_device_accounting() {
     let charged_total: u64 = b.pim_busy.iter().sum();
     let per_layer = charged_total as f64 / model.num_layers as f64;
     let rel = (per_layer - estimated_total).abs() / estimated_total;
-    assert!(rel < 0.01, "estimator {estimated_total} vs device {per_layer}");
+    assert!(
+        rel < 0.01,
+        "estimator {estimated_total} vs device {per_layer}"
+    );
 }
 
 #[test]

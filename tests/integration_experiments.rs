@@ -2,8 +2,8 @@
 //! artifact with the comparative shapes intact.
 
 use neupims_core::experiments::{
-    area_overhead, fig12_throughput, fig13_ablation, fig15_transpim, fig4_roofline,
-    fig5_gpu_util, table4_utilization, table5_power, ExperimentContext,
+    area_overhead, fig12_throughput, fig13_ablation, fig15_transpim, fig4_roofline, fig5_gpu_util,
+    table4_utilization, table5_power, ExperimentContext,
 };
 use neupims_types::LlmConfig;
 use neupims_workload::Dataset;
@@ -19,9 +19,7 @@ fn fig12_shape_holds_across_models_and_datasets() {
         for model in [LlmConfig::gpt3_7b(), LlmConfig::gpt3_13b()] {
             for batch in [128usize, 384] {
                 let rows = fig12_throughput(&c, dataset, &model, batch).unwrap();
-                let get = |s: &str| {
-                    rows.iter().find(|r| r.system == s).unwrap().tokens_per_sec
-                };
+                let get = |s: &str| rows.iter().find(|r| r.system == s).unwrap().tokens_per_sec;
                 // The paper's ordering: NeuPIMs on top, naive next, the two
                 // homogeneous baselines close together at the bottom.
                 assert!(
@@ -68,11 +66,7 @@ fn fig13_sbi_crossover_is_visible() {
     assert!(sbi_large > sbi_small, "{sbi_small} -> {sbi_large}");
     assert!(sbi_large > 1.1, "SBI at B=512: {sbi_large}");
     // Every NeuPIMs variant beats the NPU+PIM baseline at B=512.
-    for v in [
-        "NeuPIMs-DRB",
-        "NeuPIMs-DRB+GMLBP",
-        "NeuPIMs-DRB+GMLBP+SBI",
-    ] {
+    for v in ["NeuPIMs-DRB", "NeuPIMs-DRB+GMLBP", "NeuPIMs-DRB+GMLBP+SBI"] {
         assert!(get(512, v) > 1.0, "{v} at B=512: {}", get(512, v));
     }
 }

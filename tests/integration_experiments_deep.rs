@@ -7,9 +7,7 @@ use neupims_kvcache::{KvGeometry, PagePool};
 use neupims_llm::compiler::parse_spec;
 use neupims_npu::functional::{matmul_ref, matmul_tiled, softmax_ref};
 use neupims_pim::{attend_job, logit_job, CommandMode, GemvEngine};
-use neupims_types::{
-    config::PimConfig, ChannelId, HbmTiming, MemConfig, NpuConfig, SimError,
-};
+use neupims_types::{config::PimConfig, ChannelId, HbmTiming, MemConfig, NpuConfig, SimError};
 
 /// One decoder-attention head computed functionally end to end: QK^T
 /// logits on the PIM path, softmax on the (reference) vector path, attend
@@ -19,10 +17,18 @@ fn attention_head_end_to_end_matches_reference() {
     let seq = 200usize;
     let d_head = 128usize;
     let k: Vec<Vec<f32>> = (0..seq)
-        .map(|s| (0..d_head).map(|j| ((s + 3 * j) % 11) as f32 * 0.08 - 0.4).collect())
+        .map(|s| {
+            (0..d_head)
+                .map(|j| ((s + 3 * j) % 11) as f32 * 0.08 - 0.4)
+                .collect()
+        })
         .collect();
     let v: Vec<Vec<f32>> = (0..seq)
-        .map(|s| (0..d_head).map(|j| ((7 * s + j) % 13) as f32 * 0.05 - 0.3).collect())
+        .map(|s| {
+            (0..d_head)
+                .map(|j| ((7 * s + j) % 13) as f32 * 0.05 - 0.3)
+                .collect()
+        })
         .collect();
     let q: Vec<f32> = (0..d_head).map(|j| (j % 7) as f32 * 0.1 - 0.3).collect();
 
