@@ -4,10 +4,13 @@
 //! ```text
 //! neupims <command> [--samples N] [--quick] [--backend NAME] [--model NAME]
 //!                   [--dataset NAME] [--batch N] [--requests N] [--max-batch N]
+//!                   [--replicas N] [--policy NAME] [--rate R]
+//!                   [--slo-ttft-ms MS] [--slo-tpot-ms MS]
 //!
 //! commands:
 //!   sweep       throughput sweep of one backend across batch sizes
 //!   serve       serving simulation (streaming arrivals) on one backend
+//!   fleet       SLO-aware multi-replica fleet serving behind a dispatcher
 //!   calibrate   print the cycle-model calibration constants
 //!   fig4        roofline / arithmetic-intensity points (Figure 4)
 //!   fig5        GPU utilization for four LLMs (Figure 5)
@@ -23,8 +26,14 @@
 //!
 //! backends (for --backend): gpu, npu-only, naive, neupims, transpim,
 //!   neupims-drb, neupims-drb-gmlbp, neupims-drb-gmlbp-sbi
+//!   (fleet accepts a comma-separated list, cycled over the replicas)
 //! models (for --model): gpt3-7b, gpt3-13b, gpt3-30b, gpt3-175b
 //! datasets (for --dataset): sharegpt, alpaca
+//! policies (for --policy): round-robin, jsq, kv-aware
+//! --rate is in requests per million cycles (= kilo-requests/s at 1 GHz)
+//! and drives both `serve` and `fleet` arrivals; --slo-ttft-ms /
+//! --slo-tpot-ms set the latency targets their SLO-attainment and
+//! goodput columns are measured against.
 //! ```
 
 use std::process::ExitCode;
@@ -34,9 +43,11 @@ use neupims_core::experiments::{
     fig4_roofline, fig5_gpu_util, fig6_layer_util, table4_utilization, table5_power,
     ExperimentContext,
 };
+use neupims_core::fleet::{policy_from_name, FleetRequest, FleetSim, POLICY_NAMES};
+use neupims_core::serving::{ServingConfig, ServingSim, SloTargets};
 use neupims_core::BACKEND_NAMES;
 use neupims_types::{LlmConfig, Phase};
-use neupims_workload::{poisson_arrivals, Dataset};
+use neupims_workload::{arrival_stream, Dataset};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -49,6 +60,11 @@ struct Options {
     batch: Option<usize>,
     requests: usize,
     max_batch: usize,
+    replicas: usize,
+    policy: String,
+    rate: f64,
+    slo_ttft_ms: f64,
+    slo_tpot_ms: f64,
 }
 
 fn parse_model(name: &str) -> Option<LlmConfig> {
@@ -81,6 +97,11 @@ fn main() -> ExitCode {
         batch: None,
         requests: 64,
         max_batch: 64,
+        replicas: 4,
+        policy: "jsq".to_owned(),
+        rate: 3.0,
+        slo_ttft_ms: 50.0,
+        slo_tpot_ms: 10.0,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -110,6 +131,41 @@ fn main() -> ExitCode {
                 Some(n) => opts.max_batch = n,
                 None => {
                     eprintln!("--max-batch requires a number");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--replicas" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => opts.replicas = n,
+                _ => {
+                    eprintln!("--replicas requires a positive number");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--policy" => match it.next() {
+                Some(name) => opts.policy = name.clone(),
+                None => {
+                    eprintln!("--policy requires a name ({})", POLICY_NAMES.join("|"));
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--rate" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(r) if r > 0.0 => opts.rate = r,
+                _ => {
+                    eprintln!("--rate requires a positive number (requests per Mcycle)");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--slo-ttft-ms" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(ms) if ms > 0.0 => opts.slo_ttft_ms = ms,
+                _ => {
+                    eprintln!("--slo-ttft-ms requires a positive number (milliseconds)");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--slo-tpot-ms" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(ms) if ms > 0.0 => opts.slo_tpot_ms = ms,
+                _ => {
+                    eprintln!("--slo-tpot-ms requires a positive number (milliseconds)");
                     return ExitCode::FAILURE;
                 }
             },
@@ -174,6 +230,7 @@ fn run(command: &str, opts: &Options) -> Result<(), Box<dyn std::error::Error>> 
     match command {
         "sweep" => cmd_sweep(&ctx, opts),
         "serve" => cmd_serve(&ctx, opts),
+        "fleet" => cmd_fleet(&ctx, opts),
         "calibrate" => cmd_calibrate(&ctx),
         "fig6" => cmd_fig6(&ctx),
         "fig12" => cmd_fig12(&ctx, opts),
@@ -246,19 +303,23 @@ fn cmd_serve(ctx: &ExperimentContext, opts: &Options) -> Result<(), Box<dyn std:
         opts.model.name
     );
 
-    let mut serving = sim.serving(opts.max_batch, 0);
+    let slo = Some(SloTargets {
+        ttft: (opts.slo_ttft_ms * 1e6) as u64,
+        tpot: opts.slo_tpot_ms * 1e6,
+    });
+    let mut serving = sim.serving_with_slo(opts.max_batch.max(1), 0, slo);
     let mut rng = StdRng::seed_from_u64(0x5EED ^ opts.requests as u64);
-    // Horizon sized so ~3x the requested arrivals land inside it.
-    let arrivals = poisson_arrivals(&mut rng, 3.0, (opts.requests as u64 + 16) * 1_000_000);
-    for (i, &at) in arrivals.iter().take(opts.requests).enumerate() {
+    let arrivals = arrival_stream(&mut rng, opts.rate, opts.requests);
+    for (i, &at) in arrivals.iter().enumerate() {
         let input = opts.dataset.sample_input(&mut rng);
         let output = opts.dataset.sample_output(&mut rng).min(128);
-        serving.submit(i as u32, input, output, at);
+        serving.submit(i as u32, input, output, at)?;
     }
     let out = serving.run()?;
     println!("| metric | value |");
     println!("|---|---:|");
     println!("| completed requests | {} |", out.completed);
+    println!("| dropped requests | {} |", out.dropped);
     println!("| generated tokens | {} |", out.tokens);
     println!("| decode iterations | {} |", out.iterations);
     println!(
@@ -274,9 +335,125 @@ fn cmd_serve(ctx: &ExperimentContext, opts: &Options) -> Result<(), Box<dyn std:
         out.latency_percentile(99.0) as f64 / 1e6
     );
     println!(
+        "| p50 / p99 TTFT | {:.2} / {:.2} ms |",
+        out.ttft_percentile(50.0) as f64 / 1e6,
+        out.ttft_percentile(99.0) as f64 / 1e6
+    );
+    println!(
+        "| p50 / p99 TPOT | {:.3} / {:.3} ms |",
+        out.tpot_percentile(50.0) / 1e6,
+        out.tpot_percentile(99.0) / 1e6
+    );
+    println!(
+        "| SLO attainment (TTFT {} ms, TPOT {} ms) | {:.1}% |",
+        opts.slo_ttft_ms,
+        opts.slo_tpot_ms,
+        out.slo_attainment() * 100.0
+    );
+    println!("| goodput | {:.0} tokens/s |", out.goodput());
+    println!(
         "| peak KV utilization | {:.1}% |",
         out.peak_kv_utilization * 100.0
     );
+    Ok(())
+}
+
+fn cmd_fleet(ctx: &ExperimentContext, opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    // Comma-separated backend names are cycled over the replicas, so
+    // `--backend neupims,gpu --replicas 4` builds a heterogeneous fleet.
+    let names: Vec<&str> = opts.backend.split(',').map(str::trim).collect();
+    let slo = SloTargets {
+        ttft: (opts.slo_ttft_ms * 1e6) as u64,
+        tpot: opts.slo_tpot_ms * 1e6,
+    };
+    let cfg = ServingConfig {
+        max_batch: opts.max_batch.max(1),
+        tp: opts.model.parallelism.tp,
+        layers: opts.model.num_layers / opts.model.parallelism.pp,
+        target_completions: 0,
+        slo: Some(slo),
+    };
+    let mut replicas = Vec::new();
+    for i in 0..opts.replicas {
+        let backend = ctx.backend(names[i % names.len()])?;
+        replicas.push(ServingSim::new(backend, opts.model.clone(), cfg.clone()));
+    }
+    let labels: Vec<String> = replicas
+        .iter()
+        .map(|r| r.backend().label().to_owned())
+        .collect();
+    let mut fleet = FleetSim::new(replicas, policy_from_name(&opts.policy)?)?;
+
+    let mut rng = StdRng::seed_from_u64(0xF1EE7 ^ opts.requests as u64);
+    let arrivals = arrival_stream(&mut rng, opts.rate, opts.requests);
+    for (i, &at) in arrivals.iter().enumerate() {
+        fleet.submit(FleetRequest {
+            id: i as u32,
+            input_len: opts.dataset.sample_input(&mut rng),
+            output_len: opts.dataset.sample_output(&mut rng).min(128),
+            arrival: at,
+        })?;
+    }
+
+    println!(
+        "\n## Fleet — {} requests ({}) at {} req/Mcycle over {} x {} replicas, policy {}\n",
+        opts.requests,
+        opts.dataset.name(),
+        opts.rate,
+        opts.replicas,
+        opts.model.name,
+        fleet.policy_name(),
+    );
+    let out = fleet.run()?;
+    println!("| metric | value |");
+    println!("|---|---:|");
+    println!(
+        "| submitted / completed / dropped | {} / {} / {} |",
+        out.submitted, out.completed, out.dropped
+    );
+    println!("| generated tokens | {} |", out.tokens);
+    println!("| makespan | {:.2} ms |", out.makespan as f64 / 1e6);
+    println!(
+        "| fleet throughput | {:.0} tokens/s |",
+        out.tokens_per_sec()
+    );
+    println!(
+        "| p50 / p99 latency | {:.2} / {:.2} ms |",
+        out.latency_percentile(50.0) as f64 / 1e6,
+        out.latency_percentile(99.0) as f64 / 1e6
+    );
+    println!(
+        "| p50 / p99 TTFT | {:.2} / {:.2} ms |",
+        out.ttft_percentile(50.0) as f64 / 1e6,
+        out.ttft_percentile(99.0) as f64 / 1e6
+    );
+    println!(
+        "| p50 / p99 TPOT | {:.3} / {:.3} ms |",
+        out.tpot_percentile(50.0) / 1e6,
+        out.tpot_percentile(99.0) / 1e6
+    );
+    println!(
+        "| SLO attainment (TTFT {} ms, TPOT {} ms) | {:.1}% |",
+        opts.slo_ttft_ms,
+        opts.slo_tpot_ms,
+        out.slo_attainment() * 100.0
+    );
+    println!("| goodput | {:.0} tokens/s |", out.goodput());
+
+    println!("\n| replica | backend | completed | dropped | tokens | clock (ms) | peak KV |");
+    println!("|---:|---|---:|---:|---:|---:|---:|");
+    for (i, r) in out.replicas.iter().enumerate() {
+        println!(
+            "| {} | {} | {} | {} | {} | {:.2} | {:.1}% |",
+            i,
+            labels[i],
+            r.completed,
+            r.dropped,
+            r.tokens,
+            r.total_cycles as f64 / 1e6,
+            r.peak_kv_utilization * 100.0
+        );
+    }
     Ok(())
 }
 

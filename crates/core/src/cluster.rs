@@ -73,9 +73,13 @@ pub fn cluster_throughput<B: Backend>(
         )));
     }
     let layers_per_stage = model.num_layers / spec.pp;
-    let micro = seq_lens.len() / spec.pp as usize;
-    // Steady state: every stage processes one micro-batch per beat. Use the
-    // first micro-batch as representative (callers pass sampled batches).
+    // Steady state: every stage processes one micro-batch per beat. When
+    // the request count doesn't divide by PP the remainder spreads across
+    // micro-batches (sizes differ by at most one); the beat is priced on
+    // the largest micro-batch (the slowest stage sets the pace) while the
+    // tokens-per-beat numerator keeps the exact mean `len / pp`, so no
+    // request is silently ignored.
+    let micro = seq_lens.len().div_ceil(spec.pp as usize);
     let mb = &seq_lens[..micro];
     let iter = backend
         .decode_iteration(model, spec.tp, layers_per_stage, mb)
@@ -93,7 +97,7 @@ pub fn cluster_throughput<B: Backend>(
     };
     let beat = iter.total_cycles().max(comm).max(1);
     let beat_secs = neupims_types::units::cycles_to_secs(beat);
-    Ok(micro as f64 / beat_secs)
+    Ok(seq_lens.len() as f64 / spec.pp as f64 / beat_secs)
 }
 
 #[cfg(test)]
@@ -165,6 +169,25 @@ mod tests {
         assert!(
             cluster_throughput(&d, &model, ClusterSpec::new(4, 32), &seqs).is_err(),
             "16 requests cannot fill 32 micro-batches"
+        );
+    }
+
+    #[test]
+    fn remainder_requests_are_not_ignored() {
+        // Regression: `len / pp` used to truncate, so 17 requests at PP=2
+        // were priced as 16 (one request vanished from tokens/s). Both 17
+        // and 18 requests now share the same 9-request representative
+        // micro-batch, so their throughputs must sit in the exact ratio of
+        // their request counts.
+        let d = device();
+        let model = LlmConfig::gpt3_7b();
+        let spec = ClusterSpec::new(4, 2);
+        let t17 = cluster_throughput(&d, &model, spec, &[300u64; 17]).unwrap();
+        let t18 = cluster_throughput(&d, &model, spec, &[300u64; 18]).unwrap();
+        assert!(t17 > 0.0 && t18 > 0.0);
+        assert!(
+            (t17 / t18 - 17.0 / 18.0).abs() < 1e-9,
+            "remainder request dropped: {t17} vs {t18}"
         );
     }
 

@@ -94,7 +94,7 @@ impl ExperimentContext {
     }
 
     /// Builds any named backend (see
-    /// [`backend_from_name`](crate::backend::backend_from_name)) from this
+    /// [`backend_from_name`]) from this
     /// context's calibrated hardware.
     ///
     /// # Errors

@@ -1,0 +1,663 @@
+//! SLO-aware multi-replica fleet serving.
+//!
+//! The ROADMAP's north star is a production-scale system serving heavy
+//! streaming traffic, and the paper's headline numbers are end-to-end
+//! serving results — so the layer above one device matters: [`FleetSim`]
+//! runs N replicas (each its own [`ServingSim`], heterogeneous backends
+//! allowed) behind a pluggable [`DispatchPolicy`]. Arrivals are dispatched
+//! in time order; before each dispatch every replica is stepped up to the
+//! arrival instant, so policies see *live* queue depths, outstanding work,
+//! and KV pressure rather than static assignment counts.
+//!
+//! Three policies ship out of the box:
+//!
+//! * [`RoundRobin`] — the classic blind baseline;
+//! * [`JoinShortestQueue`] — fewest queued+running requests, ties broken
+//!   by outstanding tokens (the serving-theory workhorse);
+//! * [`KvLeastLoaded`] — lowest KV-cache page pressure, ties broken by
+//!   outstanding tokens — the right signal when prompts are long and
+//!   admission is capacity-bound.
+//!
+//! [`FleetOutcome`] aggregates every replica's [`ServingOutcome`]:
+//! fleet-wide TTFT/TPOT/latency percentiles, SLO attainment, goodput,
+//! drops, and makespan throughput.
+//!
+//! # Example
+//!
+//! ```
+//! use neupims_core::backend::GpuRooflineBackend;
+//! use neupims_core::fleet::{FleetRequest, FleetSim, JoinShortestQueue};
+//! use neupims_core::serving::{ServingConfig, ServingSim};
+//! use neupims_types::LlmConfig;
+//!
+//! let cfg = ServingConfig {
+//!     max_batch: 8,
+//!     tp: 4,
+//!     layers: 32,
+//!     target_completions: 0,
+//!     slo: None,
+//! };
+//! let replicas: Vec<_> = (0..2)
+//!     .map(|_| ServingSim::new(GpuRooflineBackend::a100(), LlmConfig::gpt3_7b(), cfg.clone()))
+//!     .collect();
+//! let mut fleet = FleetSim::new(replicas, Box::new(JoinShortestQueue)).unwrap();
+//! for i in 0..6 {
+//!     fleet
+//!         .submit(FleetRequest { id: i, input_len: 64, output_len: 2, arrival: 0 })
+//!         .unwrap();
+//! }
+//! let out = fleet.run().unwrap();
+//! assert_eq!(out.completed, 6);
+//! assert_eq!(out.completed + out.dropped, out.submitted);
+//! ```
+
+use std::collections::HashSet;
+
+use neupims_types::{Cycle, RequestId, SimError};
+
+use crate::backend::{Backend, BackendError};
+use crate::device::Device;
+use crate::serving::{ServingOutcome, ServingSim, StepEvent};
+
+/// One request entering the fleet frontend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetRequest {
+    /// Fleet-wide unique id.
+    pub id: u32,
+    /// Prompt length in tokens.
+    pub input_len: u32,
+    /// Target generation length in tokens.
+    pub output_len: u32,
+    /// Arrival time at the dispatcher.
+    pub arrival: Cycle,
+}
+
+/// Live state of one replica at dispatch time, as seen by a
+/// [`DispatchPolicy`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReplicaSnapshot {
+    /// Replica index in the fleet.
+    pub index: usize,
+    /// The replica's local clock (it may trail the dispatch instant when
+    /// the replica is idle).
+    pub now: Cycle,
+    /// Requests waiting for admission.
+    pub waiting: usize,
+    /// Requests in the running batch (decoding or prefilling).
+    pub running: usize,
+    /// Tokens still to generate across waiting and running requests.
+    pub outstanding_tokens: u64,
+    /// KV-cache pool utilization (reserved pages only), `[0, 1]`.
+    pub kv_utilization: f64,
+    /// KV pressure: reserved pages plus queued prompt demand over the
+    /// pool size (may exceed 1 when the queue oversubscribes the cache).
+    pub kv_pressure: f64,
+}
+
+impl ReplicaSnapshot {
+    /// Queue depth: waiting plus running requests.
+    pub fn queue_len(&self) -> usize {
+        self.waiting + self.running
+    }
+}
+
+/// Chooses a replica for each arriving request.
+///
+/// Policies are consulted once per request, in arrival order, with every
+/// replica stepped up to the arrival instant — implement this trait to
+/// plug a custom scheduler into [`FleetSim`].
+pub trait DispatchPolicy {
+    /// Human-readable policy name (printed by the CLI).
+    fn name(&self) -> &'static str;
+
+    /// Picks the replica index (`< snapshots.len()`) for `req`.
+    fn choose(&mut self, snapshots: &[ReplicaSnapshot], req: &FleetRequest) -> usize;
+}
+
+/// Blind rotation over replicas in submission order.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RoundRobin {
+    next: usize,
+}
+
+impl DispatchPolicy for RoundRobin {
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+
+    fn choose(&mut self, snapshots: &[ReplicaSnapshot], _req: &FleetRequest) -> usize {
+        let i = self.next % snapshots.len();
+        self.next = self.next.wrapping_add(1);
+        i
+    }
+}
+
+/// Join-shortest-queue: fewest waiting+running requests, ties broken by
+/// outstanding tokens, then index.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JoinShortestQueue;
+
+impl DispatchPolicy for JoinShortestQueue {
+    fn name(&self) -> &'static str {
+        "jsq"
+    }
+
+    fn choose(&mut self, snapshots: &[ReplicaSnapshot], _req: &FleetRequest) -> usize {
+        snapshots
+            .iter()
+            .min_by_key(|s| (s.queue_len(), s.outstanding_tokens, s.index))
+            .expect("non-empty fleet")
+            .index
+    }
+}
+
+/// KV-pressure-aware least-loaded: lowest KV pressure (reserved pages
+/// plus queued prompt demand), ties broken by outstanding tokens, then
+/// index.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct KvLeastLoaded;
+
+impl DispatchPolicy for KvLeastLoaded {
+    fn name(&self) -> &'static str {
+        "kv-aware"
+    }
+
+    fn choose(&mut self, snapshots: &[ReplicaSnapshot], _req: &FleetRequest) -> usize {
+        snapshots
+            .iter()
+            .min_by(|a, b| {
+                a.kv_pressure
+                    .total_cmp(&b.kv_pressure)
+                    .then(a.outstanding_tokens.cmp(&b.outstanding_tokens))
+                    .then(a.index.cmp(&b.index))
+            })
+            .expect("non-empty fleet")
+            .index
+    }
+}
+
+/// Canonical policy names accepted by [`policy_from_name`] (and the CLI's
+/// `--policy` flag).
+pub const POLICY_NAMES: [&str; 3] = ["round-robin", "jsq", "kv-aware"];
+
+/// Builds a boxed dispatch policy from its CLI name (case-insensitive;
+/// `rr` and `least-loaded` are accepted aliases).
+///
+/// # Errors
+///
+/// Returns [`BackendError::InvalidSimulation`] for unrecognized names.
+pub fn policy_from_name(name: &str) -> Result<Box<dyn DispatchPolicy>, BackendError> {
+    Ok(match name.to_ascii_lowercase().as_str() {
+        "round-robin" | "rr" => Box::new(RoundRobin::default()),
+        "jsq" | "join-shortest-queue" => Box::new(JoinShortestQueue),
+        "kv-aware" | "kv" | "least-loaded" => Box::new(KvLeastLoaded),
+        other => {
+            return Err(BackendError::InvalidSimulation(format!(
+                "unknown dispatch policy {other:?} (expected one of: {})",
+                POLICY_NAMES.join(", ")
+            )))
+        }
+    })
+}
+
+/// Aggregated outcome of a fleet run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FleetOutcome {
+    /// Per-replica outcomes, in replica order.
+    pub replicas: Vec<ServingOutcome>,
+    /// Requests submitted to the dispatcher.
+    pub submitted: u64,
+    /// Completed requests across the fleet.
+    pub completed: u64,
+    /// Dropped requests across the fleet.
+    pub dropped: u64,
+    /// Generated tokens across the fleet.
+    pub tokens: u64,
+    /// Makespan: the slowest replica's total simulated cycles.
+    pub makespan: Cycle,
+    /// Fleet-wide sorted latencies, cycles.
+    pub latencies: Vec<Cycle>,
+    /// Fleet-wide sorted TTFTs, cycles.
+    pub ttfts: Vec<Cycle>,
+    /// Fleet-wide sorted TPOTs, cycles per token.
+    pub tpots: Vec<f64>,
+    /// Completed requests meeting the SLO targets.
+    pub slo_attained: u64,
+    /// Tokens from SLO-attaining requests.
+    pub goodput_tokens: u64,
+}
+
+impl FleetOutcome {
+    fn aggregate(submitted: u64, replicas: Vec<ServingOutcome>) -> Self {
+        let mut out = FleetOutcome {
+            submitted,
+            ..Default::default()
+        };
+        for r in &replicas {
+            out.completed += r.completed;
+            out.dropped += r.dropped;
+            out.tokens += r.tokens;
+            out.makespan = out.makespan.max(r.total_cycles);
+            out.latencies.extend_from_slice(&r.latencies);
+            out.ttfts.extend_from_slice(&r.ttfts);
+            out.tpots.extend_from_slice(&r.tpots);
+            out.slo_attained += r.slo_attained;
+            out.goodput_tokens += r.goodput_tokens;
+        }
+        out.latencies.sort_unstable();
+        out.ttfts.sort_unstable();
+        out.tpots.sort_by(f64::total_cmp);
+        out.replicas = replicas;
+        out
+    }
+
+    /// Fleet throughput: tokens per second over the makespan.
+    pub fn tokens_per_sec(&self) -> f64 {
+        if self.makespan == 0 {
+            0.0
+        } else {
+            self.tokens as f64 / neupims_types::units::cycles_to_secs(self.makespan)
+        }
+    }
+
+    /// Fleet goodput: SLO-attaining tokens per second over the makespan.
+    pub fn goodput(&self) -> f64 {
+        if self.makespan == 0 {
+            0.0
+        } else {
+            self.goodput_tokens as f64 / neupims_types::units::cycles_to_secs(self.makespan)
+        }
+    }
+
+    /// Fraction of completed requests meeting the SLO targets, `[0, 1]`
+    /// (0 when nothing completed).
+    pub fn slo_attainment(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            self.slo_attained as f64 / self.completed as f64
+        }
+    }
+
+    /// Fleet-wide end-to-end latency percentile, cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn latency_percentile(&self, p: f64) -> Cycle {
+        crate::serving::nearest_rank(&self.latencies, p)
+    }
+
+    /// Fleet-wide TTFT percentile, cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn ttft_percentile(&self, p: f64) -> Cycle {
+        crate::serving::nearest_rank(&self.ttfts, p)
+    }
+
+    /// Fleet-wide TPOT percentile, cycles per token.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn tpot_percentile(&self, p: f64) -> f64 {
+        crate::serving::nearest_rank(&self.tpots, p)
+    }
+}
+
+/// A fleet of serving replicas behind one dispatcher.
+///
+/// Replicas may wrap different backends (use `ServingSim<Box<dyn
+/// Backend>>`) and different configurations — the dispatcher only talks
+/// to them through [`ReplicaSnapshot`]s and the step API.
+pub struct FleetSim<B: Backend = Device> {
+    replicas: Vec<ServingSim<B>>,
+    policy: Box<dyn DispatchPolicy>,
+    pending: Vec<FleetRequest>,
+    seen: HashSet<RequestId>,
+    submitted: u64,
+}
+
+impl<B: Backend> std::fmt::Debug for FleetSim<B> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FleetSim")
+            .field("replicas", &self.replicas.len())
+            .field("policy", &self.policy.name())
+            .field("pending", &self.pending.len())
+            .finish()
+    }
+}
+
+impl<B: Backend> FleetSim<B> {
+    /// Builds a fleet from its replicas and a dispatch policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BackendError::InvalidSimulation`] for an empty fleet, or
+    /// when a replica has `target_completions > 0` (a replica that stops
+    /// early would strand its queued requests, breaking the fleet's
+    /// `completed + dropped == submitted` invariant — fleets must drain).
+    pub fn new(
+        replicas: Vec<ServingSim<B>>,
+        policy: Box<dyn DispatchPolicy>,
+    ) -> Result<Self, BackendError> {
+        if replicas.is_empty() {
+            return Err(BackendError::InvalidSimulation(
+                "fleet needs at least one replica".into(),
+            ));
+        }
+        if let Some(i) = replicas
+            .iter()
+            .position(|r| r.config().target_completions > 0)
+        {
+            return Err(BackendError::InvalidSimulation(format!(
+                "fleet replica {i} has target_completions > 0; fleet replicas must drain \
+                 (set target_completions to 0)"
+            )));
+        }
+        Ok(Self {
+            replicas,
+            policy,
+            pending: Vec::new(),
+            seen: HashSet::new(),
+            submitted: 0,
+        })
+    }
+
+    /// Number of replicas.
+    pub fn replica_count(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Requests submitted but not yet dispatched to a replica.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The dispatch policy's name.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// Queues one request for dispatch at its arrival time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::DuplicateRequest`] for a fleet-wide duplicate
+    /// id and [`SimError::InvalidShape`] for a zero `output_len`.
+    pub fn submit(&mut self, req: FleetRequest) -> Result<(), SimError> {
+        if req.output_len == 0 {
+            return Err(SimError::InvalidShape(format!(
+                "request {} has zero output_len",
+                RequestId::new(req.id)
+            )));
+        }
+        if !self.seen.insert(RequestId::new(req.id)) {
+            return Err(SimError::DuplicateRequest(RequestId::new(req.id)));
+        }
+        self.pending.push(req);
+        self.submitted += 1;
+        Ok(())
+    }
+
+    fn snapshots(&self) -> Vec<ReplicaSnapshot> {
+        self.replicas
+            .iter()
+            .enumerate()
+            .map(|(index, r)| ReplicaSnapshot {
+                index,
+                now: r.now(),
+                waiting: r.waiting_len(),
+                running: r.running_len(),
+                outstanding_tokens: r.outstanding_tokens(),
+                kv_utilization: r.kv_utilization(),
+                kv_pressure: r.kv_pressure(),
+            })
+            .collect()
+    }
+
+    /// Dispatches every queued request in arrival order and drains all
+    /// replicas, reporting the aggregated outcome.
+    ///
+    /// Statistics are cumulative over the fleet's lifetime: a later
+    /// `submit` + `run` round adds to the same counters, so
+    /// `completed + dropped == submitted` keeps holding across rounds.
+    /// (Note that replica clocks never rewind — requests submitted after
+    /// a `run` with arrival times in the replicas' past are admitted at
+    /// the current clock and their reported latency includes that gap.)
+    ///
+    /// # Errors
+    ///
+    /// Propagates replica simulation errors.
+    pub fn run(&mut self) -> Result<FleetOutcome, SimError> {
+        let mut pending = std::mem::take(&mut self.pending);
+        pending.sort_by_key(|r| (r.arrival, r.id));
+
+        for (i, &req) in pending.iter().enumerate() {
+            if let Err(e) = self.dispatch_one(req) {
+                // Re-stash what hasn't been dispatched so the fleet's
+                // conservation accounting survives a failed round.
+                self.pending.extend_from_slice(&pending[i..]);
+                return Err(e);
+            }
+        }
+
+        for replica in &mut self.replicas {
+            while replica.step()? != StepEvent::Finished {}
+        }
+        let outcomes = self.replicas.iter().map(ServingSim::outcome).collect();
+        Ok(FleetOutcome::aggregate(self.submitted, outcomes))
+    }
+
+    fn dispatch_one(&mut self, req: FleetRequest) -> Result<(), SimError> {
+        // Bring every replica's local clock up to the arrival so the
+        // policy sees live queues, not stale ones. Idle replicas stay
+        // where they are (their snapshot is empty anyway).
+        for replica in &mut self.replicas {
+            while replica.now() < req.arrival {
+                if replica.step()? == StepEvent::Finished {
+                    break;
+                }
+            }
+        }
+        let snaps = self.snapshots();
+        let choice = self.policy.choose(&snaps, &req);
+        if choice >= self.replicas.len() {
+            return Err(SimError::Scheduling(format!(
+                "dispatch policy {:?} chose replica {choice}, but the fleet has {}",
+                self.policy.name(),
+                self.replicas.len()
+            )));
+        }
+        self.replicas[choice].submit(req.id, req.input_len, req.output_len, req.arrival)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::GpuRooflineBackend;
+    use crate::serving::ServingConfig;
+    use neupims_types::LlmConfig;
+
+    fn snap(index: usize, queue: usize, tokens: u64, kv: f64) -> ReplicaSnapshot {
+        ReplicaSnapshot {
+            index,
+            now: 0,
+            waiting: queue,
+            running: 0,
+            outstanding_tokens: tokens,
+            kv_utilization: kv,
+            kv_pressure: kv,
+        }
+    }
+
+    fn req(id: u32) -> FleetRequest {
+        FleetRequest {
+            id,
+            input_len: 32,
+            output_len: 4,
+            arrival: 0,
+        }
+    }
+
+    #[test]
+    fn round_robin_rotates() {
+        let snaps = vec![snap(0, 9, 9, 0.9), snap(1, 0, 0, 0.0), snap(2, 0, 0, 0.0)];
+        let mut rr = RoundRobin::default();
+        let picks: Vec<usize> = (0..5).map(|i| rr.choose(&snaps, &req(i))).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1]);
+    }
+
+    #[test]
+    fn jsq_prefers_short_queues_then_light_work() {
+        let mut jsq = JoinShortestQueue;
+        let snaps = vec![snap(0, 2, 10, 0.1), snap(1, 1, 99, 0.9), snap(2, 2, 5, 0.2)];
+        assert_eq!(jsq.choose(&snaps, &req(0)), 1, "shortest queue wins");
+        let tied = vec![snap(0, 1, 50, 0.1), snap(1, 1, 20, 0.9)];
+        assert_eq!(jsq.choose(&tied, &req(0)), 1, "ties break on tokens");
+    }
+
+    #[test]
+    fn kv_aware_follows_page_pressure() {
+        let mut kv = KvLeastLoaded;
+        let snaps = vec![snap(0, 0, 0, 0.8), snap(1, 5, 90, 0.2), snap(2, 1, 5, 0.5)];
+        assert_eq!(kv.choose(&snaps, &req(0)), 1, "lowest KV pressure wins");
+        // Pressure (which sees queued prompts), not utilization, decides.
+        let mut queued = snap(0, 3, 30, 0.1);
+        queued.kv_pressure = 0.9;
+        let snaps = vec![queued, snap(1, 0, 0, 0.4)];
+        assert_eq!(kv.choose(&snaps, &req(0)), 1, "queued demand counts");
+    }
+
+    #[test]
+    fn policy_registry() {
+        for name in POLICY_NAMES {
+            assert_eq!(policy_from_name(name).unwrap().name(), name);
+        }
+        assert_eq!(policy_from_name("RR").unwrap().name(), "round-robin");
+        assert!(policy_from_name("random").is_err());
+    }
+
+    fn cfg_of(max_batch: usize) -> ServingConfig {
+        ServingConfig {
+            max_batch,
+            tp: 4,
+            layers: 32,
+            target_completions: 0,
+            slo: None,
+        }
+    }
+
+    fn gpu_replicas(n: usize) -> Vec<ServingSim<GpuRooflineBackend>> {
+        let cfg = cfg_of(8);
+        (0..n)
+            .map(|_| {
+                ServingSim::new(
+                    GpuRooflineBackend::a100(),
+                    LlmConfig::gpt3_7b(),
+                    cfg.clone(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_fleet_is_rejected() {
+        let replicas: Vec<ServingSim<GpuRooflineBackend>> = Vec::new();
+        assert!(FleetSim::new(replicas, Box::new(RoundRobin::default())).is_err());
+    }
+
+    #[test]
+    fn early_stopping_replicas_are_rejected() {
+        // A replica with target_completions > 0 would stop stepping with
+        // requests still queued, stranding them outside completed and
+        // dropped alike — the fleet refuses the configuration up front.
+        let mut cfg = cfg_of(4);
+        cfg.target_completions = 2;
+        let replicas = vec![ServingSim::new(
+            GpuRooflineBackend::a100(),
+            LlmConfig::gpt3_7b(),
+            cfg,
+        )];
+        let err = FleetSim::new(replicas, Box::new(JoinShortestQueue)).unwrap_err();
+        assert!(err.to_string().contains("target_completions"), "{err}");
+    }
+
+    #[test]
+    fn out_of_range_policy_choice_is_an_error() {
+        struct Broken;
+        impl DispatchPolicy for Broken {
+            fn name(&self) -> &'static str {
+                "broken"
+            }
+            fn choose(&mut self, snapshots: &[ReplicaSnapshot], _req: &FleetRequest) -> usize {
+                snapshots.len() // violates the `< snapshots.len()` contract
+            }
+        }
+        let mut fleet = FleetSim::new(gpu_replicas(2), Box::new(Broken)).unwrap();
+        fleet.submit(req(0)).unwrap();
+        fleet.submit(req(1)).unwrap();
+        let err = fleet.run().unwrap_err();
+        assert!(err.to_string().contains("chose replica"), "{err}");
+        // The failed round must not lose undispatched requests.
+        assert_eq!(fleet.pending_len(), 2);
+    }
+
+    #[test]
+    fn fleet_wide_duplicate_ids_are_rejected() {
+        let mut fleet = FleetSim::new(gpu_replicas(2), Box::new(RoundRobin::default())).unwrap();
+        fleet.submit(req(7)).unwrap();
+        assert!(matches!(
+            fleet.submit(req(7)),
+            Err(SimError::DuplicateRequest(_))
+        ));
+        let mut zero = req(8);
+        zero.output_len = 0;
+        assert!(matches!(fleet.submit(zero), Err(SimError::InvalidShape(_))));
+    }
+
+    #[test]
+    fn accounting_stays_consistent_across_run_rounds() {
+        // `submitted` is cumulative like the replicas' counters, so the
+        // conservation invariant survives a second submit + run round.
+        let mut fleet = FleetSim::new(gpu_replicas(2), Box::new(JoinShortestQueue)).unwrap();
+        fleet.submit(req(0)).unwrap();
+        let first = fleet.run().unwrap();
+        assert_eq!(first.submitted, 1);
+        assert_eq!(first.completed + first.dropped, first.submitted);
+        fleet.submit(req(1)).unwrap();
+        let second = fleet.run().unwrap();
+        assert_eq!(second.submitted, 2);
+        assert_eq!(second.completed + second.dropped, second.submitted);
+    }
+
+    #[test]
+    fn fleet_conserves_requests_and_aggregates() {
+        let mut fleet = FleetSim::new(gpu_replicas(4), Box::new(JoinShortestQueue)).unwrap();
+        for i in 0..20u32 {
+            fleet
+                .submit(FleetRequest {
+                    id: i,
+                    input_len: 48 + i,
+                    output_len: 3 + i % 4,
+                    arrival: i as u64 * 10_000,
+                })
+                .unwrap();
+        }
+        let out = fleet.run().unwrap();
+        assert_eq!(out.submitted, 20);
+        assert_eq!(out.completed + out.dropped, 20);
+        assert_eq!(out.dropped, 0);
+        assert_eq!(out.replicas.len(), 4);
+        assert_eq!(out.latencies.len(), 20);
+        assert!(out.makespan > 0);
+        assert!(out.tokens_per_sec() > 0.0);
+        assert!(out.latency_percentile(50.0) <= out.latency_percentile(99.0));
+        assert!(out.ttft_percentile(50.0) > 0);
+        // Every replica served something under JSQ with spread arrivals.
+        assert!(out.replicas.iter().all(|r| r.completed > 0));
+    }
+}

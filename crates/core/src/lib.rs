@@ -4,17 +4,14 @@
 //! This crate is the paper's primary contribution, assembled from the
 //! substrate crates:
 //!
-//! * [`backend`] — the unified [`Backend`](backend::Backend) trait every
-//!   simulated system implements ([`NeuPimsBackend`](backend::NeuPimsBackend)
-//!   in all three device modes, [`GpuRooflineBackend`](backend::GpuRooflineBackend),
-//!   [`TransPimBackend`](backend::TransPimBackend)), with structured
-//!   [`IterationResult`](backend::IterationResult) /
-//!   [`BackendError`](backend::BackendError) types and a name registry for
+//! * [`backend`] — the unified [`Backend`] trait every simulated system
+//!   implements ([`NeuPimsBackend`] in all three device modes,
+//!   [`GpuRooflineBackend`], [`TransPimBackend`]), with structured
+//!   [`IterationResult`] / [`BackendError`] types and a name registry for
 //!   CLI selection;
-//! * [`simulation`] — the [`Simulation`](simulation::Simulation) builder
-//!   tying a backend to a model, dataset, and batch geometry: the single
-//!   entry point for iteration pricing, throughput sweeps, (TP, PP)
-//!   scaling, and serving;
+//! * [`simulation`] — the [`Simulation`] builder tying a backend to a
+//!   model, dataset, and batch geometry: the single entry point for
+//!   iteration pricing, throughput sweeps, (TP, PP) scaling, and serving;
 //! * [`device`] — one accelerator executing batched decode iterations
 //!   under a [`device::DeviceMode`]: `NpuOnly`, `NaiveNpuPim` (blocked-mode
 //!   PIM, round-robin channels), or `NeuPims` (dual row buffers, optional
@@ -26,7 +23,12 @@
 //! * [`cluster`] — tensor/pipeline-parallel multi-device throughput
 //!   (Section 7, Figure 14), generic over any backend;
 //! * [`serving`] — Orca-style iteration-level serving with paged KV cache,
-//!   generic over any backend;
+//!   charged prefill (TTFT) and per-request latency metrics, generic over
+//!   any backend;
+//! * [`fleet`] — SLO-aware multi-replica serving: N [`ServingSim`]
+//!   replicas behind a pluggable [`DispatchPolicy`] (round-robin,
+//!   join-shortest-queue, KV-pressure-aware), with fleet-wide TTFT/TPOT
+//!   percentiles, SLO attainment, and goodput;
 //! * [`metrics`] — iteration breakdowns, utilization, and the DRAM
 //!   activity bridge into the power model.
 //!
@@ -58,6 +60,7 @@ pub mod backend;
 pub mod cluster;
 pub mod device;
 pub mod experiments;
+pub mod fleet;
 pub mod gpu;
 pub mod metrics;
 pub mod serving;
@@ -71,10 +74,16 @@ pub use backend::{
 pub use cluster::{cluster_throughput, ClusterSpec};
 pub use device::{Device, DeviceMode, SbiPolicy};
 pub use experiments::ExperimentContext;
+pub use fleet::{
+    policy_from_name, DispatchPolicy, FleetOutcome, FleetRequest, FleetSim, JoinShortestQueue,
+    KvLeastLoaded, ReplicaSnapshot, RoundRobin, POLICY_NAMES,
+};
 #[allow(deprecated)]
 pub use gpu::gpu_decode_iteration;
 pub use metrics::{IterationBreakdown, Utilization};
-pub use serving::{ServingConfig, ServingOutcome, ServingSim};
+pub use serving::{
+    RequestMetrics, ServingConfig, ServingOutcome, ServingSim, SloTargets, StepEvent,
+};
 pub use simulation::{Simulation, SimulationBuilder};
 #[allow(deprecated)]
 pub use transpim::transpim_decode_iteration;

@@ -5,9 +5,30 @@
 //! scheduler admits requests (bounded by batch cap and paged-KV capacity),
 //! the NeuPIMs scheduler assigns channels and sub-batches, the device
 //! prices the iteration, and finished requests release their pages.
+//!
 //! Summarization (prefill) is delegated to standalone NPUs as in the
-//! paper, so admission charges a fixed prefill pipeline delay rather than
-//! occupying the NeuPIMs device.
+//! paper, so it does not occupy the simulated decode device — but it is
+//! *charged*: admission prices each prompt with
+//! [`Backend::prefill_cycles`] and the request only joins decode
+//! iterations once that delay has elapsed. The first generated token
+//! therefore lands a real prefill latency after admission, which is what
+//! the per-request TTFT (time-to-first-token) metric measures; TPOT
+//! (time-per-output-token) covers the decode tail. [`ServingOutcome`]
+//! reports both as percentile distributions next to end-to-end latency,
+//! plus SLO attainment and goodput against caller-supplied
+//! [`SloTargets`].
+//!
+//! Requests whose context can never fit the KV cache (they would not fit
+//! even an empty channel) are *dropped* and counted in
+//! [`ServingOutcome::dropped`] rather than silently vanishing, so
+//! `completed + dropped == submitted` holds for every drained run.
+//!
+//! The simulation advances through a public [`ServingSim::step`] API (one
+//! iteration boundary per call), which is what lets
+//! [`FleetSim`](crate::fleet::FleetSim) interleave many replicas and
+//! dispatch arrivals against live queue snapshots.
+
+use std::collections::{HashMap, HashSet};
 
 use neupims_kvcache::{KvGeometry, PagedKvCache};
 use neupims_sched::RequestPool;
@@ -16,6 +37,18 @@ use neupims_types::{ChannelId, Cycle, LlmConfig, Request, RequestId, SimError};
 use crate::backend::Backend;
 use crate::device::Device;
 use crate::metrics::IterationBreakdown;
+
+/// Latency service-level objectives of a serving run, in device cycles
+/// (1 GHz clock: 1 ms = 1e6 cycles).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloTargets {
+    /// Maximum acceptable time-to-first-token (arrival to first generated
+    /// token), cycles.
+    pub ttft: Cycle,
+    /// Maximum acceptable time-per-output-token (mean decode gap after
+    /// the first token), cycles per token.
+    pub tpot: f64,
+}
 
 /// Serving-run parameters.
 #[derive(Debug, Clone)]
@@ -28,6 +61,43 @@ pub struct ServingConfig {
     pub layers: u32,
     /// Stop after this many completed requests (0 = drain all arrivals).
     pub target_completions: u64,
+    /// Latency SLOs; `None` means every completed request counts as
+    /// attained (so on drained runs goodput equals throughput).
+    pub slo: Option<SloTargets>,
+}
+
+/// Per-request timing record of one completed request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RequestMetrics {
+    /// The request.
+    pub id: RequestId,
+    /// Arrival time at the serving frontend.
+    pub arrival: Cycle,
+    /// Time-to-first-token: arrival to the end of the first decode
+    /// iteration the request participated in (which follows its charged
+    /// prefill delay).
+    pub ttft: Cycle,
+    /// End-to-end latency: arrival to completion.
+    pub latency: Cycle,
+    /// Generated tokens (the request's `output_len`).
+    pub tokens: u64,
+}
+
+impl RequestMetrics {
+    /// Time-per-output-token: mean decode gap over the tokens after the
+    /// first one; 0 for single-token requests.
+    pub fn tpot(&self) -> f64 {
+        if self.tokens > 1 {
+            (self.latency - self.ttft) as f64 / (self.tokens - 1) as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Whether this request met both latency targets.
+    pub fn meets(&self, slo: &SloTargets) -> bool {
+        self.ttft <= slo.ttft && self.tpot() <= slo.tpot
+    }
 }
 
 /// Outcome statistics of a serving run.
@@ -35,8 +105,14 @@ pub struct ServingConfig {
 pub struct ServingOutcome {
     /// Total simulated cycles.
     pub total_cycles: Cycle,
+    /// Requests accepted by [`ServingSim::submit`].
+    pub submitted: u64,
     /// Completed requests.
     pub completed: u64,
+    /// Requests dropped because their context could never fit the KV
+    /// cache (head-of-line OOM against an empty channel). For a drained
+    /// run, `completed + dropped == submitted`.
+    pub dropped: u64,
     /// Generated tokens.
     pub tokens: u64,
     /// Decode iterations executed.
@@ -45,10 +121,36 @@ pub struct ServingOutcome {
     pub mean_latency: f64,
     /// Sorted per-request latencies (arrival to completion) in cycles.
     pub latencies: Vec<Cycle>,
+    /// Sorted per-request TTFTs in cycles.
+    pub ttfts: Vec<Cycle>,
+    /// Sorted per-request TPOTs in cycles per token.
+    pub tpots: Vec<f64>,
+    /// Per-request records in completion order.
+    pub records: Vec<RequestMetrics>,
     /// Aggregated iteration counters.
     pub totals: IterationBreakdown,
-    /// Peak KV-cache utilization observed, `[0, 1]`.
+    /// Peak KV-cache utilization observed, `[0, 1]` (sampled after token
+    /// growth, before releases — the true page high-water mark).
     pub peak_kv_utilization: f64,
+    /// Completed requests meeting the configured [`SloTargets`] (all of
+    /// them when no SLO was configured).
+    pub slo_attained: u64,
+    /// Tokens generated by SLO-attaining requests (the goodput
+    /// numerator).
+    pub goodput_tokens: u64,
+}
+
+/// Nearest-rank percentile over a sorted slice; `T::default()` when empty.
+///
+/// Panics if `p` is outside `[0, 100]`.
+pub(crate) fn nearest_rank<T: Copy + Default>(sorted: &[T], p: f64) -> T {
+    assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
+    if sorted.is_empty() {
+        return T::default();
+    }
+    let n = sorted.len();
+    let rank = ((p / 100.0) * n as f64).ceil().max(1.0) as usize - 1;
+    sorted[rank.min(n - 1)]
 }
 
 impl ServingOutcome {
@@ -61,21 +163,75 @@ impl ServingOutcome {
         }
     }
 
-    /// Latency at percentile `p` (in `[0, 100]`), cycles; 0 when no request
-    /// completed. Uses nearest-rank on the sorted latencies.
+    /// Goodput: tokens per second from *completed* requests that met the
+    /// SLO targets. On a drained run with no SLO configured this equals
+    /// [`Self::tokens_per_sec`]; under `target_completions` early
+    /// stopping it is lower, since tokens from still-running requests
+    /// count toward throughput but not goodput.
+    pub fn goodput(&self) -> f64 {
+        if self.total_cycles == 0 {
+            0.0
+        } else {
+            self.goodput_tokens as f64 / neupims_types::units::cycles_to_secs(self.total_cycles)
+        }
+    }
+
+    /// Fraction of completed requests meeting the SLO targets, `[0, 1]`
+    /// (0 when nothing completed).
+    pub fn slo_attainment(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            self.slo_attained as f64 / self.completed as f64
+        }
+    }
+
+    /// End-to-end latency at percentile `p` (in `[0, 100]`), cycles; 0
+    /// when no request completed. Uses nearest-rank on the sorted
+    /// latencies.
     ///
     /// # Panics
     ///
     /// Panics if `p` is outside `[0, 100]`.
     pub fn latency_percentile(&self, p: f64) -> Cycle {
-        assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
-        if self.latencies.is_empty() {
-            return 0;
-        }
-        let n = self.latencies.len();
-        let rank = ((p / 100.0) * n as f64).ceil().max(1.0) as usize - 1;
-        self.latencies[rank.min(n - 1)]
+        nearest_rank(&self.latencies, p)
     }
+
+    /// Time-to-first-token at percentile `p`, cycles; 0 when no request
+    /// completed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn ttft_percentile(&self, p: f64) -> Cycle {
+        nearest_rank(&self.ttfts, p)
+    }
+
+    /// Time-per-output-token at percentile `p`, cycles per token; 0 when
+    /// no request completed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn tpot_percentile(&self, p: f64) -> f64 {
+        nearest_rank(&self.tpots, p)
+    }
+}
+
+/// What one [`ServingSim::step`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepEvent {
+    /// Executed one decode iteration for the ready sub-batch.
+    Iteration,
+    /// No request was decode-ready; the clock jumped to the next arrival
+    /// or prefill-completion time.
+    Waited,
+    /// The head of the waiting queue could never be admitted (its context
+    /// exceeds an empty KV channel) and was dropped.
+    Dropped(RequestId),
+    /// Nothing left to do: all work drained or the completion target was
+    /// reached.
+    Finished,
 }
 
 /// An iteration-level serving simulation over one simulated system.
@@ -91,10 +247,21 @@ pub struct ServingSim<B: Backend = Device> {
     cfg: ServingConfig,
     pool: RequestPool,
     kv: PagedKvCache,
-    home_channel: std::collections::HashMap<RequestId, ChannelId>,
-    arrivals: std::collections::HashMap<RequestId, Cycle>,
+    home_channel: HashMap<RequestId, ChannelId>,
+    arrivals: HashMap<RequestId, Cycle>,
+    /// Prefill-completion time of each admitted request; it joins decode
+    /// iterations only once the clock reaches this.
+    ready_at: HashMap<RequestId, Cycle>,
+    /// End of the first decode iteration each request participated in.
+    first_token: HashMap<RequestId, Cycle>,
+    seen: HashSet<RequestId>,
     now: Cycle,
-    latencies: Vec<u64>,
+    records: Vec<RequestMetrics>,
+    totals: IterationBreakdown,
+    iterations: u64,
+    peak_kv: f64,
+    submitted: u64,
+    dropped: u64,
     next_channel: u32,
 }
 
@@ -110,8 +277,16 @@ impl<B: Backend> ServingSim<B> {
             kv,
             home_channel: Default::default(),
             arrivals: Default::default(),
+            ready_at: Default::default(),
+            first_token: Default::default(),
+            seen: Default::default(),
             now: 0,
-            latencies: Vec::new(),
+            records: Vec::new(),
+            totals: IterationBreakdown::default(),
+            iterations: 0,
+            peak_kv: 0.0,
+            submitted: 0,
+            dropped: 0,
             next_channel: 0,
             backend,
             model,
@@ -124,12 +299,305 @@ impl<B: Backend> ServingSim<B> {
         &self.backend
     }
 
+    /// The run parameters.
+    pub fn config(&self) -> &ServingConfig {
+        &self.cfg
+    }
+
+    /// Current simulated time in cycles.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Requests waiting for admission.
+    pub fn waiting_len(&self) -> usize {
+        self.pool.waiting_len()
+    }
+
+    /// Requests in the running batch (decoding or prefilling).
+    pub fn running_len(&self) -> usize {
+        self.pool.running().len()
+    }
+
+    /// Completed requests so far.
+    pub fn completed(&self) -> u64 {
+        self.pool.completed()
+    }
+
+    /// Tokens still to be generated across waiting and running requests.
+    pub fn outstanding_tokens(&self) -> u64 {
+        self.pool.outstanding_tokens()
+    }
+
+    /// Current KV-cache pool utilization, `[0, 1]`.
+    pub fn kv_utilization(&self) -> f64 {
+        self.kv.utilization()
+    }
+
+    /// KV *pressure*: pages already reserved plus the pages the queued
+    /// prompts will demand at admission, over the pool size. Unlike
+    /// [`Self::kv_utilization`] this reacts immediately to submissions,
+    /// which is what a capacity-aware dispatcher needs; it can exceed 1
+    /// when the queue oversubscribes the cache.
+    pub fn kv_pressure(&self) -> f64 {
+        let total = self.kv.total_pages();
+        if total == 0 {
+            return 0.0;
+        }
+        let queued: u64 = self
+            .pool
+            .waiting()
+            .map(|r| self.kv.pages_for(r.input_len as u64))
+            .sum();
+        (self.kv.used_pages() + queued) as f64 / total as f64
+    }
+
     /// Submits one request (prompt `input_len`, target `output_len`,
     /// arriving at `arrival`).
-    pub fn submit(&mut self, id: u32, input_len: u32, output_len: u32, arrival: Cycle) {
-        let req = Request::new(RequestId::new(id), input_len, output_len, arrival);
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::DuplicateRequest`] when `id` was already
+    /// submitted to this simulation (a duplicate would otherwise poison
+    /// admission and head-of-line block the whole queue), and
+    /// [`SimError::InvalidShape`] for a zero `output_len` (a request that
+    /// generates nothing cannot pass through the decode loop).
+    pub fn submit(
+        &mut self,
+        id: u32,
+        input_len: u32,
+        output_len: u32,
+        arrival: Cycle,
+    ) -> Result<(), SimError> {
+        let id = RequestId::new(id);
+        if output_len == 0 {
+            return Err(SimError::InvalidShape(format!(
+                "request {id} has zero output_len"
+            )));
+        }
+        if !self.seen.insert(id) {
+            return Err(SimError::DuplicateRequest(id));
+        }
+        let req = Request::new(id, input_len, output_len, arrival);
         self.arrivals.insert(req.id, arrival);
+        self.submitted += 1;
         self.pool.submit(req);
+        Ok(())
+    }
+
+    /// Advances the simulation by one event: admits arrivals, then either
+    /// executes one decode iteration for the decode-ready sub-batch,
+    /// jumps the clock to the next arrival/prefill completion, drops a
+    /// permanently unadmittable request, or reports that the run is
+    /// finished.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend pricing errors; KV out-of-memory at admission is
+    /// handled by deferring (or, when hopeless, dropping) the request, not
+    /// by failing the run.
+    pub fn step(&mut self) -> Result<StepEvent, SimError> {
+        if self.cfg.target_completions > 0 && self.pool.completed() >= self.cfg.target_completions {
+            return Ok(StepEvent::Finished);
+        }
+
+        // Iteration boundary: admit while capacity allows. Requests are
+        // homed on channels round-robin at admission (their KV pages live
+        // there for their lifetime) and charged their prefill delay: they
+        // become decode-ready `prefill_cycles` after admission.
+        let kv = &mut self.kv;
+        let next_channel = &mut self.next_channel;
+        let channels = self.backend.mem_config().channels;
+        let home = &mut self.home_channel;
+        let ready_at = &mut self.ready_at;
+        let backend = &self.backend;
+        let model = &self.model;
+        let (tp, layers) = (self.cfg.tp, self.cfg.layers);
+        let now = self.now;
+        let mut prefill_err: Option<SimError> = None;
+        self.pool.admit(now, |req| {
+            let ch = ChannelId::new(*next_channel % channels);
+            match kv.admit(req.id, ch, req.input_len as u64) {
+                Ok(()) => {
+                    let prompt = req.input_len.max(1) as u64;
+                    match backend.prefill_cycles(model, tp, layers, &[prompt]) {
+                        Ok(prefill) => {
+                            *next_channel += 1;
+                            home.insert(req.id, ch);
+                            ready_at.insert(req.id, now + prefill);
+                            true
+                        }
+                        Err(e) => {
+                            // Roll the reservation back and fail the run:
+                            // a backend that cannot price prefill is a
+                            // configuration error, not a capacity one.
+                            let _ = kv.release(req.id);
+                            prefill_err = Some(e.into());
+                            false
+                        }
+                    }
+                }
+                Err(_) => false,
+            }
+        });
+        if let Some(e) = prefill_err {
+            return Err(e);
+        }
+
+        // The decode-ready sub-batch: admitted requests whose prefill
+        // delay has elapsed.
+        let ready: Vec<(RequestId, u64)> = self
+            .pool
+            .running()
+            .iter()
+            .filter(|r| self.ready_at.get(&r.id).is_none_or(|&t| t <= self.now))
+            .map(|r| (r.id, r.seq_len() as u64))
+            .collect();
+
+        if ready.is_empty() {
+            let next_arrival = self
+                .arrivals
+                .values()
+                .copied()
+                .filter(|&a| a > self.now)
+                .min();
+            if !self.pool.running().is_empty() {
+                // Everything admitted is still prefilling: jump to the
+                // earliest prefill completion — or to the next arrival if
+                // it lands first, so newcomers are admitted (and start
+                // their own prefill) while earlier prompts are encoding.
+                let next_ready = self
+                    .pool
+                    .running()
+                    .iter()
+                    .filter_map(|r| self.ready_at.get(&r.id).copied())
+                    .filter(|&t| t > self.now)
+                    .min()
+                    .expect("non-ready running request must have a future ready time");
+                self.now = match next_arrival {
+                    Some(a) => next_ready.min(a),
+                    None => next_ready,
+                };
+                return Ok(StepEvent::Waited);
+            }
+            if self.pool.waiting_len() == 0 {
+                return Ok(StepEvent::Finished);
+            }
+            // Nothing is running, so the KV cache is empty. If the head
+            // of the waiting queue has arrived, admission just failed
+            // against that empty cache — it can never run. Drop it now
+            // (counted, not silently lost) so it doesn't head-of-line
+            // block admittable requests until the arrival horizon drains.
+            let head_arrival = self
+                .pool
+                .waiting()
+                .next()
+                .map(|r| r.arrival)
+                .expect("non-empty waiting queue");
+            if head_arrival <= self.now {
+                let req = self
+                    .pool
+                    .drop_head_waiting()
+                    .expect("non-empty waiting queue");
+                self.arrivals.remove(&req.id);
+                self.dropped += 1;
+                return Ok(StepEvent::Dropped(req.id));
+            }
+            // The head hasn't arrived yet: jump to the next arrival.
+            let t = next_arrival.expect("future waiting head implies a future arrival");
+            self.now = t;
+            return Ok(StepEvent::Waited);
+        }
+
+        // One decode iteration for the ready sub-batch.
+        let seqs: Vec<u64> = ready.iter().map(|&(_, s)| s).collect();
+        let iter = self
+            .backend
+            .decode_iteration(&self.model, self.cfg.tp, self.cfg.layers, &seqs)
+            .map_err(SimError::from)?
+            .into_breakdown();
+        self.now += iter.total_cycles;
+        self.totals.merge(&iter);
+        self.iterations += 1;
+
+        // Token growth, then the KV high-water mark (after growth, before
+        // releases), then completion handling.
+        for &(id, _) in &ready {
+            // OOM on growth stalls that request's page growth; the
+            // count-based model tolerates it (the request finishes on
+            // schedule, pages stay at their last size).
+            let _ = self.kv.append_token(id);
+            self.first_token.entry(id).or_insert(self.now);
+        }
+        self.peak_kv = self.peak_kv.max(self.kv.utilization());
+
+        let ready_ids: HashSet<RequestId> = ready.iter().map(|&(id, _)| id).collect();
+        for done in self
+            .pool
+            .complete_iteration_where(|r| ready_ids.contains(&r.id))
+        {
+            self.kv.release(done.id)?;
+            self.home_channel.remove(&done.id);
+            self.ready_at.remove(&done.id);
+            let arrival = self.arrivals.remove(&done.id).unwrap_or(done.arrival);
+            let first = self
+                .first_token
+                .remove(&done.id)
+                .expect("completed request produced a first token");
+            self.records.push(RequestMetrics {
+                id: done.id,
+                arrival,
+                ttft: first.saturating_sub(arrival),
+                latency: self.now.saturating_sub(arrival),
+                tokens: done.output_len as u64,
+            });
+        }
+        Ok(StepEvent::Iteration)
+    }
+
+    /// Snapshot of the run's statistics so far (final once [`Self::step`]
+    /// reports [`StepEvent::Finished`], which is what [`Self::run`]
+    /// returns).
+    pub fn outcome(&self) -> ServingOutcome {
+        let mut latencies: Vec<Cycle> = self.records.iter().map(|r| r.latency).collect();
+        latencies.sort_unstable();
+        let mut ttfts: Vec<Cycle> = self.records.iter().map(|r| r.ttft).collect();
+        ttfts.sort_unstable();
+        let mut tpots: Vec<f64> = self.records.iter().map(RequestMetrics::tpot).collect();
+        tpots.sort_by(f64::total_cmp);
+        let mean_latency = if latencies.is_empty() {
+            0.0
+        } else {
+            latencies.iter().sum::<u64>() as f64 / latencies.len() as f64
+        };
+        let (slo_attained, goodput_tokens) = match &self.cfg.slo {
+            Some(slo) => self
+                .records
+                .iter()
+                .filter(|r| r.meets(slo))
+                .fold((0u64, 0u64), |(n, t), r| (n + 1, t + r.tokens)),
+            None => (
+                self.records.len() as u64,
+                self.records.iter().map(|r| r.tokens).sum(),
+            ),
+        };
+        ServingOutcome {
+            total_cycles: self.now,
+            submitted: self.submitted,
+            completed: self.pool.completed(),
+            dropped: self.dropped,
+            tokens: self.pool.tokens_generated(),
+            iterations: self.iterations,
+            mean_latency,
+            latencies,
+            ttfts,
+            tpots,
+            records: self.records.clone(),
+            totals: self.totals.clone(),
+            peak_kv_utilization: self.peak_kv,
+            slo_attained,
+            goodput_tokens,
+        }
     }
 
     /// Runs until the completion target (or full drain) and reports.
@@ -137,105 +605,11 @@ impl<B: Backend> ServingSim<B> {
     /// # Errors
     ///
     /// Propagates device-model errors; KV out-of-memory at admission is
-    /// handled by deferring the request, not by failing the run.
+    /// handled by deferring (or dropping) the request, not by failing the
+    /// run.
     pub fn run(&mut self) -> Result<ServingOutcome, SimError> {
-        let mut totals = IterationBreakdown::default();
-        let mut iterations = 0u64;
-        let mut peak_kv = 0f64;
-
-        loop {
-            // Iteration boundary: admit while capacity allows. Requests are
-            // homed on channels round-robin at admission (their KV pages
-            // live there for their lifetime).
-            let kv = &mut self.kv;
-            let next_channel = &mut self.next_channel;
-            let channels = self.backend.mem_config().channels;
-            let home = &mut self.home_channel;
-            self.pool.admit(self.now, |req| {
-                let ch = ChannelId::new(*next_channel % channels);
-                match kv.admit(req.id, ch, req.input_len as u64) {
-                    Ok(()) => {
-                        *next_channel += 1;
-                        home.insert(req.id, ch);
-                        true
-                    }
-                    Err(_) => false,
-                }
-            });
-
-            if self.pool.running().is_empty() {
-                // Nothing runnable: jump to the next arrival if any work
-                // remains, otherwise finish.
-                if self.pool.waiting_len() == 0 {
-                    break;
-                }
-                let next_arrival = self
-                    .arrivals
-                    .values()
-                    .copied()
-                    .filter(|&a| a > self.now)
-                    .min();
-                match next_arrival {
-                    Some(t) => {
-                        self.now = t;
-                        continue;
-                    }
-                    None => break, // waiting requests can never be admitted
-                }
-            }
-
-            // One decode iteration for the whole running batch.
-            let seqs = self.pool.seq_lens();
-            let iter = self
-                .backend
-                .decode_iteration(&self.model, self.cfg.tp, self.cfg.layers, &seqs)
-                .map_err(SimError::from)?
-                .into_breakdown();
-            self.now += iter.total_cycles;
-            totals.merge(&iter);
-            iterations += 1;
-            peak_kv = peak_kv.max(self.kv.utilization());
-
-            // Token growth and completion handling.
-            let running_ids: Vec<RequestId> = self.pool.running().iter().map(|r| r.id).collect();
-            for id in running_ids {
-                // OOM on growth stalls that request's page growth; the
-                // count-based model tolerates it (the request finishes on
-                // schedule, pages stay at their last size).
-                let _ = self.kv.append_token(id);
-            }
-            for done in self.pool.complete_iteration() {
-                self.kv.release(done.id)?;
-                self.home_channel.remove(&done.id);
-                if let Some(arr) = self.arrivals.remove(&done.id) {
-                    self.latencies.push(self.now.saturating_sub(arr));
-                }
-            }
-
-            if self.cfg.target_completions > 0
-                && self.pool.completed() >= self.cfg.target_completions
-            {
-                break;
-            }
-        }
-
-        let mean_latency = if self.latencies.is_empty() {
-            0.0
-        } else {
-            self.latencies.iter().sum::<u64>() as f64 / self.latencies.len() as f64
-        };
-        let mut latencies = self.latencies.clone();
-        latencies.sort_unstable();
-        Ok(ServingOutcome {
-            total_cycles: self.now,
-            completed: self.pool.completed(),
-            tokens: self.pool.tokens_generated(),
-            iterations,
-            mean_latency,
-            latencies,
-            totals,
-            peak_kv_utilization: peak_kv,
-        })
+        while self.step()? != StepEvent::Finished {}
+        Ok(self.outcome())
     }
 }
 
@@ -259,6 +633,7 @@ mod tests {
                 tp: 4,
                 layers: 32,
                 target_completions: 0,
+                slo: None,
             },
         )
     }
@@ -267,10 +642,12 @@ mod tests {
     fn drains_all_requests() {
         let mut s = sim(DeviceMode::neupims(), 16);
         for i in 0..32 {
-            s.submit(i, 64, 8, 0);
+            s.submit(i, 64, 8, 0).unwrap();
         }
         let out = s.run().unwrap();
         assert_eq!(out.completed, 32);
+        assert_eq!(out.submitted, 32);
+        assert_eq!(out.dropped, 0);
         assert_eq!(out.tokens, 32 * 8);
         assert!(out.iterations >= 8 * 2, "two admission waves of 16");
         assert!(out.mean_latency > 0.0);
@@ -281,8 +658,8 @@ mod tests {
     #[test]
     fn later_arrivals_wait() {
         let mut s = sim(DeviceMode::neupims(), 8);
-        s.submit(0, 64, 4, 0);
-        s.submit(1, 64, 4, 1_000_000_000);
+        s.submit(0, 64, 4, 0).unwrap();
+        s.submit(1, 64, 4, 1_000_000_000).unwrap();
         let out = s.run().unwrap();
         assert_eq!(out.completed, 2);
         // The run must extend past the second arrival.
@@ -293,7 +670,7 @@ mod tests {
     fn neupims_serves_faster_than_naive() {
         let submit_all = |s: &mut ServingSim| {
             for i in 0..64 {
-                s.submit(i, 200, 16, 0);
+                s.submit(i, 200, 16, 0).unwrap();
             }
         };
         let mut a = sim(DeviceMode::neupims(), 64);
@@ -315,10 +692,13 @@ mod tests {
         let mut s = sim(DeviceMode::neupims(), 8);
         // Staggered arrivals with mixed lengths give spread-out latencies.
         for i in 0..24u32 {
-            s.submit(i, 32 + i * 8, 4 + i % 9, (i as u64) * 200_000);
+            s.submit(i, 32 + i * 8, 4 + i % 9, (i as u64) * 200_000)
+                .unwrap();
         }
         let out = s.run().unwrap();
         assert_eq!(out.latencies.len(), 24);
+        assert_eq!(out.ttfts.len(), 24);
+        assert_eq!(out.records.len(), 24);
         let p50 = out.latency_percentile(50.0);
         let p95 = out.latency_percentile(95.0);
         let p99 = out.latency_percentile(99.0);
@@ -328,9 +708,15 @@ mod tests {
             out.latency_percentile(100.0),
             *out.latencies.last().unwrap()
         );
+        assert!(out.ttft_percentile(50.0) <= out.ttft_percentile(99.0));
+        assert!(out.tpot_percentile(50.0) <= out.tpot_percentile(99.0));
         // Mean sits between min and max.
         assert!(out.mean_latency >= out.latencies[0] as f64);
         assert!(out.mean_latency <= *out.latencies.last().unwrap() as f64);
+        // Per-request invariant: first token cannot come after completion.
+        for r in &out.records {
+            assert!(r.ttft <= r.latency, "{r:?}");
+        }
     }
 
     #[test]
@@ -345,13 +731,241 @@ mod tests {
         // A short request finishes and a waiting one takes its slot without
         // waiting for the whole batch to drain.
         let mut s = sim(DeviceMode::neupims(), 2);
-        s.submit(0, 32, 2, 0);
-        s.submit(1, 32, 20, 0);
-        s.submit(2, 32, 2, 0); // waits for request 0's slot
+        s.submit(0, 32, 2, 0).unwrap();
+        s.submit(1, 32, 20, 0).unwrap();
+        s.submit(2, 32, 2, 0).unwrap(); // waits for request 0's slot
         let out = s.run().unwrap();
         assert_eq!(out.completed, 3);
         // If admission only happened at drain, iterations would be ~22+2;
-        // iteration-level admission keeps it at ~20.
+        // iteration-level admission keeps it at ~20 (request 2 overlaps
+        // request 1's long tail even after its prefill delay).
         assert!(out.iterations <= 21, "iterations {}", out.iterations);
+    }
+
+    #[test]
+    fn zero_output_len_is_rejected_at_submit() {
+        // A request that generates nothing would be "finished" from birth
+        // and panic the decode loop's advance(); reject it up front.
+        let mut s = sim(DeviceMode::neupims(), 8);
+        let err = s.submit(0, 64, 0, 0).unwrap_err();
+        assert!(matches!(err, SimError::InvalidShape(_)), "{err}");
+        assert_eq!(s.run().unwrap().submitted, 0);
+    }
+
+    #[test]
+    fn duplicate_submission_is_rejected() {
+        // Regression: a duplicate id used to overwrite the arrival entry
+        // and poison admission (the second `kv.admit` failed forever,
+        // head-of-line blocking the queue).
+        let mut s = sim(DeviceMode::neupims(), 8);
+        s.submit(0, 64, 4, 0).unwrap();
+        let err = s.submit(0, 128, 8, 10).unwrap_err();
+        assert!(matches!(err, SimError::DuplicateRequest(_)), "{err}");
+        s.submit(1, 64, 4, 0).unwrap();
+        let out = s.run().unwrap();
+        assert_eq!(out.submitted, 2);
+        assert_eq!(out.completed, 2);
+        assert_eq!(out.tokens, 8);
+    }
+
+    fn tight_sim(capacity_per_channel: u64) -> ServingSim {
+        let mut cfg = NeuPimsConfig::table2();
+        cfg.mem.channels = 4;
+        cfg.mem.capacity_per_channel = capacity_per_channel;
+        let cal = calibrate(&cfg).unwrap();
+        ServingSim::new(
+            Device::new(cfg, cal, DeviceMode::neupims()),
+            LlmConfig::gpt3_7b(),
+            ServingConfig {
+                max_batch: 16,
+                tp: 4,
+                layers: 32,
+                target_completions: 0,
+                slo: None,
+            },
+        )
+    }
+
+    #[test]
+    fn unadmittable_requests_are_dropped_not_lost() {
+        // Regression: requests whose context exceeds an empty channel used
+        // to vanish from every counter when the run broke out of its
+        // admission stall. They must be counted as dropped.
+        let mut s = tight_sim(80 << 20); // one ~512-token context/channel
+        s.submit(0, 8192, 4, 0).unwrap(); // can never fit
+        s.submit(1, 256, 4, 0).unwrap();
+        s.submit(2, 256, 4, 0).unwrap();
+        let out = s.run().unwrap();
+        assert_eq!(out.dropped, 1, "oversized request must be dropped");
+        assert_eq!(out.completed, 2);
+        assert_eq!(
+            out.completed + out.dropped,
+            out.submitted,
+            "no request may silently vanish"
+        );
+        assert_eq!(out.tokens, 8, "drops generate no tokens");
+    }
+
+    #[test]
+    fn peak_kv_is_sampled_after_growth() {
+        // Regression: the high-water mark used to be sampled before
+        // append_token growth (and after releases), under-reporting the
+        // true peak. A single request whose final token crosses a page
+        // boundary exposes the difference: the peak must reflect the
+        // *final* context length, not the penultimate one.
+        let mem = NeuPimsConfig::table2().mem;
+        let model = LlmConfig::gpt3_7b();
+        let geo = KvGeometry::with_tp(&model, &mem, 4);
+        let probe = PagedKvCache::new(&mem, geo, 32);
+        let (input, output) = (80u32, 5u32); // final seq 85
+        let final_pages = probe.pages_for((input + output) as u64);
+        assert!(
+            final_pages > probe.pages_for((input + output - 1) as u64),
+            "test setup: last token must cross a page boundary"
+        );
+        let pages_per_channel = mem.capacity_per_channel / mem.page_bytes;
+        let expected = final_pages as f64 / (pages_per_channel * mem.channels as u64) as f64;
+
+        let mut s = sim(DeviceMode::neupims(), 4);
+        s.submit(0, input, output, 0).unwrap();
+        let out = s.run().unwrap();
+        assert!(
+            (out.peak_kv_utilization - expected).abs() < 1e-12,
+            "peak {} vs expected {}",
+            out.peak_kv_utilization,
+            expected
+        );
+    }
+
+    #[test]
+    fn prefill_is_charged_into_ttft() {
+        let cfg = NeuPimsConfig::table2();
+        let cal = calibrate(&cfg).unwrap();
+        let model = LlmConfig::gpt3_7b();
+        let device = Device::new(cfg, cal, DeviceMode::neupims());
+        let floor = Backend::prefill_cycles(&device, &model, 4, 32, &[256]).unwrap();
+        assert!(floor > 0);
+
+        let mut s = sim(DeviceMode::neupims(), 8);
+        for i in 0..4 {
+            s.submit(i, 256, 6, 0).unwrap();
+        }
+        let out = s.run().unwrap();
+        assert_eq!(out.completed, 4);
+        for r in &out.records {
+            assert!(
+                r.ttft >= floor,
+                "TTFT {} must include the {}-cycle prefill",
+                r.ttft,
+                floor
+            );
+            assert!(r.ttft < r.latency, "decode tail follows the first token");
+            assert!(r.tpot() > 0.0);
+        }
+    }
+
+    #[test]
+    fn arrivals_are_admitted_during_another_requests_prefill() {
+        // Regression: with every running request still prefilling, the
+        // clock used to jump straight to the earliest prefill completion,
+        // starving arrivals that land inside the prefill window. A short
+        // request arriving while a long prompt encodes must start its own
+        // (much shorter) prefill immediately, not inherit the long one.
+        let cfg = NeuPimsConfig::table2();
+        let cal = calibrate(&cfg).unwrap();
+        let model = LlmConfig::gpt3_7b();
+        let device = Device::new(cfg, cal, DeviceMode::neupims());
+        let long_prefill = Backend::prefill_cycles(&device, &model, 4, 32, &[4096]).unwrap();
+
+        let mut s = sim(DeviceMode::neupims(), 8);
+        s.submit(0, 4096, 4, 0).unwrap();
+        s.submit(1, 32, 1, 1_000).unwrap(); // arrives mid-prefill of req 0
+        let out = s.run().unwrap();
+        assert_eq!(out.completed, 2);
+        let short = out.records.iter().find(|r| r.id.0 == 1).unwrap();
+        assert!(
+            short.ttft < long_prefill,
+            "request 1's TTFT ({}) must not absorb request 0's {}-cycle prefill",
+            short.ttft,
+            long_prefill
+        );
+    }
+
+    #[test]
+    fn blocked_head_drops_before_future_arrivals() {
+        // Regression: a permanently unadmittable head used to survive
+        // until every future arrival time was consumed, blocking
+        // admittable requests for the whole arrival horizon.
+        let mut s = tight_sim(80 << 20);
+        s.submit(0, 8192, 4, 0).unwrap(); // can never fit an empty channel
+        s.submit(1, 256, 4, 0).unwrap();
+        s.submit(2, 256, 4, 1_000_000_000).unwrap(); // far-future arrival
+        let out = s.run().unwrap();
+        assert_eq!(out.dropped, 1);
+        assert_eq!(out.completed, 2);
+        let early = out.records.iter().find(|r| r.id.0 == 1).unwrap();
+        assert!(
+            early.latency < 1_000_000_000,
+            "request 1 ({} cycles) must not wait for the last arrival",
+            early.latency
+        );
+    }
+
+    #[test]
+    fn slo_attainment_and_goodput() {
+        let run_with = |slo: Option<SloTargets>| {
+            let mut s = sim(DeviceMode::neupims(), 8);
+            s.cfg.slo = slo;
+            for i in 0..6 {
+                s.submit(i, 64, 4, 0).unwrap();
+            }
+            s.run().unwrap()
+        };
+        let loose = run_with(Some(SloTargets {
+            ttft: u64::MAX,
+            tpot: f64::INFINITY,
+        }));
+        assert_eq!(loose.slo_attained, 6);
+        assert!((loose.slo_attainment() - 1.0).abs() < 1e-12);
+        assert!((loose.goodput() - loose.tokens_per_sec()).abs() < 1e-9);
+
+        let impossible = run_with(Some(SloTargets { ttft: 0, tpot: 0.0 }));
+        assert_eq!(impossible.slo_attained, 0);
+        assert_eq!(impossible.slo_attainment(), 0.0);
+        assert_eq!(impossible.goodput(), 0.0);
+
+        let unset = run_with(None);
+        assert_eq!(unset.slo_attained, unset.completed);
+        assert!((unset.goodput() - unset.tokens_per_sec()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn step_api_exposes_live_state() {
+        let mut s = sim(DeviceMode::neupims(), 2);
+        s.submit(0, 64, 3, 0).unwrap();
+        s.submit(1, 64, 3, 0).unwrap();
+        s.submit(2, 64, 3, 0).unwrap(); // over the batch cap: stays queued
+        assert_eq!(s.waiting_len(), 3);
+        assert_eq!(s.outstanding_tokens(), 9);
+        let mut events = Vec::new();
+        loop {
+            let e = s.step().unwrap();
+            if e == StepEvent::Finished {
+                break;
+            }
+            events.push(e);
+        }
+        assert!(events.contains(&StepEvent::Iteration));
+        assert!(
+            events.contains(&StepEvent::Waited),
+            "prefill gating must produce at least one wait: {events:?}"
+        );
+        assert_eq!(s.completed(), 3);
+        assert_eq!(s.waiting_len(), 0);
+        assert_eq!(s.running_len(), 0);
+        assert!(s.now() > 0);
+        assert_eq!(s.kv_utilization(), 0.0, "all pages released at drain");
+        let out = s.outcome();
+        assert_eq!(out.completed, 3);
     }
 }

@@ -37,7 +37,7 @@ use neupims_workload::{warm_batch, Dataset};
 
 use crate::backend::{Backend, BackendError, IterationResult};
 use crate::cluster::{cluster_throughput, ClusterSpec};
-use crate::serving::{ServingConfig, ServingSim};
+use crate::serving::{ServingConfig, ServingSim, SloTargets};
 
 /// Default RNG seed of the experiment harness (kept from the seed repo so
 /// regenerated tables stay comparable across versions).
@@ -292,6 +292,17 @@ impl<B: Backend> Simulation<B> {
     /// Builds a serving simulation over this backend (borrowed), with the
     /// simulation's TP degree and resident layers.
     pub fn serving(&self, max_batch: usize, target_completions: u64) -> ServingSim<&B> {
+        self.serving_with_slo(max_batch, target_completions, None)
+    }
+
+    /// Like [`Self::serving`], but with latency SLO targets: the outcome's
+    /// attainment and goodput are measured against them.
+    pub fn serving_with_slo(
+        &self,
+        max_batch: usize,
+        target_completions: u64,
+        slo: Option<SloTargets>,
+    ) -> ServingSim<&B> {
         ServingSim::new(
             &self.backend,
             self.model.clone(),
@@ -300,6 +311,7 @@ impl<B: Backend> Simulation<B> {
                 tp: self.tp,
                 layers: self.layers,
                 target_completions,
+                slo,
             },
         )
     }
@@ -378,11 +390,12 @@ mod tests {
 
         let mut serving = sim.serving(16, 0);
         for i in 0..8 {
-            serving.submit(i, 64, 4, 0);
+            serving.submit(i, 64, 4, 0).unwrap();
         }
         let out = serving.run().unwrap();
         assert_eq!(out.completed, 8);
         assert!(out.tokens_per_sec() > 0.0);
+        assert!(out.ttft_percentile(50.0) > 0, "prefill must charge TTFT");
     }
 
     #[test]
@@ -392,7 +405,7 @@ mod tests {
         let run = |sim: &Simulation<Box<dyn crate::backend::Backend>>| {
             let mut s = sim.serving(8, 0);
             for i in 0..8 {
-                s.submit(i, 64, 2, 0);
+                s.submit(i, 64, 2, 0).unwrap();
             }
             s.run().unwrap()
         };

@@ -59,13 +59,23 @@ impl PagedKvCache {
         self.pages_per_channel - self.used[channel.index()]
     }
 
+    /// Total pages across all channels.
+    pub fn total_pages(&self) -> u64 {
+        self.pages_per_channel * self.used.len() as u64
+    }
+
+    /// Pages currently reserved across all channels.
+    pub fn used_pages(&self) -> u64 {
+        self.used.iter().sum()
+    }
+
     /// Overall pool utilization in `[0, 1]`.
     pub fn utilization(&self) -> f64 {
-        let total = self.pages_per_channel * self.used.len() as u64;
+        let total = self.total_pages();
         if total == 0 {
             0.0
         } else {
-            self.used.iter().sum::<u64>() as f64 / total as f64
+            self.used_pages() as f64 / total as f64
         }
     }
 
@@ -271,6 +281,11 @@ mod tests {
             "other channels untouched"
         );
         assert!(kv.utilization() > 0.0);
+        assert_eq!(kv.used_pages(), kv.pages_for(100));
+        assert_eq!(
+            kv.utilization(),
+            kv.used_pages() as f64 / kv.total_pages() as f64
+        );
     }
 
     #[test]

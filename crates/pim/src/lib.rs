@@ -16,7 +16,7 @@
 //!   (Section 5.3), used to measure concurrent-mode interference;
 //! * [`functional`] — executes *real* logit (`K^T q`) and attend (`L V`)
 //!   GEMVs through the engine and returns numeric results for verification;
-//! * [`calibrate`] — measures the macro-model constants (`L_GWRITE`,
+//! * [`mod@calibrate`] — measures the macro-model constants (`L_GWRITE`,
 //!   `L_tile`, streaming bandwidths solo/shared) from the cycle model.
 //!
 //! # Example: timed GEMV on one channel

@@ -55,6 +55,30 @@ impl RequestPool {
         self.tokens_generated
     }
 
+    /// Requests waiting for admission, in FCFS order.
+    pub fn waiting(&self) -> impl Iterator<Item = &Request> {
+        self.waiting.iter()
+    }
+
+    /// Tokens still to be generated across the waiting queue and the
+    /// running batch — the pool's outstanding work (dispatch policies use
+    /// it as a load signal).
+    pub fn outstanding_tokens(&self) -> u64 {
+        self.waiting
+            .iter()
+            .chain(&self.running)
+            .map(|r| r.remaining() as u64)
+            .sum()
+    }
+
+    /// Removes and returns the head of the waiting queue without running
+    /// it. Serving frontends use this to drop a request that can never be
+    /// admitted (e.g. its context exceeds an empty KV channel) instead of
+    /// letting it block the queue forever.
+    pub fn drop_head_waiting(&mut self) -> Option<Request> {
+        self.waiting.pop_front()
+    }
+
     /// Current context lengths of the running batch, index-aligned with
     /// [`Self::running`].
     pub fn seq_lens(&self) -> Vec<u64> {
@@ -94,9 +118,22 @@ impl RequestPool {
     ///
     /// Returns the retired requests (callers release their KV pages).
     pub fn complete_iteration(&mut self) -> Vec<Request> {
+        self.complete_iteration_where(|_| true)
+    }
+
+    /// Like [`Self::complete_iteration`], but only requests for which
+    /// `participated` returns `true` advance (and can retire). Serving
+    /// frontends use this to keep admitted-but-still-prefilling requests
+    /// from generating tokens before their prefill delay has elapsed.
+    pub fn complete_iteration_where(
+        &mut self,
+        mut participated: impl FnMut(&Request) -> bool,
+    ) -> Vec<Request> {
         for req in &mut self.running {
-            req.advance();
-            self.tokens_generated += 1;
+            if participated(req) {
+                req.advance();
+                self.tokens_generated += 1;
+            }
         }
         let (done, keep): (Vec<Request>, Vec<Request>) = std::mem::take(&mut self.running)
             .into_iter()
@@ -208,6 +245,38 @@ mod tests {
         assert_eq!(pool.seq_lens(), vec![10]);
         pool.complete_iteration();
         assert_eq!(pool.seq_lens(), vec![11]);
+    }
+
+    #[test]
+    fn filtered_completion_advances_only_participants() {
+        let mut pool = RequestPool::new(4);
+        pool.submit(req(0, 8, 1, 0));
+        pool.submit(req(1, 8, 2, 0));
+        pool.admit(0, |_| true);
+        // Only request 1 participates: request 0 must not advance or retire.
+        let done = pool.complete_iteration_where(|r| r.id == RequestId::new(1));
+        assert!(done.is_empty());
+        assert_eq!(pool.tokens_generated(), 1);
+        assert_eq!(pool.seq_lens(), vec![8, 9]);
+        // Now both participate; both finish.
+        let done = pool.complete_iteration();
+        assert_eq!(done.len(), 2);
+        assert_eq!(pool.completed(), 2);
+    }
+
+    #[test]
+    fn drop_head_and_outstanding_tokens() {
+        let mut pool = RequestPool::new(1);
+        pool.submit(req(0, 8, 3, 0));
+        pool.submit(req(1, 8, 5, 0));
+        pool.admit(0, |_| true);
+        assert_eq!(pool.outstanding_tokens(), 8, "3 running + 5 waiting");
+        let dropped = pool.drop_head_waiting().unwrap();
+        assert_eq!(dropped.id, RequestId::new(1));
+        assert_eq!(pool.waiting_len(), 0);
+        assert_eq!(pool.outstanding_tokens(), 3);
+        assert!(pool.drop_head_waiting().is_none());
+        assert_eq!(pool.waiting().count(), 0);
     }
 
     #[test]

@@ -55,6 +55,8 @@ pub enum SimError {
     },
     /// An operation referenced an unknown or already-freed request.
     UnknownRequest(RequestId),
+    /// A request id was submitted to a serving frontend more than once.
+    DuplicateRequest(RequestId),
     /// A configuration was internally inconsistent.
     InvalidConfig(String),
     /// An operator shape was malformed (zero dimension, mismatched sizes...).
@@ -97,6 +99,7 @@ impl fmt::Display for SimError {
                 "out of memory on {channel}: requested {requested_pages} pages, {free_pages} free"
             ),
             SimError::UnknownRequest(id) => write!(f, "unknown request {id}"),
+            SimError::DuplicateRequest(id) => write!(f, "duplicate submission of request {id}"),
             SimError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             SimError::InvalidShape(msg) => write!(f, "invalid shape: {msg}"),
             SimError::Scheduling(msg) => write!(f, "scheduling error: {msg}"),

@@ -80,6 +80,23 @@ pub fn poisson_arrivals<R: Rng + ?Sized>(
     out
 }
 
+/// Samples exactly `n` Poisson arrival times (exponential inter-arrival
+/// gaps at `rate_per_mcycle` requests per million cycles) — the
+/// fixed-request-count companion of [`poisson_arrivals`], used by fleet
+/// serving simulations that submit a known number of requests.
+pub fn arrival_stream<R: Rng + ?Sized>(rng: &mut R, rate_per_mcycle: f64, n: usize) -> Vec<Cycle> {
+    assert!(rate_per_mcycle > 0.0, "arrival rate must be positive");
+    let mean_gap = 1.0e6 / rate_per_mcycle;
+    let mut t = 0.0f64;
+    (0..n)
+        .map(|_| {
+            let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+            t += -mean_gap * u.ln();
+            t as Cycle
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -121,6 +138,17 @@ mod tests {
         assert!(arr.iter().all(|&t| t < 10_000_000));
         // Rate check: ~50 per Mcycle over 10 Mcycles = ~500 arrivals.
         assert!((arr.len() as f64 - 500.0).abs() < 150.0, "{}", arr.len());
+    }
+
+    #[test]
+    fn arrival_stream_yields_exactly_n_sorted_arrivals() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let arr = arrival_stream(&mut rng, 10.0, 200);
+        assert_eq!(arr.len(), 200);
+        assert!(arr.windows(2).all(|w| w[0] <= w[1]));
+        // Mean gap ~100k cycles: 200 arrivals land around 20 Mcycles.
+        let span = *arr.last().unwrap() as f64;
+        assert!((5e6..60e6).contains(&span), "{span}");
     }
 
     #[test]

@@ -11,13 +11,13 @@
 //! * [`dataset::Dataset`] — log-normal length distributions matched to the
 //!   published means;
 //! * [`batch::warm_batch`] — the warm-batch sampler;
-//! * [`batch::poisson_arrivals`] — streaming arrivals for serving
-//!   simulations.
+//! * [`batch::poisson_arrivals`] / [`batch::arrival_stream`] — streaming
+//!   Poisson arrivals for serving and fleet simulations.
 
 #![warn(missing_docs)]
 
 pub mod batch;
 pub mod dataset;
 
-pub use batch::{poisson_arrivals, warm_batch, WarmRequest};
+pub use batch::{arrival_stream, poisson_arrivals, warm_batch, WarmRequest};
 pub use dataset::Dataset;

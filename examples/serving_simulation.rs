@@ -40,7 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for (i, &at) in arrivals.iter().take(60).enumerate() {
             let input = dataset.sample_input(&mut rng);
             let output = dataset.sample_output(&mut rng).min(64); // cap for demo
-            serving.submit(i as u32, input, output, at);
+            serving.submit(i as u32, input, output, at)?;
         }
         let out = serving.run()?;
         println!(
@@ -63,6 +63,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             out.latency_percentile(50.0) as f64 / 1e6,
             out.latency_percentile(95.0) as f64 / 1e6,
             out.latency_percentile(99.0) as f64 / 1e6
+        );
+        println!(
+            "  TTFT p50 {:.2} ms | TPOT p50 {:.3} ms",
+            out.ttft_percentile(50.0) as f64 / 1e6,
+            out.tpot_percentile(50.0) / 1e6
         );
     }
     Ok(())

@@ -1,0 +1,207 @@
+//! Cross-crate integration: the SLO-aware multi-replica fleet simulator
+//! (dispatch policies x backends, heterogeneous fleets, drop accounting).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use neupims_core::backend::{backend_from_name, Backend, GpuRooflineBackend};
+use neupims_core::device::{Device, DeviceMode};
+use neupims_core::fleet::{
+    policy_from_name, FleetRequest, FleetSim, JoinShortestQueue, RoundRobin, POLICY_NAMES,
+};
+use neupims_core::serving::{ServingConfig, ServingSim, SloTargets};
+use neupims_pim::calibrate;
+use neupims_types::{LlmConfig, NeuPimsConfig};
+use neupims_workload::{arrival_stream, Dataset};
+
+fn serving_cfg(max_batch: usize) -> ServingConfig {
+    let model = LlmConfig::gpt3_7b();
+    ServingConfig {
+        max_batch,
+        tp: model.parallelism.tp,
+        layers: model.num_layers / model.parallelism.pp,
+        target_completions: 0,
+        slo: Some(SloTargets {
+            ttft: 50_000_000,
+            tpot: 5_000_000.0,
+        }),
+    }
+}
+
+fn sampled_workload(n: usize, seed: u64) -> Vec<FleetRequest> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dataset = Dataset::ShareGpt;
+    arrival_stream(&mut rng, 8.0, n)
+        .iter()
+        .enumerate()
+        .map(|(i, &at)| FleetRequest {
+            id: i as u32,
+            input_len: dataset.sample_input(&mut rng),
+            output_len: dataset.sample_output(&mut rng).min(16),
+            arrival: at,
+        })
+        .collect()
+}
+
+#[test]
+fn every_policy_runs_every_backend_at_four_replicas() {
+    let cfg = NeuPimsConfig::table2();
+    let cal = calibrate(&cfg).unwrap();
+    let model = LlmConfig::gpt3_7b();
+    let requests = sampled_workload(16, 21);
+    let expected_tokens: u64 = requests.iter().map(|r| r.output_len as u64).sum();
+    for backend_name in ["neupims", "gpu", "naive"] {
+        for policy in POLICY_NAMES {
+            let replicas: Vec<ServingSim<Box<dyn Backend>>> = (0..4)
+                .map(|_| {
+                    ServingSim::new(
+                        backend_from_name(backend_name, &cfg, &cal).unwrap(),
+                        model.clone(),
+                        serving_cfg(8),
+                    )
+                })
+                .collect();
+            let mut fleet = FleetSim::new(replicas, policy_from_name(policy).unwrap()).unwrap();
+            for &req in &requests {
+                fleet.submit(req).unwrap();
+            }
+            let out = fleet.run().unwrap();
+            let tag = format!("{backend_name}/{policy}");
+            assert_eq!(out.submitted, 16, "{tag}");
+            assert_eq!(out.completed + out.dropped, out.submitted, "{tag}");
+            assert_eq!(out.dropped, 0, "{tag}");
+            assert_eq!(out.tokens, expected_tokens, "{tag}");
+            assert!(out.makespan > 0 && out.tokens_per_sec() > 0.0, "{tag}");
+            assert!(out.ttft_percentile(50.0) > 0, "{tag}: prefill charged");
+            assert_eq!(out.latencies.len(), 16, "{tag}");
+        }
+    }
+}
+
+#[test]
+fn jsq_beats_round_robin_under_skewed_arrivals() {
+    // Every fourth request is heavy (long prompt, long generation), the
+    // rest are tiny. Round-robin over four replicas pins every heavy
+    // request onto replica 0; JSQ sees the live queue depth and spreads
+    // them, so fleet throughput (tokens over makespan) must not regress.
+    let model = LlmConfig::gpt3_7b();
+    let requests: Vec<FleetRequest> = (0..24u32)
+        .map(|i| {
+            let heavy = i % 4 == 0;
+            FleetRequest {
+                id: i,
+                input_len: if heavy { 512 } else { 32 },
+                output_len: if heavy { 48 } else { 2 },
+                arrival: i as u64 * 200_000,
+            }
+        })
+        .collect();
+    let run = |policy: Box<dyn neupims_core::fleet::DispatchPolicy>| {
+        let replicas: Vec<ServingSim<GpuRooflineBackend>> = (0..4)
+            .map(|_| ServingSim::new(GpuRooflineBackend::a100(), model.clone(), serving_cfg(4)))
+            .collect();
+        let mut fleet = FleetSim::new(replicas, policy).unwrap();
+        for &req in &requests {
+            fleet.submit(req).unwrap();
+        }
+        fleet.run().unwrap()
+    };
+    let rr = run(Box::<RoundRobin>::default());
+    let jsq = run(Box::new(JoinShortestQueue));
+    assert_eq!(rr.completed, 24);
+    assert_eq!(jsq.completed, 24);
+    assert!(
+        jsq.tokens_per_sec() >= rr.tokens_per_sec(),
+        "JSQ {:.0} tok/s must not trail round-robin {:.0} tok/s",
+        jsq.tokens_per_sec(),
+        rr.tokens_per_sec()
+    );
+    assert!(
+        jsq.makespan <= rr.makespan,
+        "JSQ makespan {} vs RR {}",
+        jsq.makespan,
+        rr.makespan
+    );
+}
+
+#[test]
+fn heterogeneous_fleet_mixes_backends() {
+    let cfg = NeuPimsConfig::table2();
+    let cal = calibrate(&cfg).unwrap();
+    let model = LlmConfig::gpt3_7b();
+    let replicas: Vec<ServingSim<Box<dyn Backend>>> = ["neupims", "neupims", "gpu", "gpu"]
+        .iter()
+        .map(|name| {
+            ServingSim::new(
+                backend_from_name(name, &cfg, &cal).unwrap(),
+                model.clone(),
+                serving_cfg(8),
+            )
+        })
+        .collect();
+    let labels: Vec<String> = replicas
+        .iter()
+        .map(|r| r.backend().label().to_owned())
+        .collect();
+    assert!(labels.contains(&"NeuPIMs".to_owned()) && labels.contains(&"GPU-only".to_owned()));
+    let mut fleet = FleetSim::new(replicas, policy_from_name("kv-aware").unwrap()).unwrap();
+    for &req in &sampled_workload(20, 5) {
+        fleet.submit(req).unwrap();
+    }
+    let out = fleet.run().unwrap();
+    assert_eq!(out.completed, 20);
+    assert_eq!(out.replicas.len(), 4);
+    // KV-aware dispatch over an all-idle start spreads work beyond one
+    // replica.
+    assert!(out.replicas.iter().filter(|r| r.completed > 0).count() >= 2);
+}
+
+#[test]
+fn fleet_aggregates_drops() {
+    // Two tight-memory replicas: a request whose context can never fit an
+    // empty channel is dropped by its replica and surfaces in the fleet
+    // total instead of vanishing.
+    let mut cfg = NeuPimsConfig::table2();
+    cfg.mem.channels = 4;
+    cfg.mem.capacity_per_channel = 80 << 20;
+    let cal = calibrate(&cfg).unwrap();
+    let model = LlmConfig::gpt3_7b();
+    let replicas: Vec<ServingSim<Device>> = (0..2)
+        .map(|_| {
+            ServingSim::new(
+                Device::new(cfg, cal, DeviceMode::neupims()),
+                model.clone(),
+                ServingConfig {
+                    max_batch: 8,
+                    tp: 4,
+                    layers: 32,
+                    target_completions: 0,
+                    slo: None,
+                },
+            )
+        })
+        .collect();
+    let mut fleet = FleetSim::new(replicas, policy_from_name("jsq").unwrap()).unwrap();
+    fleet
+        .submit(FleetRequest {
+            id: 0,
+            input_len: 8192, // exceeds an empty channel: must drop
+            output_len: 4,
+            arrival: 0,
+        })
+        .unwrap();
+    for i in 1..6u32 {
+        fleet
+            .submit(FleetRequest {
+                id: i,
+                input_len: 256,
+                output_len: 4,
+                arrival: i as u64 * 1_000,
+            })
+            .unwrap();
+    }
+    let out = fleet.run().unwrap();
+    assert_eq!(out.dropped, 1, "oversized request must be counted");
+    assert_eq!(out.completed, 5);
+    assert_eq!(out.completed + out.dropped, out.submitted);
+}

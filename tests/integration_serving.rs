@@ -22,6 +22,7 @@ fn make_sim(mode: DeviceMode, max_batch: usize) -> ServingSim {
             tp: 4,
             layers: 32,
             target_completions: 0,
+            slo: None,
         },
     )
 }
@@ -37,14 +38,22 @@ fn streaming_workload_drains_completely() {
         let input = Dataset::ShareGpt.sample_input(&mut rng);
         let output = Dataset::ShareGpt.sample_output(&mut rng).min(32);
         expected_tokens += output as u64;
-        sim.submit(i as u32, input, output, at);
+        sim.submit(i as u32, input, output, at).unwrap();
     }
     let out = sim.run().unwrap();
     assert_eq!(out.completed, n as u64);
+    assert_eq!(out.submitted, n as u64);
+    assert_eq!(out.dropped, 0);
     assert_eq!(out.tokens, expected_tokens);
     assert!(out.mean_latency > 0.0);
     assert!(out.iterations > 0);
     assert!(out.peak_kv_utilization > 0.0 && out.peak_kv_utilization <= 1.0);
+    // Prefill is charged: every record's first token arrives strictly
+    // after arrival, no later than completion.
+    assert_eq!(out.records.len(), n);
+    for r in &out.records {
+        assert!(r.ttft > 0 && r.ttft <= r.latency, "{r:?}");
+    }
 }
 
 #[test]
@@ -54,7 +63,7 @@ fn neupims_beats_naive_on_the_same_stream() {
         for i in 0..64u32 {
             let input = Dataset::ShareGpt.sample_input(&mut rng);
             let output = Dataset::ShareGpt.sample_output(&mut rng).min(24);
-            sim.submit(i, input, output, 0);
+            sim.submit(i, input, output, 0).unwrap();
         }
     };
     let mut a = make_sim(DeviceMode::neupims(), 64);
@@ -77,7 +86,7 @@ fn neupims_beats_naive_on_the_same_stream() {
 fn batch_cap_enforces_admission_waves() {
     let mut sim = make_sim(DeviceMode::neupims(), 4);
     for i in 0..12u32 {
-        sim.submit(i, 64, 4, 0);
+        sim.submit(i, 64, 4, 0).unwrap();
     }
     let out = sim.run().unwrap();
     assert_eq!(out.completed, 12);
@@ -104,10 +113,11 @@ fn kv_pressure_defers_admission_without_deadlock() {
             tp: 4,
             layers: 32,
             target_completions: 0,
+            slo: None,
         },
     );
     for i in 0..8u32 {
-        sim.submit(i, 512, 4, 0);
+        sim.submit(i, 512, 4, 0).unwrap();
     }
     let out = sim.run().unwrap();
     assert_eq!(out.completed, 8, "tight memory must defer, not deadlock");
