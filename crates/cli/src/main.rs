@@ -5,6 +5,7 @@
 //! neupims <command> [--samples N] [--quick] [--backend NAME] [--model NAME]
 //!                   [--dataset NAME] [--batch N] [--requests N] [--max-batch N]
 //!                   [--replicas N] [--policy NAME] [--rate R]
+//!                   [--scheduler NAME] [--chunk-tokens N]
 //!                   [--slo-ttft-ms MS] [--slo-tpot-ms MS]
 //!
 //! commands:
@@ -30,6 +31,10 @@
 //! models (for --model): gpt3-7b, gpt3-13b, gpt3-30b, gpt3-175b
 //! datasets (for --dataset): sharegpt, alpaca
 //! policies (for --policy): round-robin, jsq, kv-aware
+//! schedulers (for --scheduler): lump, chunked, interleaved
+//!   (fleet accepts a comma-separated list, cycled over the replicas);
+//!   --chunk-tokens sets the per-iteration prefill budget of the chunked
+//!   schedulers (default 256)
 //! --rate is in requests per million cycles (= kilo-requests/s at 1 GHz)
 //! and drives both `serve` and `fleet` arrivals; --slo-ttft-ms /
 //! --slo-tpot-ms set the latency targets their SLO-attainment and
@@ -44,6 +49,7 @@ use neupims_core::experiments::{
     ExperimentContext,
 };
 use neupims_core::fleet::{policy_from_name, FleetRequest, FleetSim, POLICY_NAMES};
+use neupims_core::scheduler::{scheduler_from_name, SCHEDULER_NAMES};
 use neupims_core::serving::{ServingConfig, ServingSim, SloTargets};
 use neupims_core::BACKEND_NAMES;
 use neupims_types::{LlmConfig, Phase};
@@ -62,6 +68,8 @@ struct Options {
     max_batch: usize,
     replicas: usize,
     policy: String,
+    scheduler: String,
+    chunk_tokens: u32,
     rate: f64,
     slo_ttft_ms: f64,
     slo_tpot_ms: f64,
@@ -99,6 +107,8 @@ fn main() -> ExitCode {
         max_batch: 64,
         replicas: 4,
         policy: "jsq".to_owned(),
+        scheduler: "lump".to_owned(),
+        chunk_tokens: 256,
         rate: 3.0,
         slo_ttft_ms: 50.0,
         slo_tpot_ms: 10.0,
@@ -145,6 +155,23 @@ fn main() -> ExitCode {
                 Some(name) => opts.policy = name.clone(),
                 None => {
                     eprintln!("--policy requires a name ({})", POLICY_NAMES.join("|"));
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--scheduler" => match it.next() {
+                Some(name) => opts.scheduler = name.clone(),
+                None => {
+                    eprintln!(
+                        "--scheduler requires a name ({})",
+                        SCHEDULER_NAMES.join("|")
+                    );
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--chunk-tokens" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => opts.chunk_tokens = n,
+                _ => {
+                    eprintln!("--chunk-tokens requires a positive number of tokens");
                     return ExitCode::FAILURE;
                 }
             },
@@ -294,13 +321,15 @@ fn cmd_serve(ctx: &ExperimentContext, opts: &Options) -> Result<(), Box<dyn std:
         .backend(ctx.backend(&opts.backend)?)
         .dataset(opts.dataset)
         .batch(opts.max_batch.max(1))
+        .scheduler(scheduler_from_name(&opts.scheduler, opts.chunk_tokens)?)
         .build()?;
     println!(
-        "\n## Serve — {} requests ({}) through {} serving {}\n",
+        "\n## Serve — {} requests ({}) through {} serving {} ({} scheduler)\n",
         opts.requests,
         opts.dataset.name(),
         sim.backend().label(),
-        opts.model.name
+        opts.model.name,
+        sim.scheduler().name(),
     );
 
     let slo = Some(SloTargets {
@@ -355,13 +384,30 @@ fn cmd_serve(ctx: &ExperimentContext, opts: &Options) -> Result<(), Box<dyn std:
         "| peak KV utilization | {:.1}% |",
         out.peak_kv_utilization * 100.0
     );
+    println!(
+        "| mean decode batch | {:.1} of {} |",
+        out.mean_decode_batch(),
+        opts.max_batch.max(1)
+    );
+    println!(
+        "| on-device prefill | {:.2} ms |",
+        out.prefill_cycles_on_device as f64 / 1e6
+    );
+    println!(
+        "| NPU/PIM overlap (hidden / efficiency) | {:.2} ms / {:.1}% |",
+        out.overlap_hidden_cycles as f64 / 1e6,
+        out.overlap_efficiency() * 100.0
+    );
     Ok(())
 }
 
 fn cmd_fleet(ctx: &ExperimentContext, opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
-    // Comma-separated backend names are cycled over the replicas, so
-    // `--backend neupims,gpu --replicas 4` builds a heterogeneous fleet.
+    // Comma-separated backend and scheduler names are cycled over the
+    // replicas, so `--backend neupims,gpu --scheduler interleaved,lump
+    // --replicas 4` builds a heterogeneous fleet with per-replica
+    // schedulers.
     let names: Vec<&str> = opts.backend.split(',').map(str::trim).collect();
+    let sched_names: Vec<&str> = opts.scheduler.split(',').map(str::trim).collect();
     let slo = SloTargets {
         ttft: (opts.slo_ttft_ms * 1e6) as u64,
         tpot: opts.slo_tpot_ms * 1e6,
@@ -376,11 +422,17 @@ fn cmd_fleet(ctx: &ExperimentContext, opts: &Options) -> Result<(), Box<dyn std:
     let mut replicas = Vec::new();
     for i in 0..opts.replicas {
         let backend = ctx.backend(names[i % names.len()])?;
-        replicas.push(ServingSim::new(backend, opts.model.clone(), cfg.clone()));
+        let scheduler = scheduler_from_name(sched_names[i % sched_names.len()], opts.chunk_tokens)?;
+        replicas.push(ServingSim::with_scheduler(
+            backend,
+            opts.model.clone(),
+            cfg.clone(),
+            scheduler,
+        ));
     }
     let labels: Vec<String> = replicas
         .iter()
-        .map(|r| r.backend().label().to_owned())
+        .map(|r| format!("{} ({})", r.backend().label(), r.scheduler_name()))
         .collect();
     let mut fleet = FleetSim::new(replicas, policy_from_name(&opts.policy)?)?;
 
@@ -439,8 +491,15 @@ fn cmd_fleet(ctx: &ExperimentContext, opts: &Options) -> Result<(), Box<dyn std:
         out.slo_attainment() * 100.0
     );
     println!("| goodput | {:.0} tokens/s |", out.goodput());
+    println!(
+        "| NPU/PIM overlap (hidden / efficiency) | {:.2} ms / {:.1}% |",
+        out.overlap_hidden_cycles as f64 / 1e6,
+        out.overlap_efficiency() * 100.0
+    );
 
-    println!("\n| replica | backend | completed | dropped | tokens | clock (ms) | peak KV |");
+    println!(
+        "\n| replica | backend (scheduler) | completed | dropped | tokens | clock (ms) | peak KV |"
+    );
     println!("|---:|---|---:|---:|---:|---:|---:|");
     for (i, r) in out.replicas.iter().enumerate() {
         println!(

@@ -35,6 +35,7 @@
 //! ```
 
 use neupims_pim::{calibrate, PimCalibration};
+use neupims_sched::MhaLatencyEstimator;
 use neupims_types::{
     config::InterconnectConfig, Cycle, GpuSpec, LlmConfig, MemConfig, NeuPimsConfig, SimError,
 };
@@ -200,6 +201,16 @@ pub trait Backend {
         InterconnectConfig::pcie_cxl()
     }
 
+    /// The Algorithm 1 estimator for the PIM-resident GEMV share of decode
+    /// MHA, when this backend has one (NPU+PIM systems). Iteration-level
+    /// schedulers use it to price NPU/PIM phase overlap
+    /// ([`SubBatchInterleaved`](crate::scheduler::SubBatchInterleaved));
+    /// `None` (the default) marks a single-engine system, which overlaps
+    /// nothing.
+    fn mha_estimator(&self, _model: &LlmConfig, _tp: u32) -> Option<MhaLatencyEstimator> {
+        None
+    }
+
     /// Prices the summarization (prefill) phase for a batch of prompts over
     /// `layers` decoder blocks at tensor parallelism `tp`.
     ///
@@ -252,6 +263,10 @@ impl<B: Backend + ?Sized> Backend for &B {
         (**self).interconnect()
     }
 
+    fn mha_estimator(&self, model: &LlmConfig, tp: u32) -> Option<MhaLatencyEstimator> {
+        (**self).mha_estimator(model, tp)
+    }
+
     fn prefill_cycles(
         &self,
         model: &LlmConfig,
@@ -292,6 +307,10 @@ impl<B: Backend + ?Sized> Backend for Box<B> {
 
     fn interconnect(&self) -> InterconnectConfig {
         (**self).interconnect()
+    }
+
+    fn mha_estimator(&self, model: &LlmConfig, tp: u32) -> Option<MhaLatencyEstimator> {
+        (**self).mha_estimator(model, tp)
     }
 
     fn prefill_cycles(
@@ -341,6 +360,12 @@ impl Backend for Device {
 
     fn interconnect(&self) -> InterconnectConfig {
         self.config().interconnect
+    }
+
+    fn mha_estimator(&self, model: &LlmConfig, tp: u32) -> Option<MhaLatencyEstimator> {
+        self.mode()
+            .uses_pim()
+            .then(|| Device::estimator(self, model, tp))
     }
 
     fn prefill_cycles(
@@ -436,6 +461,10 @@ impl Backend for NeuPimsBackend {
 
     fn interconnect(&self) -> InterconnectConfig {
         Backend::interconnect(&self.device)
+    }
+
+    fn mha_estimator(&self, model: &LlmConfig, tp: u32) -> Option<MhaLatencyEstimator> {
+        Backend::mha_estimator(&self.device, model, tp)
     }
 
     fn prefill_cycles(

@@ -20,7 +20,14 @@
 //!
 //! [`FleetOutcome`] aggregates every replica's [`ServingOutcome`]:
 //! fleet-wide TTFT/TPOT/latency percentiles, SLO attainment, goodput,
-//! drops, and makespan throughput.
+//! drops, NPU/PIM overlap accounting, and makespan throughput.
+//!
+//! Replicas are plain [`ServingSim`]s, so each may carry its own
+//! [`SchedulerPolicy`](crate::scheduler::SchedulerPolicy) (built via
+//! [`ServingSim::with_scheduler`]): a fleet can mix, say, lump-prefill
+//! GPU replicas with sub-batch-interleaved NeuPIMs replicas, and the CLI's
+//! `fleet --scheduler` flag cycles a comma-separated list the same way
+//! `--backend` does.
 //!
 //! # Example
 //!
@@ -225,6 +232,11 @@ pub struct FleetOutcome {
     pub slo_attained: u64,
     /// Tokens from SLO-attaining requests.
     pub goodput_tokens: u64,
+    /// Cycles replicas charged to on-device prefill chunks (0 when every
+    /// replica runs the lump-prefill scheduler).
+    pub prefill_cycles_on_device: Cycle,
+    /// Prefill cycles replicas hid under decode PIM GEMV phases.
+    pub overlap_hidden_cycles: Cycle,
 }
 
 impl FleetOutcome {
@@ -243,6 +255,8 @@ impl FleetOutcome {
             out.tpots.extend_from_slice(&r.tpots);
             out.slo_attained += r.slo_attained;
             out.goodput_tokens += r.goodput_tokens;
+            out.prefill_cycles_on_device += r.prefill_cycles_on_device;
+            out.overlap_hidden_cycles += r.overlap_hidden_cycles;
         }
         out.latencies.sort_unstable();
         out.ttfts.sort_unstable();
@@ -304,6 +318,17 @@ impl FleetOutcome {
     /// Panics if `p` is outside `[0, 100]`.
     pub fn tpot_percentile(&self, p: f64) -> f64 {
         crate::serving::nearest_rank(&self.tpots, p)
+    }
+
+    /// Fleet-wide NPU/PIM overlap efficiency: the fraction of on-device
+    /// prefill cycles hidden under decode PIM GEMV phases across all
+    /// replicas, `[0, 1]` (0 when no replica put prefill on-device).
+    pub fn overlap_efficiency(&self) -> f64 {
+        if self.prefill_cycles_on_device == 0 {
+            0.0
+        } else {
+            self.overlap_hidden_cycles as f64 / self.prefill_cycles_on_device as f64
+        }
     }
 }
 

@@ -22,9 +22,13 @@
 //!   token dataflow) for Figure 15;
 //! * [`cluster`] — tensor/pipeline-parallel multi-device throughput
 //!   (Section 7, Figure 14), generic over any backend;
+//! * [`scheduler`] — iteration-level serving schedulers behind one
+//!   [`SchedulerPolicy`] trait: lump prefill (standalone-NPU delegation),
+//!   Orca/vLLM-style chunked prefill, and NeuPIMs-style NPU/PIM sub-batch
+//!   interleaving (Algorithms 1 and 3 in the serving path);
 //! * [`serving`] — Orca-style iteration-level serving with paged KV cache,
-//!   charged prefill (TTFT) and per-request latency metrics, generic over
-//!   any backend;
+//!   charged prefill (TTFT), per-request latency metrics, and per-iteration
+//!   occupancy/overlap accounting, generic over any backend and scheduler;
 //! * [`fleet`] — SLO-aware multi-replica serving: N [`ServingSim`]
 //!   replicas behind a pluggable [`DispatchPolicy`] (round-robin,
 //!   join-shortest-queue, KV-pressure-aware), with fleet-wide TTFT/TPOT
@@ -63,6 +67,7 @@ pub mod experiments;
 pub mod fleet;
 pub mod gpu;
 pub mod metrics;
+pub mod scheduler;
 pub mod serving;
 pub mod simulation;
 pub mod transpim;
@@ -81,6 +86,10 @@ pub use fleet::{
 #[allow(deprecated)]
 pub use gpu::gpu_decode_iteration;
 pub use metrics::{IterationBreakdown, Utilization};
+pub use scheduler::{
+    scheduler_from_name, ChunkedPrefill, IterationOccupancy, LumpPrefill, SchedulerPolicy,
+    SubBatchInterleaved, SCHEDULER_NAMES,
+};
 pub use serving::{
     RequestMetrics, ServingConfig, ServingOutcome, ServingSim, SloTargets, StepEvent,
 };

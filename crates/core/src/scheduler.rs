@@ -1,0 +1,801 @@
+//! Iteration-level serving schedulers: how prefill shares the device with
+//! decode.
+//!
+//! The paper's headline gain comes from *phase overlap*: NPU-side GEMM
+//! work (prefill/QKV) running concurrently with PIM-side GEMV work (decode
+//! attention) instead of serializing (Section 4, Algorithms 1 and 3). This
+//! module makes that a serving-layer policy decision: a
+//! [`SchedulerPolicy`] decides, at every iteration boundary of a
+//! [`ServingSim`](crate::serving::ServingSim), how admitted prompts are
+//! encoded and what one iteration costs. Three policies ship:
+//!
+//! * [`LumpPrefill`] — the prompt is priced in one lump at admission
+//!   ([`Backend::prefill_cycles`]) and modeled as running on standalone
+//!   NPUs: the request joins decode iterations only after that delay, and
+//!   prefill never occupies the simulated device. This is the historical
+//!   `ServingSim` behavior, kept bit-for-bit for parity.
+//! * [`ChunkedPrefill`] — Orca/vLLM-style: prompts are encoded on-device
+//!   in token chunks that share iterations with decode. Each iteration
+//!   spends up to a configurable token budget on the FIFO-oldest
+//!   unfinished prompts, priced incrementally (the chunk costs
+//!   `prefill(done + chunk) − prefill(done)`, so the whole prompt
+//!   telescopes to exactly its lump cost) and *serialized* with the decode
+//!   batch.
+//! * [`SubBatchInterleaved`] — NeuPIMs-style: the decode-ready batch is
+//!   split per home channel by Algorithm 3
+//!   ([`partition_sub_batches`]) and each sub-batch's PIM GEMV phase is
+//!   estimated by Algorithm 1
+//!   ([`MhaLatencyEstimator`](neupims_sched::MhaLatencyEstimator), via
+//!   [`Backend::mha_estimator`]). Prefill chunks stream on the NPU *under*
+//!   those PIM phases, so up to `min(phase, chunk_cost / 2)` cycles per
+//!   phase are hidden and the iteration costs
+//!   `decode + prefill − hidden`. When the backend lacks one of the two
+//!   engines, dual row buffers (the naive integration blocks MEM traffic
+//!   during PIM compute), or an estimator, the policy degrades to the
+//!   serial [`ChunkedPrefill`] cost.
+//!
+//! The serving loop reports the consequences per iteration
+//! ([`IterationOccupancy`]) and in aggregate
+//! ([`ServingOutcome::overlap_efficiency`](crate::serving::ServingOutcome::overlap_efficiency)),
+//! so the interleaving benefit is directly measurable.
+//!
+//! # Example
+//!
+//! ```
+//! use neupims_core::backend::NeuPimsBackend;
+//! use neupims_core::scheduler::{scheduler_from_name, SchedulerPolicy, SubBatchInterleaved};
+//! use neupims_core::serving::{ServingConfig, ServingSim};
+//! use neupims_types::LlmConfig;
+//!
+//! let cfg = ServingConfig {
+//!     max_batch: 8,
+//!     tp: 4,
+//!     layers: 32,
+//!     target_completions: 0,
+//!     slo: None,
+//! };
+//! let mut sim = ServingSim::with_scheduler(
+//!     NeuPimsBackend::table2().unwrap(),
+//!     LlmConfig::gpt3_7b(),
+//!     cfg,
+//!     Box::new(SubBatchInterleaved::new(512)),
+//! );
+//! assert_eq!(sim.scheduler_name(), "interleaved");
+//! sim.submit(0, 256, 4, 0).unwrap();
+//! let out = sim.run().unwrap();
+//! assert_eq!(out.completed, 1);
+//! // The registry builds the same policies from their CLI names.
+//! assert_eq!(scheduler_from_name("lump", 256).unwrap().name(), "lump");
+//! ```
+
+use std::collections::{HashMap, HashSet};
+
+use neupims_sched::partition_sub_batches;
+use neupims_types::{Cycle, LlmConfig, RequestId};
+
+use crate::backend::{Backend, BackendError};
+use crate::metrics::IterationBreakdown;
+
+/// How admission charges a prompt, as decided by
+/// [`SchedulerPolicy::admission_charge`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrefillCharge {
+    /// The whole prompt is priced now; the request joins decode iterations
+    /// after this many cycles (prefill runs on standalone NPUs and never
+    /// occupies the simulated device).
+    Delay(Cycle),
+    /// The prompt is encoded on-device, in chunks chosen by
+    /// [`SchedulerPolicy::plan`]; the request joins decode once every
+    /// prompt token has been processed.
+    Chunked,
+}
+
+/// Chunked-prefill progress of one admitted request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefillProgress {
+    /// The request.
+    pub id: RequestId,
+    /// Prompt tokens already encoded.
+    pub done: u64,
+    /// Full prompt length.
+    pub total: u64,
+    /// Cycles already charged for the `done` tokens (the cumulative
+    /// telescoped prefill price) — lets chunk pricing avoid re-pricing
+    /// the prefix every iteration.
+    pub charged: Cycle,
+}
+
+impl PrefillProgress {
+    /// Prompt tokens still to encode.
+    pub fn remaining(&self) -> u64 {
+        self.total.saturating_sub(self.done)
+    }
+}
+
+/// One prefill chunk a [`SchedulerPolicy::plan`] decided to encode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefillChunk {
+    /// The request.
+    pub id: RequestId,
+    /// Prompt tokens encoded this iteration.
+    pub tokens: u64,
+    /// Cumulative prefill cycles of the prompt after this chunk (the
+    /// backend price of `done + tokens` prompt tokens); the serving loop
+    /// stores it back as [`PrefillProgress::charged`].
+    pub charged_total: Cycle,
+}
+
+/// The work available at one iteration boundary, as seen by
+/// [`SchedulerPolicy::plan`].
+#[derive(Debug, Clone, Copy)]
+pub struct IterationDemand<'a> {
+    /// Decode-ready requests as `(id, current context length)`, in
+    /// admission (FIFO) order.
+    pub decode: &'a [(RequestId, u64)],
+    /// Requests with unencoded prompt tokens, in admission (FIFO) order.
+    /// Always empty under a [`PrefillCharge::Delay`] policy.
+    pub prefill: &'a [PrefillProgress],
+    /// The decode-ready ids grouped by their home KV channel (one inner
+    /// vector per channel of [`Backend::mem_config`]) — the shape
+    /// Algorithm 3 partitions.
+    pub per_channel: &'a [Vec<RequestId>],
+}
+
+/// What a [`SchedulerPolicy`] decided one iteration executes and costs.
+///
+/// Invariant: `breakdown.total_cycles == decode_cycles + prefill_cycles -
+/// hidden_cycles` (the serving loop debug-asserts it).
+#[derive(Debug, Clone)]
+pub struct IterationPlan {
+    /// Requests generating one token this iteration.
+    pub decode: Vec<RequestId>,
+    /// Prompt chunks encoded this iteration, per request.
+    pub prefill: Vec<PrefillChunk>,
+    /// The priced iteration; `total_cycles` is the wall-clock cost and the
+    /// remaining counters are merged into the run totals.
+    pub breakdown: IterationBreakdown,
+    /// Cycles charged to the decode batch (the backend's iteration price).
+    pub decode_cycles: Cycle,
+    /// Cycles charged to on-device prefill chunks (0 under lump prefill).
+    pub prefill_cycles: Cycle,
+    /// Prefill cycles hidden under the decode batch's PIM GEMV phases by
+    /// NPU/PIM interleaving (0 for serial policies).
+    pub hidden_cycles: Cycle,
+}
+
+/// One row of the per-iteration occupancy log
+/// ([`ServingOutcome::iteration_stats`](crate::serving::ServingOutcome::iteration_stats)).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IterationOccupancy {
+    /// Simulated time at which the iteration started (wall clock includes
+    /// the `Waited` gaps between iterations, so `start` of iteration
+    /// `i + 1` can exceed `start + cycles` of iteration `i`).
+    pub start: Cycle,
+    /// Wall-clock cycles of the iteration.
+    pub cycles: Cycle,
+    /// Requests that generated a token.
+    pub decode_requests: usize,
+    /// Prompt tokens encoded by chunked prefill.
+    pub prefill_tokens: u64,
+    /// Cycles charged to the decode batch.
+    pub decode_cycles: Cycle,
+    /// Cycles charged to on-device prefill.
+    pub prefill_cycles: Cycle,
+    /// Prefill cycles hidden under PIM GEMV phases (NPU/PIM overlap).
+    pub hidden_cycles: Cycle,
+}
+
+/// An iteration-level serving scheduler: decides how prompts are encoded
+/// and what one iteration costs.
+///
+/// Implementations must be deterministic (identical demand produces
+/// identical plans) — the parity and regression tests rely on it.
+pub trait SchedulerPolicy: std::fmt::Debug {
+    /// Policy name as accepted by [`scheduler_from_name`] and printed by
+    /// the CLI.
+    fn name(&self) -> &'static str;
+
+    /// Clones the policy behind a box (lets [`Simulation`] builders and
+    /// fleets replicate one configured policy across serving sims).
+    ///
+    /// [`Simulation`]: crate::simulation::Simulation
+    fn clone_box(&self) -> Box<dyn SchedulerPolicy>;
+
+    /// Called once per admitted request: how its `prompt_len`-token prompt
+    /// is charged.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend pricing errors (the serving loop fails the run:
+    /// a backend that cannot price prefill is misconfigured).
+    fn admission_charge(
+        &self,
+        backend: &dyn Backend,
+        model: &LlmConfig,
+        tp: u32,
+        layers: u32,
+        prompt_len: u64,
+    ) -> Result<PrefillCharge, BackendError>;
+
+    /// Plans and prices one iteration for the given demand. Called only
+    /// when `demand` is non-empty (some request is decode-ready or has
+    /// prompt tokens left).
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend pricing errors.
+    fn plan(
+        &mut self,
+        backend: &dyn Backend,
+        model: &LlmConfig,
+        tp: u32,
+        layers: u32,
+        demand: &IterationDemand<'_>,
+    ) -> Result<IterationPlan, BackendError>;
+}
+
+impl Clone for Box<dyn SchedulerPolicy> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+/// Prices the next prefill chunks FIFO within a per-iteration token
+/// `budget`, incrementally: a chunk taking request `r` from `done` to
+/// `done + take` tokens costs `prefill(done + take) − prefill(done)`, so a
+/// fully chunked prompt telescopes to exactly its lump cost. The prefix
+/// price is [`PrefillProgress::charged`] (carried forward by the serving
+/// loop), so each chunk needs one backend pricing call, not two.
+///
+/// Returns `(chunks, total_cycles)`.
+fn take_chunks(
+    backend: &dyn Backend,
+    model: &LlmConfig,
+    tp: u32,
+    layers: u32,
+    prefill: &[PrefillProgress],
+    budget: u64,
+) -> Result<(Vec<PrefillChunk>, Cycle), BackendError> {
+    let mut chunks = Vec::new();
+    let mut cycles: Cycle = 0;
+    let mut left = budget;
+    for p in prefill {
+        if left == 0 {
+            break;
+        }
+        let take = p.remaining().min(left);
+        if take == 0 {
+            continue;
+        }
+        let to = backend.prefill_cycles(model, tp, layers, &[p.done + take])?;
+        cycles += to.saturating_sub(p.charged);
+        chunks.push(PrefillChunk {
+            id: p.id,
+            tokens: take,
+            charged_total: to,
+        });
+        left -= take;
+    }
+    Ok((chunks, cycles))
+}
+
+/// Prices the decode batch of `demand` through the backend (`None` when no
+/// request is decode-ready).
+fn price_decode(
+    backend: &dyn Backend,
+    model: &LlmConfig,
+    tp: u32,
+    layers: u32,
+    demand: &IterationDemand<'_>,
+) -> Result<Option<IterationBreakdown>, BackendError> {
+    if demand.decode.is_empty() {
+        return Ok(None);
+    }
+    let seqs: Vec<u64> = demand.decode.iter().map(|&(_, s)| s).collect();
+    Ok(Some(
+        backend
+            .decode_iteration(model, tp, layers, &seqs)?
+            .into_breakdown(),
+    ))
+}
+
+/// The historical lump-prefill policy: prompts are priced in one piece at
+/// admission and run on standalone NPUs, so decode iterations are pure
+/// decode (PR-2 `ServingSim` behavior, kept for parity).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LumpPrefill;
+
+impl SchedulerPolicy for LumpPrefill {
+    fn name(&self) -> &'static str {
+        "lump"
+    }
+
+    fn clone_box(&self) -> Box<dyn SchedulerPolicy> {
+        Box::new(*self)
+    }
+
+    fn admission_charge(
+        &self,
+        backend: &dyn Backend,
+        model: &LlmConfig,
+        tp: u32,
+        layers: u32,
+        prompt_len: u64,
+    ) -> Result<PrefillCharge, BackendError> {
+        backend
+            .prefill_cycles(model, tp, layers, &[prompt_len])
+            .map(PrefillCharge::Delay)
+    }
+
+    fn plan(
+        &mut self,
+        backend: &dyn Backend,
+        model: &LlmConfig,
+        tp: u32,
+        layers: u32,
+        demand: &IterationDemand<'_>,
+    ) -> Result<IterationPlan, BackendError> {
+        let breakdown = price_decode(backend, model, tp, layers, demand)?
+            .expect("lump-prefill demand always has a decode batch");
+        Ok(IterationPlan {
+            decode: demand.decode.iter().map(|&(id, _)| id).collect(),
+            prefill: Vec::new(),
+            decode_cycles: breakdown.total_cycles,
+            prefill_cycles: 0,
+            hidden_cycles: 0,
+            breakdown,
+        })
+    }
+}
+
+/// Orca/vLLM-style chunked prefill: prompts are encoded on-device in
+/// chunks of at most `chunk_tokens` tokens per iteration (FIFO across
+/// unfinished prompts), serialized with the decode batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkedPrefill {
+    chunk_tokens: u32,
+}
+
+impl ChunkedPrefill {
+    /// Builds the policy with a per-iteration prefill token budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_tokens` is zero (a zero budget would stall every
+    /// prompt forever).
+    pub fn new(chunk_tokens: u32) -> Self {
+        assert!(chunk_tokens > 0, "chunk_tokens must be positive");
+        Self { chunk_tokens }
+    }
+
+    /// The per-iteration prefill token budget.
+    pub fn chunk_tokens(&self) -> u32 {
+        self.chunk_tokens
+    }
+}
+
+impl SchedulerPolicy for ChunkedPrefill {
+    fn name(&self) -> &'static str {
+        "chunked"
+    }
+
+    fn clone_box(&self) -> Box<dyn SchedulerPolicy> {
+        Box::new(*self)
+    }
+
+    fn admission_charge(
+        &self,
+        _backend: &dyn Backend,
+        _model: &LlmConfig,
+        _tp: u32,
+        _layers: u32,
+        _prompt_len: u64,
+    ) -> Result<PrefillCharge, BackendError> {
+        Ok(PrefillCharge::Chunked)
+    }
+
+    fn plan(
+        &mut self,
+        backend: &dyn Backend,
+        model: &LlmConfig,
+        tp: u32,
+        layers: u32,
+        demand: &IterationDemand<'_>,
+    ) -> Result<IterationPlan, BackendError> {
+        let (chunks, prefill_cycles) = take_chunks(
+            backend,
+            model,
+            tp,
+            layers,
+            demand.prefill,
+            self.chunk_tokens as u64,
+        )?;
+        let mut breakdown = price_decode(backend, model, tp, layers, demand)?.unwrap_or_default();
+        let decode_cycles = breakdown.total_cycles;
+        breakdown.total_cycles += prefill_cycles;
+        breakdown.npu_busy += prefill_cycles; // prefill GEMMs run on the NPU
+        Ok(IterationPlan {
+            decode: demand.decode.iter().map(|&(id, _)| id).collect(),
+            prefill: chunks,
+            breakdown,
+            decode_cycles,
+            prefill_cycles,
+            hidden_cycles: 0,
+        })
+    }
+}
+
+/// NeuPIMs-style sub-batch interleaving: chunked prefill whose NPU GEMM
+/// work streams *under* the decode batch's PIM GEMV phases.
+///
+/// Per iteration the decode-ready requests are split per home channel by
+/// Algorithm 3 ([`partition_sub_batches`]) into two sub-batches; each
+/// sub-batch's GEMV phase length is the slowest channel's load under
+/// Algorithm 1 ([`Backend::mha_estimator`]), capped so the two phases
+/// never exceed the backend-priced decode iteration. Half the prefill
+/// chunk budget overlaps each phase, so the iteration costs
+/// `decode + prefill − Σ min(phase, prefill / 2)`. Backends without both
+/// engines *and dual row buffers* (the naive NPU+PIM integration blocks
+/// all MEM traffic while PIM computes, so nothing can overlap), or
+/// without an estimator, fall back to the serial [`ChunkedPrefill`] cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubBatchInterleaved {
+    chunk_tokens: u32,
+}
+
+impl SubBatchInterleaved {
+    /// Builds the policy with a per-iteration prefill token budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_tokens` is zero (a zero budget would stall every
+    /// prompt forever).
+    pub fn new(chunk_tokens: u32) -> Self {
+        assert!(chunk_tokens > 0, "chunk_tokens must be positive");
+        Self { chunk_tokens }
+    }
+
+    /// The per-iteration prefill token budget.
+    pub fn chunk_tokens(&self) -> u32 {
+        self.chunk_tokens
+    }
+}
+
+impl SchedulerPolicy for SubBatchInterleaved {
+    fn name(&self) -> &'static str {
+        "interleaved"
+    }
+
+    fn clone_box(&self) -> Box<dyn SchedulerPolicy> {
+        Box::new(*self)
+    }
+
+    fn admission_charge(
+        &self,
+        _backend: &dyn Backend,
+        _model: &LlmConfig,
+        _tp: u32,
+        _layers: u32,
+        _prompt_len: u64,
+    ) -> Result<PrefillCharge, BackendError> {
+        Ok(PrefillCharge::Chunked)
+    }
+
+    fn plan(
+        &mut self,
+        backend: &dyn Backend,
+        model: &LlmConfig,
+        tp: u32,
+        layers: u32,
+        demand: &IterationDemand<'_>,
+    ) -> Result<IterationPlan, BackendError> {
+        let (chunks, prefill_cycles) = take_chunks(
+            backend,
+            model,
+            tp,
+            layers,
+            demand.prefill,
+            self.chunk_tokens as u64,
+        )?;
+        let mut breakdown = price_decode(backend, model, tp, layers, demand)?.unwrap_or_default();
+        let decode_cycles = breakdown.total_cycles;
+
+        // NPU/PIM phase overlap: only meaningful when both engines exist
+        // AND the banks carry dual row buffers — without them (the naive
+        // NPU+PIM integration) the channel serves no MEM traffic while PIM
+        // computes, so the NPU cannot stream prefill weights during GEMV
+        // and nothing overlaps. Also requires an Algorithm 1 estimator and
+        // prefill work to hide under a decode batch.
+        let caps = backend.caps();
+        let hidden_cycles = match backend.mha_estimator(model, tp) {
+            Some(est)
+                if caps.uses_npu
+                    && caps.uses_pim
+                    && caps.dual_row_buffer
+                    && prefill_cycles > 0
+                    && !demand.decode.is_empty() =>
+            {
+                let seq_of: HashMap<RequestId, u64> = demand.decode.iter().copied().collect();
+                let sb = partition_sub_batches(demand.per_channel);
+                // A sub-batch's GEMV phase is paced by its slowest channel.
+                let phase = |ids: &[RequestId]| -> f64 {
+                    let members: HashSet<RequestId> = ids.iter().copied().collect();
+                    let mut loads = vec![0.0f64; demand.per_channel.len()];
+                    for (ch, channel) in demand.per_channel.iter().enumerate() {
+                        for id in channel.iter().filter(|id| members.contains(id)) {
+                            loads[ch] += est.estimate(seq_of[id]);
+                        }
+                    }
+                    loads.into_iter().fold(0.0, f64::max) * layers as f64
+                };
+                let (mut p1, mut p2) = (phase(&sb.sb1), phase(&sb.sb2));
+                // The GEMV phases cannot exceed the decode iteration the
+                // backend actually priced.
+                let sum = p1 + p2;
+                if sum > decode_cycles as f64 && sum > 0.0 {
+                    let scale = decode_cycles as f64 / sum;
+                    p1 *= scale;
+                    p2 *= scale;
+                }
+                // Half the prefill stream hides under each PIM phase.
+                let half = prefill_cycles as f64 / 2.0;
+                (p1.min(half) + p2.min(half)) as Cycle
+            }
+            _ => 0,
+        };
+
+        breakdown.total_cycles += prefill_cycles - hidden_cycles;
+        breakdown.npu_busy += prefill_cycles; // prefill GEMMs run on the NPU
+        Ok(IterationPlan {
+            decode: demand.decode.iter().map(|&(id, _)| id).collect(),
+            prefill: chunks,
+            breakdown,
+            decode_cycles,
+            prefill_cycles,
+            hidden_cycles,
+        })
+    }
+}
+
+/// Canonical scheduler names accepted by [`scheduler_from_name`] (and the
+/// CLI's `--scheduler` flag).
+pub const SCHEDULER_NAMES: [&str; 3] = ["lump", "chunked", "interleaved"];
+
+/// Builds a boxed scheduler policy from its CLI name (case-insensitive;
+/// `lump-prefill`, `chunked-prefill`, `sbi`, and `sub-batch-interleaved`
+/// are accepted aliases). `chunk_tokens` is the per-iteration prefill
+/// token budget of the chunked policies (ignored by `lump`).
+///
+/// # Errors
+///
+/// Returns [`BackendError::InvalidSimulation`] for unrecognized names, or
+/// a zero `chunk_tokens` with a chunked policy.
+pub fn scheduler_from_name(
+    name: &str,
+    chunk_tokens: u32,
+) -> Result<Box<dyn SchedulerPolicy>, BackendError> {
+    let chunked = |make: fn(u32) -> Box<dyn SchedulerPolicy>| {
+        if chunk_tokens == 0 {
+            Err(BackendError::InvalidSimulation(
+                "chunk_tokens must be positive for chunked schedulers".into(),
+            ))
+        } else {
+            Ok(make(chunk_tokens))
+        }
+    };
+    match name.to_ascii_lowercase().as_str() {
+        "lump" | "lump-prefill" => Ok(Box::new(LumpPrefill)),
+        "chunked" | "chunked-prefill" => chunked(|c| Box::new(ChunkedPrefill::new(c))),
+        "interleaved" | "sbi" | "sub-batch" | "sub-batch-interleaved" => {
+            chunked(|c| Box::new(SubBatchInterleaved::new(c)))
+        }
+        other => Err(BackendError::InvalidSimulation(format!(
+            "unknown scheduler {other:?} (expected one of: {})",
+            SCHEDULER_NAMES.join(", ")
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{GpuRooflineBackend, NeuPimsBackend};
+
+    type DemandFixtures = (
+        Vec<(RequestId, u64)>,
+        Vec<PrefillProgress>,
+        Vec<Vec<RequestId>>,
+    );
+
+    fn demand_fixtures() -> DemandFixtures {
+        let decode: Vec<(RequestId, u64)> = (0..8u32).map(|i| (RequestId::new(i), 512)).collect();
+        let prefill = vec![
+            PrefillProgress {
+                id: RequestId::new(100),
+                done: 0,
+                total: 700,
+                charged: 0,
+            },
+            PrefillProgress {
+                id: RequestId::new(101),
+                done: 128,
+                total: 256,
+                charged: 0,
+            },
+        ];
+        let mut per_channel = vec![Vec::new(); 32];
+        for &(id, _) in &decode {
+            per_channel[(id.0 % 32) as usize].push(id);
+        }
+        (decode, prefill, per_channel)
+    }
+
+    #[test]
+    fn registry_builds_every_published_name() {
+        for name in SCHEDULER_NAMES {
+            assert_eq!(scheduler_from_name(name, 256).unwrap().name(), name);
+        }
+        assert_eq!(
+            scheduler_from_name("SBI", 256).unwrap().name(),
+            "interleaved"
+        );
+        assert_eq!(
+            scheduler_from_name("lump-prefill", 0).unwrap().name(),
+            "lump",
+            "lump ignores the chunk budget"
+        );
+        assert!(scheduler_from_name("chunked", 0).is_err());
+        assert!(scheduler_from_name("magic", 256).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk_tokens must be positive")]
+    fn zero_chunk_budget_panics() {
+        ChunkedPrefill::new(0);
+    }
+
+    #[test]
+    fn chunks_are_fifo_and_budgeted() {
+        let backend = NeuPimsBackend::table2().unwrap();
+        let model = LlmConfig::gpt3_7b();
+        let (_, prefill, _) = demand_fixtures();
+        let (chunks, cycles) = take_chunks(&backend, &model, 4, 32, &prefill, 256).unwrap();
+        // The FIFO head absorbs the whole budget.
+        let shape: Vec<(u32, u64)> = chunks.iter().map(|c| (c.id.0, c.tokens)).collect();
+        assert_eq!(shape, vec![(100, 256)]);
+        assert!(cycles > 0);
+        assert!(chunks[0].charged_total > 0, "cumulative price rides along");
+        // A larger budget spills into the second prompt, never past its end.
+        let (chunks, _) = take_chunks(&backend, &model, 4, 32, &prefill, 1024).unwrap();
+        let shape: Vec<(u32, u64)> = chunks.iter().map(|c| (c.id.0, c.tokens)).collect();
+        assert_eq!(shape, vec![(100, 700), (101, 128)]);
+    }
+
+    #[test]
+    fn chunk_costs_telescope_to_the_lump_cost() {
+        let backend = NeuPimsBackend::table2().unwrap();
+        let model = LlmConfig::gpt3_7b();
+        let lump = Backend::prefill_cycles(&backend, &model, 4, 32, &[1000]).unwrap();
+        let mut done = 0u64;
+        let mut charged = 0u64;
+        let mut total = 0u64;
+        while done < 1000 {
+            let p = [PrefillProgress {
+                id: RequestId::new(0),
+                done,
+                total: 1000,
+                charged,
+            }];
+            let (chunks, cycles) = take_chunks(&backend, &model, 4, 32, &p, 256).unwrap();
+            done += chunks[0].tokens;
+            charged = chunks[0].charged_total;
+            total += cycles;
+        }
+        assert_eq!(total, lump, "chunked prefill must cost exactly its lump");
+    }
+
+    #[test]
+    fn interleaved_hides_prefill_under_pim_phases() {
+        let backend = NeuPimsBackend::table2().unwrap();
+        let model = LlmConfig::gpt3_7b();
+        let (decode, prefill, per_channel) = demand_fixtures();
+        let demand = IterationDemand {
+            decode: &decode,
+            prefill: &prefill,
+            per_channel: &per_channel,
+        };
+        let chunked = ChunkedPrefill::new(256)
+            .plan(&backend, &model, 4, 32, &demand)
+            .unwrap();
+        let sbi = SubBatchInterleaved::new(256)
+            .plan(&backend, &model, 4, 32, &demand)
+            .unwrap();
+        assert_eq!(chunked.hidden_cycles, 0);
+        assert!(sbi.hidden_cycles > 0, "PIM phases must hide prefill");
+        assert!(sbi.hidden_cycles <= sbi.prefill_cycles);
+        assert!(sbi.hidden_cycles <= sbi.decode_cycles);
+        assert!(sbi.breakdown.total_cycles < chunked.breakdown.total_cycles);
+        assert_eq!(
+            sbi.breakdown.total_cycles,
+            sbi.decode_cycles + sbi.prefill_cycles - sbi.hidden_cycles
+        );
+    }
+
+    #[test]
+    fn interleaved_falls_back_to_serial_on_single_engine_backends() {
+        let backend = GpuRooflineBackend::a100();
+        let model = LlmConfig::gpt3_7b();
+        let (decode, prefill, per_channel) = demand_fixtures();
+        let demand = IterationDemand {
+            decode: &decode,
+            prefill: &prefill,
+            per_channel: &per_channel,
+        };
+        let sbi = SubBatchInterleaved::new(256)
+            .plan(&backend, &model, 4, 32, &demand)
+            .unwrap();
+        let chunked = ChunkedPrefill::new(256)
+            .plan(&backend, &model, 4, 32, &demand)
+            .unwrap();
+        assert_eq!(sbi.hidden_cycles, 0, "no PIM engine, nothing to overlap");
+        assert_eq!(sbi.breakdown.total_cycles, chunked.breakdown.total_cycles);
+    }
+
+    #[test]
+    fn interleaved_falls_back_to_serial_without_dual_row_buffers() {
+        // Regression: the naive NPU+PIM integration has both engines and
+        // an estimator, but its banks block all MEM traffic while PIM
+        // computes — the NPU cannot stream prefill weights during GEMV,
+        // so no cycle may be credited as hidden.
+        let backend = NeuPimsBackend::table2_mode(crate::device::DeviceMode::NaiveNpuPim).unwrap();
+        assert!(backend.caps().uses_npu && backend.caps().uses_pim);
+        assert!(!backend.caps().dual_row_buffer);
+        let model = LlmConfig::gpt3_7b();
+        let (decode, prefill, per_channel) = demand_fixtures();
+        let demand = IterationDemand {
+            decode: &decode,
+            prefill: &prefill,
+            per_channel: &per_channel,
+        };
+        let sbi = SubBatchInterleaved::new(256)
+            .plan(&backend, &model, 4, 32, &demand)
+            .unwrap();
+        assert_eq!(sbi.hidden_cycles, 0, "blocked-mode PIM cannot overlap");
+        let chunked = ChunkedPrefill::new(256)
+            .plan(&backend, &model, 4, 32, &demand)
+            .unwrap();
+        assert_eq!(sbi.breakdown.total_cycles, chunked.breakdown.total_cycles);
+    }
+
+    #[test]
+    fn prefill_only_iterations_cost_only_the_chunk() {
+        let backend = NeuPimsBackend::table2().unwrap();
+        let model = LlmConfig::gpt3_7b();
+        let (_, prefill, _) = demand_fixtures();
+        let per_channel: Vec<Vec<RequestId>> = vec![Vec::new(); 32];
+        let demand = IterationDemand {
+            decode: &[],
+            prefill: &prefill,
+            per_channel: &per_channel,
+        };
+        for mut policy in [
+            Box::new(ChunkedPrefill::new(256)) as Box<dyn SchedulerPolicy>,
+            Box::new(SubBatchInterleaved::new(256)),
+        ] {
+            let plan = policy.plan(&backend, &model, 4, 32, &demand).unwrap();
+            assert!(plan.decode.is_empty());
+            assert_eq!(plan.decode_cycles, 0);
+            assert_eq!(plan.hidden_cycles, 0);
+            assert!(plan.prefill_cycles > 0);
+            assert_eq!(plan.breakdown.total_cycles, plan.prefill_cycles);
+            assert_eq!(plan.breakdown.tokens, 0, "prefill generates no tokens");
+        }
+    }
+
+    #[test]
+    fn boxed_policies_clone() {
+        let b: Box<dyn SchedulerPolicy> = Box::new(SubBatchInterleaved::new(512));
+        let c = b.clone();
+        assert_eq!(c.name(), "interleaved");
+    }
+}

@@ -3,20 +3,28 @@
 //! Ties the stack together the way Figure 7 draws it: streaming arrivals
 //! feed the request pool table; at every iteration boundary the Orca-style
 //! scheduler admits requests (bounded by batch cap and paged-KV capacity),
-//! the NeuPIMs scheduler assigns channels and sub-batches, the device
-//! prices the iteration, and finished requests release their pages.
+//! the configured [`SchedulerPolicy`] plans and prices the iteration
+//! (decode batch plus, for chunked policies, on-device prefill chunks),
+//! and finished requests release their pages.
 //!
-//! Summarization (prefill) is delegated to standalone NPUs as in the
-//! paper, so it does not occupy the simulated decode device — but it is
-//! *charged*: admission prices each prompt with
-//! [`Backend::prefill_cycles`] and the request only joins decode
-//! iterations once that delay has elapsed. The first generated token
-//! therefore lands a real prefill latency after admission, which is what
-//! the per-request TTFT (time-to-first-token) metric measures; TPOT
-//! (time-per-output-token) covers the decode tail. [`ServingOutcome`]
-//! reports both as percentile distributions next to end-to-end latency,
-//! plus SLO attainment and goodput against caller-supplied
-//! [`SloTargets`].
+//! How summarization (prefill) is charged is the scheduler's call. Under
+//! the default [`LumpPrefill`] policy it is
+//! delegated to standalone NPUs as in the paper: admission prices each
+//! prompt with [`Backend::prefill_cycles`] and the request only joins
+//! decode iterations once that delay has elapsed. Under
+//! [`ChunkedPrefill`](crate::scheduler::ChunkedPrefill) and
+//! [`SubBatchInterleaved`](crate::scheduler::SubBatchInterleaved) the
+//! prompt is encoded on-device in token chunks that share iterations with
+//! decode — serially for the former, overlapped with the decode batch's
+//! PIM GEMV phases for the latter (the paper's NPU/PIM interleaving). In
+//! every case the first generated token lands a real prefill latency
+//! after admission, which is what the per-request TTFT (time-to-first-
+//! token) metric measures; TPOT (time-per-output-token) covers the decode
+//! tail. [`ServingOutcome`] reports both as percentile distributions next
+//! to end-to-end latency, plus SLO attainment and goodput against
+//! caller-supplied [`SloTargets`], and logs per-iteration occupancy and
+//! NPU/PIM overlap ([`ServingOutcome::iteration_stats`],
+//! [`ServingOutcome::overlap_efficiency`]).
 //!
 //! Requests whose context can never fit the KV cache (they would not fit
 //! even an empty channel) are *dropped* and counted in
@@ -27,6 +35,40 @@
 //! iteration boundary per call), which is what lets
 //! [`FleetSim`](crate::fleet::FleetSim) interleave many replicas and
 //! dispatch arrivals against live queue snapshots.
+//!
+//! # Example
+//!
+//! ```
+//! use neupims_core::backend::NeuPimsBackend;
+//! use neupims_core::scheduler::SubBatchInterleaved;
+//! use neupims_core::serving::{ServingConfig, ServingSim};
+//! use neupims_types::LlmConfig;
+//!
+//! let cfg = ServingConfig {
+//!     max_batch: 8,
+//!     tp: 4,
+//!     layers: 32,
+//!     target_completions: 0,
+//!     slo: None,
+//! };
+//! // Default scheduler (lump prefill) ...
+//! let mut sim = ServingSim::new(NeuPimsBackend::table2().unwrap(), LlmConfig::gpt3_7b(), cfg.clone());
+//! assert_eq!(sim.scheduler_name(), "lump");
+//! sim.submit(0, 128, 4, 0).unwrap();
+//! let out = sim.run().unwrap();
+//! assert_eq!(out.completed, 1);
+//! assert_eq!(out.tokens, 4);
+//!
+//! // ... or NPU/PIM sub-batch interleaving.
+//! let mut sim = ServingSim::with_scheduler(
+//!     NeuPimsBackend::table2().unwrap(),
+//!     LlmConfig::gpt3_7b(),
+//!     cfg,
+//!     Box::new(SubBatchInterleaved::new(256)),
+//! );
+//! sim.submit(0, 128, 4, 0).unwrap();
+//! assert_eq!(sim.run().unwrap().completed, 1);
+//! ```
 
 use std::collections::{HashMap, HashSet};
 
@@ -37,6 +79,10 @@ use neupims_types::{ChannelId, Cycle, LlmConfig, Request, RequestId, SimError};
 use crate::backend::Backend;
 use crate::device::Device;
 use crate::metrics::IterationBreakdown;
+use crate::scheduler::{
+    IterationDemand, IterationOccupancy, LumpPrefill, PrefillCharge, PrefillProgress,
+    SchedulerPolicy,
+};
 
 /// Latency service-level objectives of a serving run, in device cycles
 /// (1 GHz clock: 1 ms = 1e6 cycles).
@@ -115,7 +161,8 @@ pub struct ServingOutcome {
     pub dropped: u64,
     /// Generated tokens.
     pub tokens: u64,
-    /// Decode iterations executed.
+    /// Iterations executed (decode iterations, plus prefill-only
+    /// iterations under chunked schedulers).
     pub iterations: u64,
     /// Mean request latency (arrival to completion) in cycles.
     pub mean_latency: f64,
@@ -127,7 +174,12 @@ pub struct ServingOutcome {
     pub tpots: Vec<f64>,
     /// Per-request records in completion order.
     pub records: Vec<RequestMetrics>,
-    /// Aggregated iteration counters.
+    /// Aggregated iteration counters. Under the chunked schedulers,
+    /// on-device prefill contributes to `total_cycles` and `npu_busy` but
+    /// not to `npu_flops`/`bus_bytes` (the [`Backend`] prefill API prices
+    /// cycles only), so utilization derived from these totals covers
+    /// decode work; use [`Self::prefill_cycles_on_device`] to account the
+    /// prefill share separately.
     pub totals: IterationBreakdown,
     /// Peak KV-cache utilization observed, `[0, 1]` (sampled after token
     /// growth, before releases — the true page high-water mark).
@@ -138,6 +190,16 @@ pub struct ServingOutcome {
     /// Tokens generated by SLO-attaining requests (the goodput
     /// numerator).
     pub goodput_tokens: u64,
+    /// Per-iteration occupancy log: decode batch size, chunked-prefill
+    /// tokens, and the decode/prefill/hidden cycle split of every
+    /// iteration, in execution order.
+    pub iteration_stats: Vec<IterationOccupancy>,
+    /// Cycles charged to on-device prefill chunks across the run (0 under
+    /// lump prefill, which runs prompts on standalone NPUs).
+    pub prefill_cycles_on_device: Cycle,
+    /// Prefill cycles hidden under decode PIM GEMV phases by NPU/PIM
+    /// sub-batch interleaving (0 for serial schedulers).
+    pub overlap_hidden_cycles: Cycle,
 }
 
 /// Nearest-rank percentile over a sorted slice; `T::default()` when empty.
@@ -216,15 +278,48 @@ impl ServingOutcome {
     pub fn tpot_percentile(&self, p: f64) -> f64 {
         nearest_rank(&self.tpots, p)
     }
+
+    /// NPU/PIM overlap efficiency: the fraction of on-device prefill
+    /// cycles hidden under decode PIM GEMV phases,
+    /// `overlap_hidden_cycles / prefill_cycles_on_device` in `[0, 1]`.
+    ///
+    /// 0 for schedulers that never put prefill on-device
+    /// ([`LumpPrefill`]) or never overlap it
+    /// ([`ChunkedPrefill`](crate::scheduler::ChunkedPrefill)); approaches 1
+    /// when [`SubBatchInterleaved`](crate::scheduler::SubBatchInterleaved)
+    /// hides the whole prefill stream under decode.
+    pub fn overlap_efficiency(&self) -> f64 {
+        if self.prefill_cycles_on_device == 0 {
+            0.0
+        } else {
+            self.overlap_hidden_cycles as f64 / self.prefill_cycles_on_device as f64
+        }
+    }
+
+    /// Mean decode batch size per iteration (the occupancy of the running
+    /// batch); 0 when no iteration executed. Divide by the configured
+    /// `max_batch` for a `[0, 1]` occupancy fraction.
+    pub fn mean_decode_batch(&self) -> f64 {
+        if self.iteration_stats.is_empty() {
+            0.0
+        } else {
+            self.iteration_stats
+                .iter()
+                .map(|s| s.decode_requests as f64)
+                .sum::<f64>()
+                / self.iteration_stats.len() as f64
+        }
+    }
 }
 
 /// What one [`ServingSim::step`] call did.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StepEvent {
-    /// Executed one decode iteration for the ready sub-batch.
+    /// Executed one iteration: a decode iteration for the ready sub-batch
+    /// and/or (under chunked schedulers) on-device prefill chunks.
     Iteration,
-    /// No request was decode-ready; the clock jumped to the next arrival
-    /// or prefill-completion time.
+    /// No request was decode-ready or prefilling on-device; the clock
+    /// jumped to the next arrival or lump-prefill completion time.
     Waited,
     /// The head of the waiting queue could never be admitted (its context
     /// exceeds an empty KV channel) and was dropped.
@@ -245,13 +340,20 @@ pub struct ServingSim<B: Backend = Device> {
     backend: B,
     model: LlmConfig,
     cfg: ServingConfig,
+    scheduler: Box<dyn SchedulerPolicy>,
     pool: RequestPool,
     kv: PagedKvCache,
     home_channel: HashMap<RequestId, ChannelId>,
     arrivals: HashMap<RequestId, Cycle>,
-    /// Prefill-completion time of each admitted request; it joins decode
-    /// iterations only once the clock reaches this.
+    /// Lump-prefill completion time of each admitted request; it joins
+    /// decode iterations only once the clock reaches this.
     ready_at: HashMap<RequestId, Cycle>,
+    /// Chunked-prefill progress of each admitted request still encoding
+    /// its prompt (tokens done, prompt total, cycles charged so far);
+    /// removed once the prompt is fully processed.
+    prefill_left: HashMap<RequestId, (u64, u64, Cycle)>,
+    /// Chunked-mode admission order, so prefill chunks are planned FIFO.
+    prefill_order: Vec<RequestId>,
     /// End of the first decode iteration each request participated in.
     first_token: HashMap<RequestId, Cycle>,
     seen: HashSet<RequestId>,
@@ -259,6 +361,7 @@ pub struct ServingSim<B: Backend = Device> {
     records: Vec<RequestMetrics>,
     totals: IterationBreakdown,
     iterations: u64,
+    iteration_stats: Vec<IterationOccupancy>,
     peak_kv: f64,
     submitted: u64,
     dropped: u64,
@@ -266,9 +369,23 @@ pub struct ServingSim<B: Backend = Device> {
 }
 
 impl<B: Backend> ServingSim<B> {
-    /// Builds a serving simulation over any backend. The KV cache is paged
-    /// across the backend's memory organization ([`Backend::mem_config`]).
+    /// Builds a serving simulation over any backend with the default
+    /// [`LumpPrefill`] scheduler. The KV cache is paged across the
+    /// backend's memory organization ([`Backend::mem_config`]).
     pub fn new(backend: B, model: LlmConfig, cfg: ServingConfig) -> Self {
+        Self::with_scheduler(backend, model, cfg, Box::new(LumpPrefill))
+    }
+
+    /// Builds a serving simulation driven by an explicit
+    /// [`SchedulerPolicy`] (see [`crate::scheduler`] for the shipped
+    /// policies and [`scheduler_from_name`](crate::scheduler::scheduler_from_name)
+    /// for name-based construction).
+    pub fn with_scheduler(
+        backend: B,
+        model: LlmConfig,
+        cfg: ServingConfig,
+        scheduler: Box<dyn SchedulerPolicy>,
+    ) -> Self {
         let mem = backend.mem_config();
         let geo = KvGeometry::with_tp(&model, &mem, cfg.tp);
         let kv = PagedKvCache::new(&mem, geo, cfg.layers);
@@ -278,12 +395,15 @@ impl<B: Backend> ServingSim<B> {
             home_channel: Default::default(),
             arrivals: Default::default(),
             ready_at: Default::default(),
+            prefill_left: Default::default(),
+            prefill_order: Vec::new(),
             first_token: Default::default(),
             seen: Default::default(),
             now: 0,
             records: Vec::new(),
             totals: IterationBreakdown::default(),
             iterations: 0,
+            iteration_stats: Vec::new(),
             peak_kv: 0.0,
             submitted: 0,
             dropped: 0,
@@ -291,12 +411,19 @@ impl<B: Backend> ServingSim<B> {
             backend,
             model,
             cfg,
+            scheduler,
         }
     }
 
     /// The simulated backend.
     pub fn backend(&self) -> &B {
         &self.backend
+    }
+
+    /// The scheduler policy's name (e.g. `"lump"`, `"chunked"`,
+    /// `"interleaved"`).
+    pub fn scheduler_name(&self) -> &'static str {
+        self.scheduler.name()
     }
 
     /// The run parameters.
@@ -403,14 +530,18 @@ impl<B: Backend> ServingSim<B> {
 
         // Iteration boundary: admit while capacity allows. Requests are
         // homed on channels round-robin at admission (their KV pages live
-        // there for their lifetime) and charged their prefill delay: they
-        // become decode-ready `prefill_cycles` after admission.
+        // there for their lifetime) and charged their prompt the way the
+        // scheduler directs: a lump delay (they become decode-ready
+        // `prefill_cycles` after admission) or chunked on-device encoding.
         let kv = &mut self.kv;
         let next_channel = &mut self.next_channel;
         let channels = self.backend.mem_config().channels;
         let home = &mut self.home_channel;
         let ready_at = &mut self.ready_at;
-        let backend = &self.backend;
+        let prefill_left = &mut self.prefill_left;
+        let prefill_order = &mut self.prefill_order;
+        let scheduler = &self.scheduler;
+        let backend: &dyn Backend = &self.backend;
         let model = &self.model;
         let (tp, layers) = (self.cfg.tp, self.cfg.layers);
         let now = self.now;
@@ -420,11 +551,19 @@ impl<B: Backend> ServingSim<B> {
             match kv.admit(req.id, ch, req.input_len as u64) {
                 Ok(()) => {
                     let prompt = req.input_len.max(1) as u64;
-                    match backend.prefill_cycles(model, tp, layers, &[prompt]) {
-                        Ok(prefill) => {
+                    match scheduler.admission_charge(backend, model, tp, layers, prompt) {
+                        Ok(charge) => {
                             *next_channel += 1;
                             home.insert(req.id, ch);
-                            ready_at.insert(req.id, now + prefill);
+                            match charge {
+                                PrefillCharge::Delay(prefill) => {
+                                    ready_at.insert(req.id, now + prefill);
+                                }
+                                PrefillCharge::Chunked => {
+                                    prefill_left.insert(req.id, (0, prompt, 0));
+                                    prefill_order.push(req.id);
+                                }
+                            }
                             true
                         }
                         Err(e) => {
@@ -444,17 +583,41 @@ impl<B: Backend> ServingSim<B> {
             return Err(e);
         }
 
-        // The decode-ready sub-batch: admitted requests whose prefill
-        // delay has elapsed.
+        // The decode-ready sub-batch: admitted requests whose prompt is
+        // fully encoded (lump delay elapsed and no chunk outstanding).
         let ready: Vec<(RequestId, u64)> = self
             .pool
             .running()
             .iter()
-            .filter(|r| self.ready_at.get(&r.id).is_none_or(|&t| t <= self.now))
+            .filter(|r| {
+                self.ready_at.get(&r.id).is_none_or(|&t| t <= self.now)
+                    && !self.prefill_left.contains_key(&r.id)
+            })
             .map(|r| (r.id, r.seq_len() as u64))
             .collect();
 
-        if ready.is_empty() {
+        // Requests still encoding their prompt on-device, in admission
+        // (FIFO) order — the chunked schedulers' work queue.
+        self.prefill_order
+            .retain(|id| self.prefill_left.contains_key(id));
+        let prefilling: Vec<PrefillProgress> = self
+            .prefill_order
+            .iter()
+            .map(|id| {
+                let &(done, total, charged) = self
+                    .prefill_left
+                    .get(id)
+                    .expect("prefill_order retained to live entries");
+                PrefillProgress {
+                    id: *id,
+                    done,
+                    total,
+                    charged,
+                }
+            })
+            .collect();
+
+        if ready.is_empty() && prefilling.is_empty() {
             let next_arrival = self
                 .arrivals
                 .values()
@@ -509,20 +672,62 @@ impl<B: Backend> ServingSim<B> {
             return Ok(StepEvent::Waited);
         }
 
-        // One decode iteration for the ready sub-batch.
-        let seqs: Vec<u64> = ready.iter().map(|&(_, s)| s).collect();
-        let iter = self
-            .backend
-            .decode_iteration(&self.model, self.cfg.tp, self.cfg.layers, &seqs)
-            .map_err(SimError::from)?
-            .into_breakdown();
-        self.now += iter.total_cycles;
-        self.totals.merge(&iter);
+        // One iteration, planned and priced by the scheduler policy: the
+        // decode sub-batch plus (under chunked policies) prefill chunks,
+        // possibly overlapped NPU/PIM-style.
+        let per_channel_count = self.backend.mem_config().channels as usize;
+        let mut per_channel: Vec<Vec<RequestId>> = vec![Vec::new(); per_channel_count];
+        for &(id, _) in &ready {
+            if let Some(ch) = self.home_channel.get(&id) {
+                per_channel[ch.index()].push(id);
+            }
+        }
+        let demand = IterationDemand {
+            decode: &ready,
+            prefill: &prefilling,
+            per_channel: &per_channel,
+        };
+        let plan = {
+            let scheduler = &mut self.scheduler;
+            let backend: &dyn Backend = &self.backend;
+            scheduler
+                .plan(backend, &self.model, self.cfg.tp, self.cfg.layers, &demand)
+                .map_err(SimError::from)?
+        };
+        debug_assert_eq!(
+            plan.breakdown.total_cycles,
+            plan.decode_cycles + plan.prefill_cycles - plan.hidden_cycles,
+            "scheduler plan violated its cycle-split invariant"
+        );
+        let start = self.now;
+        self.now += plan.breakdown.total_cycles;
+        self.totals.merge(&plan.breakdown);
         self.iterations += 1;
+        self.iteration_stats.push(IterationOccupancy {
+            start,
+            cycles: plan.breakdown.total_cycles,
+            decode_requests: plan.decode.len(),
+            prefill_tokens: plan.prefill.iter().map(|c| c.tokens).sum(),
+            decode_cycles: plan.decode_cycles,
+            prefill_cycles: plan.prefill_cycles,
+            hidden_cycles: plan.hidden_cycles,
+        });
+
+        // Chunked-prefill progress: fully encoded prompts leave the
+        // prefill queue and join decode at the next boundary.
+        for chunk in &plan.prefill {
+            if let Some(entry) = self.prefill_left.get_mut(&chunk.id) {
+                entry.0 = (entry.0 + chunk.tokens).min(entry.1);
+                entry.2 = chunk.charged_total;
+                if entry.0 >= entry.1 {
+                    self.prefill_left.remove(&chunk.id);
+                }
+            }
+        }
 
         // Token growth, then the KV high-water mark (after growth, before
         // releases), then completion handling.
-        for &(id, _) in &ready {
+        for &id in &plan.decode {
             // OOM on growth stalls that request's page growth; the
             // count-based model tolerates it (the request finishes on
             // schedule, pages stay at their last size).
@@ -531,7 +736,7 @@ impl<B: Backend> ServingSim<B> {
         }
         self.peak_kv = self.peak_kv.max(self.kv.utilization());
 
-        let ready_ids: HashSet<RequestId> = ready.iter().map(|&(id, _)| id).collect();
+        let ready_ids: HashSet<RequestId> = plan.decode.iter().copied().collect();
         for done in self
             .pool
             .complete_iteration_where(|r| ready_ids.contains(&r.id))
@@ -597,6 +802,9 @@ impl<B: Backend> ServingSim<B> {
             peak_kv_utilization: self.peak_kv,
             slo_attained,
             goodput_tokens,
+            prefill_cycles_on_device: self.iteration_stats.iter().map(|s| s.prefill_cycles).sum(),
+            overlap_hidden_cycles: self.iteration_stats.iter().map(|s| s.hidden_cycles).sum(),
+            iteration_stats: self.iteration_stats.clone(),
         }
     }
 

@@ -37,6 +37,7 @@ use neupims_workload::{warm_batch, Dataset};
 
 use crate::backend::{Backend, BackendError, IterationResult};
 use crate::cluster::{cluster_throughput, ClusterSpec};
+use crate::scheduler::{LumpPrefill, SchedulerPolicy};
 use crate::serving::{ServingConfig, ServingSim, SloTargets};
 
 /// Default RNG seed of the experiment harness (kept from the seed repo so
@@ -54,6 +55,7 @@ pub struct Simulation<B: Backend> {
     layers: u32,
     seed: u64,
     samples: usize,
+    scheduler: Box<dyn SchedulerPolicy>,
 }
 
 /// Builder for [`Simulation`] (see [`Simulation::builder`]).
@@ -71,6 +73,7 @@ pub struct SimulationBuilder<B = NoBackend> {
     layers: Option<u32>,
     seed: u64,
     samples: usize,
+    scheduler: Box<dyn SchedulerPolicy>,
 }
 
 /// Type-state marker: no backend selected yet.
@@ -95,6 +98,7 @@ impl Simulation<Box<dyn Backend>> {
             layers: None,
             seed: DEFAULT_SEED,
             samples: 10,
+            scheduler: Box::new(LumpPrefill),
         }
     }
 }
@@ -111,7 +115,16 @@ impl<T> SimulationBuilder<T> {
             layers: self.layers,
             seed: self.seed,
             samples: self.samples,
+            scheduler: self.scheduler,
         }
+    }
+
+    /// Sets the iteration-level serving scheduler installed into every
+    /// [`Simulation::serving`] run (defaults to
+    /// [`LumpPrefill`]; see [`crate::scheduler`] for the shipped policies).
+    pub fn scheduler(mut self, scheduler: Box<dyn SchedulerPolicy>) -> Self {
+        self.scheduler = scheduler;
+        self
     }
 
     /// Sets the model (defaults to GPT3-7B when unset).
@@ -196,6 +209,7 @@ impl<B: Backend> SimulationBuilder<B> {
             layers,
             seed: self.seed,
             samples: self.samples,
+            scheduler: self.scheduler,
         })
     }
 }
@@ -289,8 +303,14 @@ impl<B: Backend> Simulation<B> {
             .map_err(|e| BackendError::sim(self.backend.label(), e))
     }
 
+    /// The iteration-level serving scheduler installed into
+    /// [`Self::serving`] runs.
+    pub fn scheduler(&self) -> &dyn SchedulerPolicy {
+        &*self.scheduler
+    }
+
     /// Builds a serving simulation over this backend (borrowed), with the
-    /// simulation's TP degree and resident layers.
+    /// simulation's TP degree, resident layers, and configured scheduler.
     pub fn serving(&self, max_batch: usize, target_completions: u64) -> ServingSim<&B> {
         self.serving_with_slo(max_batch, target_completions, None)
     }
@@ -303,7 +323,7 @@ impl<B: Backend> Simulation<B> {
         target_completions: u64,
         slo: Option<SloTargets>,
     ) -> ServingSim<&B> {
-        ServingSim::new(
+        ServingSim::with_scheduler(
             &self.backend,
             self.model.clone(),
             ServingConfig {
@@ -313,6 +333,7 @@ impl<B: Backend> Simulation<B> {
                 target_completions,
                 slo,
             },
+            self.scheduler.clone(),
         )
     }
 }

@@ -75,6 +75,10 @@ impl RequestPool {
     /// it. Serving frontends use this to drop a request that can never be
     /// admitted (e.g. its context exceeds an empty KV channel) instead of
     /// letting it block the queue forever.
+    ///
+    /// FIFO guarantee: the head is always the *earliest-submitted* request
+    /// still waiting — the same request [`Self::admit`] would consider
+    /// first — so dropping it never reorders the queue behind it.
     pub fn drop_head_waiting(&mut self) -> Option<Request> {
         self.waiting.pop_front()
     }
@@ -88,6 +92,17 @@ impl RequestPool {
     /// Iteration boundary, part 1: admit waiting requests (FCFS) while the
     /// batch has room and `admission` approves (e.g. reserves KV pages).
     /// Requests arriving after `now` stay queued.
+    ///
+    /// FIFO guarantees:
+    ///
+    /// * candidates are considered strictly in **submission order** (the
+    ///   order of [`Self::submit`] calls, *not* arrival-time order — a
+    ///   caller submitting out of arrival order keeps its own order);
+    /// * admission never skips the head: if the head is refused by
+    ///   `admission` (or hasn't arrived), nothing behind it is admitted
+    ///   this boundary (head-of-line blocking mirrors FCFS serving);
+    /// * the returned ids preserve that same order, and requests enter
+    ///   [`Self::running`] in it.
     ///
     /// Returns the ids admitted this boundary.
     pub fn admit(
@@ -277,6 +292,41 @@ mod tests {
         assert_eq!(pool.outstanding_tokens(), 3);
         assert!(pool.drop_head_waiting().is_none());
         assert_eq!(pool.waiting().count(), 0);
+    }
+
+    #[test]
+    fn fifo_ordering_is_pinned() {
+        // Pins the documented guarantees of `admit` and
+        // `drop_head_waiting`: submission order rules, the head is never
+        // skipped, and drops take the earliest-submitted waiter.
+        let mut pool = RequestPool::new(2);
+        // Submit out of id order and out of arrival order: submission
+        // order (7, 3, 9, 1) is what must be preserved.
+        pool.submit(req(7, 8, 2, 0));
+        pool.submit(req(3, 8, 2, 5)); // arrives later than those behind it
+        pool.submit(req(9, 8, 2, 0));
+        pool.submit(req(1, 8, 2, 0));
+
+        // At now=0 the head (7) is admittable, but 3 hasn't arrived:
+        // nothing behind 3 may leapfrog it.
+        let admitted = pool.admit(0, |_| true);
+        assert_eq!(admitted, vec![RequestId::new(7)]);
+
+        // Once 3 arrives, admission resumes in submission order up to cap.
+        let admitted = pool.admit(5, |_| true);
+        assert_eq!(admitted, vec![RequestId::new(3)]);
+        let running: Vec<u32> = pool.running().iter().map(|r| r.id.0).collect();
+        assert_eq!(running, vec![7, 3], "running batch keeps admission order");
+
+        // An admission refusal of the head blocks everything behind it.
+        pool.complete_iteration();
+        pool.complete_iteration(); // 7 and 3 retire
+        let admitted = pool.admit(5, |r| r.id != RequestId::new(9));
+        assert!(admitted.is_empty(), "refused head must not be skipped");
+
+        // drop_head_waiting removes exactly the earliest-submitted waiter.
+        assert_eq!(pool.drop_head_waiting().unwrap().id, RequestId::new(9));
+        assert_eq!(pool.admit(5, |_| true), vec![RequestId::new(1)]);
     }
 
     #[test]

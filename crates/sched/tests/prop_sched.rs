@@ -88,6 +88,95 @@ proptest! {
         }
     }
 
+    /// Algorithm 3 + Algorithm 1 together: partitioning loses no load —
+    /// the two sub-batches' estimated MHA loads sum exactly to the whole
+    /// batch's estimate (request-level conservation lifted through the
+    /// estimator), and no request is lost or duplicated.
+    #[test]
+    fn partition_conserves_estimated_load(
+        chans in prop::collection::vec(
+            prop::collection::vec(1u64..8192, 0..10),
+            1..24,
+        ),
+    ) {
+        let e = estimator();
+        // Assign globally unique ids per channel slot; remember each id's
+        // sequence length.
+        let mut next = 0u32;
+        let mut seq_of = std::collections::HashMap::new();
+        let per_channel: Vec<Vec<RequestId>> = chans
+            .iter()
+            .map(|seqs| {
+                seqs.iter()
+                    .map(|&s| {
+                        let id = RequestId::new(next);
+                        next += 1;
+                        seq_of.insert(id, s);
+                        id
+                    })
+                    .collect()
+            })
+            .collect();
+        let sb = partition_sub_batches(&per_channel);
+        prop_assert_eq!(sb.len() as u32, next, "no request lost or duplicated");
+        let load = |ids: &[RequestId]| -> f64 {
+            ids.iter().map(|id| e.estimate(seq_of[id])).sum()
+        };
+        let total: f64 = chans.iter().flatten().map(|&s| e.estimate(s)).sum();
+        let split = load(&sb.sb1) + load(&sb.sb2);
+        prop_assert!(
+            (split - total).abs() <= total.abs() * 1e-12 + 1e-6,
+            "load conservation: {split} vs {total}"
+        );
+    }
+
+    /// With uniform sequence lengths, Algorithm 3's odd-channel
+    /// alternation keeps the two sub-batch loads within one request's
+    /// estimate of perfectly balanced — the "within estimator bound of
+    /// balanced" guarantee the interleaver relies on.
+    #[test]
+    fn partition_is_balanced_within_one_estimate_for_uniform_seqs(
+        sizes in prop::collection::vec(0usize..11, 1..32),
+        seq in 1u64..8192,
+    ) {
+        let e = estimator();
+        let mut next = 0u32;
+        let per_channel: Vec<Vec<RequestId>> = sizes
+            .iter()
+            .map(|&len| {
+                let ids = (next..next + len as u32).map(RequestId::new).collect();
+                next += len as u32;
+                ids
+            })
+            .collect();
+        let sb = partition_sub_batches(&per_channel);
+        let one = e.estimate(seq);
+        let (l1, l2) = (sb.sb1.len() as f64 * one, sb.sb2.len() as f64 * one);
+        prop_assert!(
+            (l1 - l2).abs() <= one + 1e-9,
+            "|{l1} - {l2}| exceeds one request's estimate {one}"
+        );
+    }
+
+    /// Algorithm 1's estimate is monotone in context length and strictly
+    /// positive, and `estimate_sum` is permutation-invariant — the
+    /// properties that make it a sound load signal for balancing.
+    #[test]
+    fn estimator_is_monotone_and_permutation_invariant(
+        seqs in prop::collection::vec(0u64..16384, 1..64),
+        a in 0u64..16384,
+        b in 0u64..16384,
+    ) {
+        let e = estimator();
+        let (lo, hi) = (a.min(b), a.max(b));
+        prop_assert!(e.estimate(lo) <= e.estimate(hi), "monotonicity at ({lo}, {hi})");
+        prop_assert!(e.estimate(a) > 0.0, "GWRITE floor keeps estimates positive");
+        let forward = e.estimate_sum(&seqs);
+        let reversed: Vec<u64> = seqs.iter().rev().copied().collect();
+        let backward = e.estimate_sum(&reversed);
+        prop_assert!((forward - backward).abs() <= forward.abs() * 1e-12 + 1e-9);
+    }
+
     /// The request pool conserves requests through arbitrary admit/complete
     /// interleavings and never exceeds its batch cap.
     #[test]

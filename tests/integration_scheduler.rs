@@ -1,0 +1,316 @@
+//! Integration tests for the iteration-level scheduler policies: exact
+//! PR-2 parity of the default lump-prefill path, the NPU/PIM interleaving
+//! win on a mixed prefill+decode trace, conservation under every policy
+//! and backend, and the scheduler threading through `Simulation` and
+//! `FleetSim`.
+
+use neupims_core::backend::{backend_from_name, Backend, NeuPimsBackend};
+use neupims_core::fleet::{FleetRequest, FleetSim, JoinShortestQueue};
+use neupims_core::scheduler::{
+    scheduler_from_name, ChunkedPrefill, LumpPrefill, SchedulerPolicy, SubBatchInterleaved,
+    SCHEDULER_NAMES,
+};
+use neupims_core::serving::{ServingConfig, ServingOutcome, ServingSim};
+use neupims_core::simulation::Simulation;
+use neupims_pim::calibrate;
+use neupims_types::{LlmConfig, NeuPimsConfig};
+
+fn cfg(max_batch: usize) -> ServingConfig {
+    ServingConfig {
+        max_batch,
+        tp: 4,
+        layers: 32,
+        target_completions: 0,
+        slo: None,
+    }
+}
+
+fn neupims_sim(
+    max_batch: usize,
+    scheduler: Box<dyn SchedulerPolicy>,
+) -> ServingSim<NeuPimsBackend> {
+    ServingSim::with_scheduler(
+        NeuPimsBackend::table2().unwrap(),
+        LlmConfig::gpt3_7b(),
+        cfg(max_batch),
+        scheduler,
+    )
+}
+
+/// The PR-2 golden trace: 24 staggered mixed-length requests through the
+/// full NeuPIMs backend at max_batch 16.
+fn golden_trace(sim: &mut ServingSim<NeuPimsBackend>) {
+    for i in 0..24u32 {
+        sim.submit(i, 64 + (i % 7) * 100, 4 + i % 9, (i as u64) * 300_000)
+            .unwrap();
+    }
+}
+
+#[test]
+fn lump_prefill_reproduces_pr2_numbers_exactly() {
+    // Golden numbers captured from the PR-2 serving path (commit 25113d8)
+    // before the scheduler refactor. The default LumpPrefill policy must
+    // reproduce them bit-for-bit.
+    let mut sim = ServingSim::new(
+        NeuPimsBackend::table2().unwrap(),
+        LlmConfig::gpt3_7b(),
+        cfg(16),
+    );
+    golden_trace(&mut sim);
+    let out = sim.run().unwrap();
+    assert_eq!(out.total_cycles, 104_832_448);
+    assert_eq!(out.completed, 24);
+    assert_eq!(out.tokens, 183);
+    assert_eq!(out.iterations, 19);
+    assert_eq!(out.mean_latency, 60_269_692.0);
+    assert_eq!(out.latency_percentile(50.0), 56_383_712);
+    assert_eq!(out.latency_percentile(99.0), 99_732_448);
+    assert_eq!(out.ttft_percentile(50.0), 15_030_944);
+    assert_eq!(out.tpot_percentile(50.0), 5_316_984.888888889);
+    assert!((out.peak_kv_utilization - 0.0252532958984375).abs() < 1e-15);
+    // Lump prefill never puts prompt encoding on-device.
+    assert_eq!(out.prefill_cycles_on_device, 0);
+    assert_eq!(out.overlap_hidden_cycles, 0);
+    assert_eq!(out.overlap_efficiency(), 0.0);
+}
+
+#[test]
+fn default_scheduler_equals_explicit_lump() {
+    let strip = |mut o: ServingOutcome| {
+        // iteration_stats are new outputs; the numeric outcome must be
+        // identical field-for-field.
+        o.iteration_stats.clear();
+        o
+    };
+    let mut default_sim = ServingSim::new(
+        NeuPimsBackend::table2().unwrap(),
+        LlmConfig::gpt3_7b(),
+        cfg(16),
+    );
+    golden_trace(&mut default_sim);
+    let mut lump_sim = neupims_sim(16, Box::new(LumpPrefill));
+    golden_trace(&mut lump_sim);
+    assert_eq!(
+        strip(default_sim.run().unwrap()),
+        strip(lump_sim.run().unwrap())
+    );
+}
+
+/// The paper's interleaving claim at the serving layer: on a mixed
+/// prefill+decode trace (each huge prompt's chunked encoding overlaps the
+/// previous requests' decode tails), SubBatchInterleaved hides prefill
+/// GEMM work under decode PIM GEMV phases and finishes strictly sooner
+/// than LumpPrefill — even though the lump model runs prompts on free
+/// standalone NPUs. Every hidden cycle is wall clock removed from the
+/// serving makespan.
+#[test]
+fn interleaved_beats_lump_on_mixed_prefill_decode_trace() {
+    let submit = |sim: &mut ServingSim<NeuPimsBackend>| {
+        for i in 0..12u32 {
+            sim.submit(i, 8192, 64, i as u64 * 200_000_000).unwrap();
+        }
+    };
+    let mut lump = neupims_sim(32, Box::new(LumpPrefill));
+    submit(&mut lump);
+    let lump_out = lump.run().unwrap();
+
+    let mut sbi = neupims_sim(32, Box::new(SubBatchInterleaved::new(4096)));
+    submit(&mut sbi);
+    let sbi_out = sbi.run().unwrap();
+
+    assert_eq!(lump_out.completed, 12);
+    assert_eq!(sbi_out.completed, 12);
+    assert_eq!(lump_out.tokens, sbi_out.tokens, "same trace, same tokens");
+    assert!(
+        sbi_out.overlap_hidden_cycles > 0,
+        "interleaving must hide prefill under PIM phases"
+    );
+    assert!(
+        sbi_out.tokens_per_sec() > lump_out.tokens_per_sec(),
+        "SubBatchInterleaved ({:.1} tokens/s, {} cycles) must beat LumpPrefill \
+         ({:.1} tokens/s, {} cycles)",
+        sbi_out.tokens_per_sec(),
+        sbi_out.total_cycles,
+        lump_out.tokens_per_sec(),
+        lump_out.total_cycles,
+    );
+
+    // And it must strictly beat serial chunked prefill on the same trace:
+    // identical chunk schedule, minus the overlap.
+    let mut chunked = neupims_sim(32, Box::new(ChunkedPrefill::new(4096)));
+    submit(&mut chunked);
+    let chunked_out = chunked.run().unwrap();
+    assert_eq!(chunked_out.overlap_hidden_cycles, 0);
+    assert!(
+        sbi_out.total_cycles < chunked_out.total_cycles,
+        "overlap must shorten the serial chunked run: {} vs {}",
+        sbi_out.total_cycles,
+        chunked_out.total_cycles
+    );
+}
+
+#[test]
+fn every_scheduler_conserves_requests_on_every_backend() {
+    let cfg_hw = NeuPimsConfig::table2();
+    let cal = calibrate(&cfg_hw).unwrap();
+    for backend_name in ["gpu", "npu-only", "naive", "neupims", "transpim"] {
+        for sched_name in SCHEDULER_NAMES {
+            let backend = backend_from_name(backend_name, &cfg_hw, &cal).unwrap();
+            let mut sim = ServingSim::with_scheduler(
+                backend,
+                LlmConfig::gpt3_7b(),
+                cfg(8),
+                scheduler_from_name(sched_name, 256).unwrap(),
+            );
+            for i in 0..12u32 {
+                sim.submit(i, 100 + i * 37, 2 + i % 5, i as u64 * 500_000)
+                    .unwrap();
+            }
+            let out = sim.run().unwrap();
+            assert_eq!(
+                out.completed + out.dropped,
+                out.submitted,
+                "{backend_name}/{sched_name}"
+            );
+            assert_eq!(out.completed, 12, "{backend_name}/{sched_name}");
+            let expected: u64 = (0..12u32).map(|i| (2 + i % 5) as u64).sum();
+            assert_eq!(out.tokens, expected, "{backend_name}/{sched_name}");
+            for r in &out.records {
+                assert!(r.ttft > 0, "{backend_name}/{sched_name}: {r:?}");
+                assert!(r.ttft <= r.latency, "{backend_name}/{sched_name}: {r:?}");
+            }
+            // Occupancy log covers every iteration and sums consistently.
+            assert_eq!(out.iteration_stats.len() as u64, out.iterations);
+            for s in &out.iteration_stats {
+                assert_eq!(
+                    s.cycles,
+                    s.decode_cycles + s.prefill_cycles - s.hidden_cycles,
+                    "{backend_name}/{sched_name}: {s:?}"
+                );
+            }
+            let total: u64 = out.iteration_stats.iter().map(|s| s.cycles).sum();
+            assert!(total <= out.total_cycles, "{backend_name}/{sched_name}");
+        }
+    }
+}
+
+#[test]
+fn chunked_ttft_includes_the_whole_prompt_encoding() {
+    // A single request on an idle device: chunked prefill costs exactly
+    // the telescoped lump prefill, so TTFT must be at least the lump
+    // delay plus one decode iteration.
+    let backend = NeuPimsBackend::table2().unwrap();
+    let model = LlmConfig::gpt3_7b();
+    let lump_prefill = backend.prefill_cycles(&model, 4, 32, &[2000]).unwrap();
+    let mut sim = neupims_sim(8, Box::new(ChunkedPrefill::new(256)));
+    sim.submit(0, 2000, 4, 0).unwrap();
+    let out = sim.run().unwrap();
+    assert_eq!(out.completed, 1);
+    assert_eq!(out.prefill_cycles_on_device, lump_prefill);
+    assert!(out.records[0].ttft >= lump_prefill);
+    assert_eq!(out.overlap_hidden_cycles, 0, "nothing to hide when idle");
+}
+
+#[test]
+fn simulation_builder_threads_the_scheduler() {
+    let run = |scheduler: Box<dyn SchedulerPolicy>| {
+        let sim = Simulation::builder()
+            .model(LlmConfig::gpt3_7b())
+            .backend(NeuPimsBackend::table2().unwrap())
+            .scheduler(scheduler)
+            .batch(16)
+            .samples(1)
+            .build()
+            .unwrap();
+        let mut serving = sim.serving(16, 0);
+        for i in 0..8u32 {
+            serving.submit(i, 1024, 4, 0).unwrap();
+        }
+        (sim.scheduler().name(), serving.scheduler_name(), {
+            let out = serving.run().unwrap();
+            (out.completed, out.prefill_cycles_on_device)
+        })
+    };
+    let (a, b, (completed, on_device)) = run(Box::new(LumpPrefill));
+    assert_eq!((a, b), ("lump", "lump"));
+    assert_eq!(completed, 8);
+    assert_eq!(on_device, 0);
+
+    let (a, b, (completed, on_device)) = run(Box::new(SubBatchInterleaved::new(512)));
+    assert_eq!((a, b), ("interleaved", "interleaved"));
+    assert_eq!(completed, 8);
+    assert!(on_device > 0, "chunked policies encode prompts on-device");
+}
+
+#[test]
+fn fleet_supports_per_replica_schedulers() {
+    let model = LlmConfig::gpt3_7b();
+    let replicas = vec![
+        ServingSim::with_scheduler(
+            NeuPimsBackend::table2().unwrap(),
+            model.clone(),
+            cfg(8),
+            Box::new(LumpPrefill),
+        ),
+        ServingSim::with_scheduler(
+            NeuPimsBackend::table2().unwrap(),
+            model.clone(),
+            cfg(8),
+            Box::new(SubBatchInterleaved::new(512)),
+        ),
+    ];
+    assert_eq!(replicas[0].scheduler_name(), "lump");
+    assert_eq!(replicas[1].scheduler_name(), "interleaved");
+    let mut fleet = FleetSim::new(replicas, Box::new(JoinShortestQueue)).unwrap();
+    for i in 0..16u32 {
+        fleet
+            .submit(FleetRequest {
+                id: i,
+                input_len: 1500,
+                output_len: 3 + i % 3,
+                arrival: i as u64 * 2_000_000,
+            })
+            .unwrap();
+    }
+    let out = fleet.run().unwrap();
+    assert_eq!(out.completed + out.dropped, 16);
+    assert_eq!(out.dropped, 0);
+    // Only the interleaved replica encodes prompts on-device; the fleet
+    // aggregate reflects it.
+    let on_device: Vec<u64> = out
+        .replicas
+        .iter()
+        .map(|r| r.prefill_cycles_on_device)
+        .collect();
+    assert_eq!(on_device[0], 0, "lump replica keeps prefill off-device");
+    assert!(on_device[1] > 0, "interleaved replica encodes on-device");
+    assert_eq!(out.prefill_cycles_on_device, on_device.iter().sum::<u64>());
+    assert!(out.overlap_efficiency() >= 0.0 && out.overlap_efficiency() <= 1.0);
+}
+
+#[test]
+fn overlap_metrics_are_ordered_across_policies() {
+    let submit = |sim: &mut ServingSim<NeuPimsBackend>| {
+        for i in 0..12u32 {
+            sim.submit(i, 3000, 24, i as u64 * 30_000_000).unwrap();
+        }
+    };
+    let mut lump = neupims_sim(16, Box::new(LumpPrefill));
+    submit(&mut lump);
+    let lump_out = lump.run().unwrap();
+    let mut chunked = neupims_sim(16, Box::new(ChunkedPrefill::new(1024)));
+    submit(&mut chunked);
+    let chunked_out = chunked.run().unwrap();
+    let mut sbi = neupims_sim(16, Box::new(SubBatchInterleaved::new(1024)));
+    submit(&mut sbi);
+    let sbi_out = sbi.run().unwrap();
+
+    assert_eq!(lump_out.overlap_efficiency(), 0.0);
+    assert_eq!(chunked_out.overlap_efficiency(), 0.0);
+    assert!(chunked_out.prefill_cycles_on_device > 0);
+    assert!(sbi_out.overlap_efficiency() > 0.0);
+    assert!(sbi_out.overlap_efficiency() <= 1.0);
+    assert!(lump_out.mean_decode_batch() > 0.0);
+    // The interleaved run never takes longer than the serial chunked run.
+    assert!(sbi_out.total_cycles <= chunked_out.total_cycles);
+}
