@@ -1,0 +1,60 @@
+//! Benchmarks of the MHA cost models: the Algorithm 1 closed form against
+//! trace-driven command-stream replay, cold (first replay of each
+//! context-length bucket) and warm (memoized serving-loop steady state).
+//!
+//! The serving loop's promise is that memoized trace-driven pricing stays
+//! within ~2x of analytic per estimate; `cost_model_trace_warm` against
+//! `cost_model_analytic` is that claim, measured.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use neupims_bench::short_criterion;
+use neupims_kvcache::KvGeometry;
+use neupims_pim::calibrate;
+use neupims_sched::{MhaCostModel, MhaLatencyEstimator, TraceDrivenCostModel};
+use neupims_types::{LlmConfig, NeuPimsConfig};
+use std::hint::black_box;
+
+/// A ShareGPT-shaped batch of context lengths (mixed short/long tail).
+fn batch() -> Vec<u64> {
+    (0..256u64).map(|i| 16 + (i * 97) % 1500).collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let cfg = NeuPimsConfig::table2();
+    let cal = calibrate(&cfg).expect("Table 2 calibrates");
+    let geo = KvGeometry::for_model(&LlmConfig::gpt3_7b(), &cfg.mem);
+    let seqs = batch();
+
+    let analytic = MhaLatencyEstimator::new(geo, cal.l_tile, cal.l_gwrite);
+    c.bench_function("cost_model_analytic", |b| {
+        b.iter(|| black_box(analytic.estimate_sum(black_box(&seqs))))
+    });
+
+    // Cold: a fresh memo per iteration, so every bucket replays through
+    // the cycle model (the price of first contact with a context length).
+    c.bench_function("cost_model_trace_cold", |b| {
+        b.iter(|| {
+            let trace = TraceDrivenCostModel::new(&cfg, geo, true);
+            black_box(MhaCostModel::estimate_sum(&trace, black_box(&seqs)))
+        })
+    });
+
+    // Warm: the serving-loop steady state — one shared memo, every bucket
+    // already simulated, estimates served by hash lookup.
+    let warm = TraceDrivenCostModel::new(&cfg, geo, true);
+    MhaCostModel::estimate_sum(&warm, &seqs);
+    c.bench_function("cost_model_trace_warm", |b| {
+        b.iter(|| black_box(MhaCostModel::estimate_sum(&warm, black_box(&seqs))))
+    });
+}
+
+fn run(c: &mut Criterion) {
+    bench(c);
+}
+
+criterion_group! {
+    name = benches;
+    config = short_criterion();
+    targets = run
+}
+criterion_main!(benches);

@@ -1,0 +1,907 @@
+//! `neupims` — experiment driver reproducing every table and figure of the
+//! NeuPIMs paper (ASPLOS'24), plus backend-generic sweeps and serving.
+//!
+//! ```text
+//! neupims <command> [--samples N] [--quick] [--backend NAME] [--model NAME]
+//!                   [--dataset NAME] [--batch N] [--requests N] [--max-batch N]
+//!                   [--replicas N] [--policy NAME] [--rate R]
+//!                   [--scheduler NAME] [--chunk-tokens N]
+//!                   [--cost-model NAME] [--tolerance F]
+//!                   [--slo-ttft-ms MS] [--slo-tpot-ms MS]
+//!
+//! commands:
+//!   sweep       throughput sweep of one backend across batch sizes
+//!   serve       serving simulation (streaming arrivals) on one backend
+//!   fleet       SLO-aware multi-replica fleet serving behind a dispatcher
+//!   calibrate   print the cycle-model calibration constants
+//!   drift       analytic-vs-trace MHA cost model calibration drift
+//!   fig4        roofline / arithmetic-intensity points (Figure 4)
+//!   fig5        GPU utilization for four LLMs (Figure 5)
+//!   fig6        naive NPU+PIM per-stage utilization (Figure 6)
+//!   fig12       throughput: 4 systems x datasets x batch sizes x models
+//!   fig13       ablation: DRB / GMLBP / SBI (Figure 13)
+//!   fig14       (TP, PP) parallelism scaling (Figure 14)
+//!   fig15       speedup over TransPIM (Figure 15)
+//!   table4      resource utilization (Table 4)
+//!   table5      power and energy (Table 5)
+//!   area        dual-row-buffer area overhead (Section 8.2)
+//!   all         every figure/table above, in order
+//!
+//! backends (for --backend): gpu, npu-only, naive, neupims, transpim,
+//!   neupims-drb, neupims-drb-gmlbp, neupims-drb-gmlbp-sbi
+//!   (fleet accepts a comma-separated list, cycled over the replicas)
+//! models (for --model): gpt3-7b, gpt3-13b, gpt3-30b, gpt3-175b
+//! datasets (for --dataset): sharegpt, alpaca
+//! policies (for --policy): round-robin, jsq, kv-aware
+//! schedulers (for --scheduler): lump, chunked, interleaved
+//!   (fleet accepts a comma-separated list, cycled over the replicas);
+//!   --chunk-tokens sets the per-iteration prefill budget of the chunked
+//!   schedulers (default 256)
+//! cost models (for --cost-model, on sweep/serve/fleet): analytic (the
+//!   Algorithm 1 closed form, default) or trace (replay the real GEMV
+//!   command streams through the cycle-level DRAM model, memoized per
+//!   context-length bucket); `drift --tolerance F` reports where the two
+//!   disagree by more than F (relative, default 0.10)
+//! --rate is in requests per million cycles (= kilo-requests/s at 1 GHz)
+//! and drives both `serve` and `fleet` arrivals; --slo-ttft-ms /
+//! --slo-tpot-ms set the latency targets their SLO-attainment and
+//! goodput columns are measured against.
+//! ```
+
+use std::process::ExitCode;
+
+use neupims_core::experiments::{
+    area_overhead, fig12_throughput, fig13_ablation, fig14_parallelism, fig15_transpim,
+    fig4_roofline, fig5_gpu_util, fig6_layer_util, table4_utilization, table5_power,
+    ExperimentContext,
+};
+use neupims_core::fleet::{policy_from_name, FleetRequest, FleetSim, POLICY_NAMES};
+use neupims_core::scheduler::{scheduler_from_name, SCHEDULER_NAMES};
+use neupims_core::serving::{ServingConfig, ServingSim, SloTargets};
+use neupims_core::BACKEND_NAMES;
+use neupims_kvcache::KvGeometry;
+use neupims_sched::{
+    calibration_drift, CostModelKind, MhaLatencyEstimator, TraceDrivenCostModel, TraceSnapshot,
+    COST_MODEL_NAMES, DEFAULT_DRIFT_TOLERANCE,
+};
+use neupims_types::{LlmConfig, Phase};
+use neupims_workload::{arrival_stream, Dataset};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct Options {
+    samples: usize,
+    quick: bool,
+    backend: String,
+    model: LlmConfig,
+    dataset: Dataset,
+    batch: Option<usize>,
+    requests: usize,
+    max_batch: usize,
+    replicas: usize,
+    policy: String,
+    scheduler: String,
+    chunk_tokens: u32,
+    cost_model: CostModelKind,
+    tolerance: f64,
+    rate: f64,
+    slo_ttft_ms: f64,
+    slo_tpot_ms: f64,
+}
+
+fn parse_model(name: &str) -> Option<LlmConfig> {
+    match name.to_ascii_lowercase().as_str() {
+        "gpt3-7b" | "7b" => Some(LlmConfig::gpt3_7b()),
+        "gpt3-13b" | "13b" => Some(LlmConfig::gpt3_13b()),
+        "gpt3-30b" | "30b" => Some(LlmConfig::gpt3_30b()),
+        "gpt3-175b" | "175b" => Some(LlmConfig::gpt3_175b()),
+        _ => None,
+    }
+}
+
+fn parse_dataset(name: &str) -> Option<Dataset> {
+    match name.to_ascii_lowercase().as_str() {
+        "sharegpt" => Some(Dataset::ShareGpt),
+        "alpaca" => Some(Dataset::Alpaca),
+        _ => None,
+    }
+}
+
+/// Entry point of the `neupims` CLI: parses `std::env::args` and runs the
+/// requested command (also re-exported as the workspace root's `neupims`
+/// bin, so `cargo run --release -- <command>` works from the repo root).
+pub fn run_cli() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut command = None;
+    let mut opts = Options {
+        samples: 10,
+        quick: false,
+        backend: "neupims".to_owned(),
+        model: LlmConfig::gpt3_7b(),
+        dataset: Dataset::ShareGpt,
+        batch: None,
+        requests: 64,
+        max_batch: 64,
+        replicas: 4,
+        policy: "jsq".to_owned(),
+        scheduler: "lump".to_owned(),
+        chunk_tokens: 256,
+        cost_model: CostModelKind::Analytic,
+        tolerance: DEFAULT_DRIFT_TOLERANCE,
+        rate: 3.0,
+        slo_ttft_ms: 50.0,
+        slo_tpot_ms: 10.0,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--samples" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => opts.samples = n,
+                None => {
+                    eprintln!("--samples requires a number");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--batch" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => opts.batch = Some(n),
+                None => {
+                    eprintln!("--batch requires a number");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--requests" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => opts.requests = n,
+                None => {
+                    eprintln!("--requests requires a number");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--max-batch" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => opts.max_batch = n,
+                None => {
+                    eprintln!("--max-batch requires a number");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--replicas" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => opts.replicas = n,
+                _ => {
+                    eprintln!("--replicas requires a positive number");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--policy" => match it.next() {
+                Some(name) => opts.policy = name.clone(),
+                None => {
+                    eprintln!("--policy requires a name ({})", POLICY_NAMES.join("|"));
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--scheduler" => match it.next() {
+                Some(name) => opts.scheduler = name.clone(),
+                None => {
+                    eprintln!(
+                        "--scheduler requires a name ({})",
+                        SCHEDULER_NAMES.join("|")
+                    );
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--chunk-tokens" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => opts.chunk_tokens = n,
+                _ => {
+                    eprintln!("--chunk-tokens requires a positive number of tokens");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--cost-model" => match it.next().and_then(|v| CostModelKind::from_name(v)) {
+                Some(kind) => opts.cost_model = kind,
+                None => {
+                    eprintln!(
+                        "--cost-model requires a name ({})",
+                        COST_MODEL_NAMES.join("|")
+                    );
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--tolerance" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(t) if t >= 0.0 => opts.tolerance = t,
+                _ => {
+                    eprintln!("--tolerance requires a non-negative relative error");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--rate" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(r) if r > 0.0 => opts.rate = r,
+                _ => {
+                    eprintln!("--rate requires a positive number (requests per Mcycle)");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--slo-ttft-ms" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(ms) if ms > 0.0 => opts.slo_ttft_ms = ms,
+                _ => {
+                    eprintln!("--slo-ttft-ms requires a positive number (milliseconds)");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--slo-tpot-ms" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(ms) if ms > 0.0 => opts.slo_tpot_ms = ms,
+                _ => {
+                    eprintln!("--slo-tpot-ms requires a positive number (milliseconds)");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--backend" => match it.next() {
+                Some(name) => opts.backend = name.clone(),
+                None => {
+                    eprintln!("--backend requires a name ({})", BACKEND_NAMES.join("|"));
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--model" => match it.next().and_then(|v| parse_model(v)) {
+                Some(m) => opts.model = m,
+                None => {
+                    eprintln!("--model requires one of: gpt3-7b, gpt3-13b, gpt3-30b, gpt3-175b");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--dataset" => match it.next().and_then(|v| parse_dataset(v)) {
+                Some(d) => opts.dataset = d,
+                None => {
+                    eprintln!("--dataset requires one of: sharegpt, alpaca");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--quick" => opts.quick = true,
+            cmd if command.is_none() => command = Some(cmd.to_owned()),
+            other => {
+                eprintln!("unexpected argument {other:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if opts.quick {
+        opts.samples = opts.samples.min(3);
+    }
+
+    let command = command.unwrap_or_else(|| "all".to_owned());
+    match run(&command, &opts) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(command: &str, opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    if command == "fig4" {
+        return cmd_fig4();
+    }
+    if command == "fig5" {
+        return cmd_fig5();
+    }
+    if command == "area" {
+        return cmd_area();
+    }
+
+    // Every remaining command needs the calibrated context.
+    eprintln!("calibrating PIM constants from the cycle model ...");
+    let ctx = ExperimentContext::table2()?.with_samples(opts.samples);
+
+    match command {
+        "sweep" => cmd_sweep(&ctx, opts),
+        "serve" => cmd_serve(&ctx, opts),
+        "fleet" => cmd_fleet(&ctx, opts),
+        "calibrate" => cmd_calibrate(&ctx),
+        "drift" => cmd_drift(&ctx, opts),
+        "fig6" => cmd_fig6(&ctx),
+        "fig12" => cmd_fig12(&ctx, opts),
+        "fig13" => cmd_fig13(&ctx, opts),
+        "fig14" => cmd_fig14(&ctx),
+        "fig15" => cmd_fig15(&ctx, opts),
+        "table4" => cmd_table4(&ctx),
+        "table5" => cmd_table5(&ctx),
+        "all" => {
+            cmd_fig4()?;
+            cmd_fig5()?;
+            cmd_calibrate(&ctx)?;
+            cmd_fig6(&ctx)?;
+            cmd_fig12(&ctx, opts)?;
+            cmd_fig13(&ctx, opts)?;
+            cmd_fig14(&ctx)?;
+            cmd_fig15(&ctx, opts)?;
+            cmd_table4(&ctx)?;
+            cmd_table5(&ctx)?;
+            cmd_area()
+        }
+        other => {
+            eprintln!("unknown command {other:?} (try: all, fig12, table4, ...)");
+            Err("unknown command".into())
+        }
+    }
+}
+
+fn cmd_sweep(ctx: &ExperimentContext, opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    let batches: Vec<usize> = match opts.batch {
+        Some(b) => vec![b],
+        None if opts.quick => vec![64, 256],
+        None => vec![64, 128, 256, 384, 512],
+    };
+    println!(
+        "\n## Sweep — {} / {} / {} ({} cost model; tokens/s, mean of {} warm batches)\n",
+        opts.backend,
+        opts.model.name,
+        opts.dataset.name(),
+        opts.cost_model,
+        ctx.samples
+    );
+    println!("| batch | tokens/s |");
+    println!("|---:|---:|");
+    for &batch in &batches {
+        let sim = ctx
+            .simulation()
+            .model(opts.model.clone())
+            .backend(ctx.backend_with_cost(&opts.backend, opts.cost_model)?)
+            .dataset(opts.dataset)
+            .batch(batch)
+            .build()?;
+        println!("| {} | {:.0} |", batch, sim.throughput()?);
+    }
+    Ok(())
+}
+
+fn cmd_serve(ctx: &ExperimentContext, opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    let sim = ctx
+        .simulation()
+        .model(opts.model.clone())
+        .backend(ctx.backend_with_cost(&opts.backend, opts.cost_model)?)
+        .dataset(opts.dataset)
+        .batch(opts.max_batch.max(1))
+        .scheduler(scheduler_from_name(&opts.scheduler, opts.chunk_tokens)?)
+        .cost_model(opts.cost_model)
+        .build()?;
+    println!(
+        "\n## Serve — {} requests ({}) through {} serving {} ({} scheduler, {} cost model)\n",
+        opts.requests,
+        opts.dataset.name(),
+        sim.backend().label(),
+        opts.model.name,
+        sim.scheduler().name(),
+        opts.cost_model,
+    );
+
+    let slo = Some(SloTargets {
+        ttft: (opts.slo_ttft_ms * 1e6) as u64,
+        tpot: opts.slo_tpot_ms * 1e6,
+    });
+    let mut serving = sim.serving_with_slo(opts.max_batch.max(1), 0, slo);
+    let mut rng = StdRng::seed_from_u64(0x5EED ^ opts.requests as u64);
+    let arrivals = arrival_stream(&mut rng, opts.rate, opts.requests);
+    for (i, &at) in arrivals.iter().enumerate() {
+        let input = opts.dataset.sample_input(&mut rng);
+        let output = opts.dataset.sample_output(&mut rng).min(128);
+        serving.submit(i as u32, input, output, at)?;
+    }
+    let out = serving.run()?;
+    println!("| metric | value |");
+    println!("|---|---:|");
+    println!("| completed requests | {} |", out.completed);
+    println!("| dropped requests | {} |", out.dropped);
+    println!("| generated tokens | {} |", out.tokens);
+    println!("| decode iterations | {} |", out.iterations);
+    println!(
+        "| simulated time | {:.2} ms |",
+        out.total_cycles as f64 / 1e6
+    );
+    println!("| throughput | {:.0} tokens/s |", out.tokens_per_sec());
+    println!("| mean latency | {:.2} ms |", out.mean_latency / 1e6);
+    println!(
+        "| p50 / p95 / p99 latency | {:.2} / {:.2} / {:.2} ms |",
+        out.latency_percentile(50.0) as f64 / 1e6,
+        out.latency_percentile(95.0) as f64 / 1e6,
+        out.latency_percentile(99.0) as f64 / 1e6
+    );
+    println!(
+        "| p50 / p99 TTFT | {:.2} / {:.2} ms |",
+        out.ttft_percentile(50.0) as f64 / 1e6,
+        out.ttft_percentile(99.0) as f64 / 1e6
+    );
+    println!(
+        "| p50 / p99 TPOT | {:.3} / {:.3} ms |",
+        out.tpot_percentile(50.0) / 1e6,
+        out.tpot_percentile(99.0) / 1e6
+    );
+    println!(
+        "| SLO attainment (TTFT {} ms, TPOT {} ms) | {:.1}% |",
+        opts.slo_ttft_ms,
+        opts.slo_tpot_ms,
+        out.slo_attainment() * 100.0
+    );
+    println!("| goodput | {:.0} tokens/s |", out.goodput());
+    println!(
+        "| peak KV utilization | {:.1}% |",
+        out.peak_kv_utilization * 100.0
+    );
+    println!(
+        "| mean decode batch | {:.1} of {} |",
+        out.mean_decode_batch(),
+        opts.max_batch.max(1)
+    );
+    println!(
+        "| on-device prefill | {:.2} ms |",
+        out.prefill_cycles_on_device as f64 / 1e6
+    );
+    println!(
+        "| NPU/PIM overlap (hidden / efficiency) | {:.2} ms / {:.1}% |",
+        out.overlap_hidden_cycles as f64 / 1e6,
+        out.overlap_efficiency() * 100.0
+    );
+    print_trace_rows(out.pim_trace.as_ref());
+    Ok(())
+}
+
+fn cmd_fleet(ctx: &ExperimentContext, opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    // Comma-separated backend and scheduler names are cycled over the
+    // replicas, so `--backend neupims,gpu --scheduler interleaved,lump
+    // --replicas 4` builds a heterogeneous fleet with per-replica
+    // schedulers.
+    let names: Vec<&str> = opts.backend.split(',').map(str::trim).collect();
+    let sched_names: Vec<&str> = opts.scheduler.split(',').map(str::trim).collect();
+    let slo = SloTargets {
+        ttft: (opts.slo_ttft_ms * 1e6) as u64,
+        tpot: opts.slo_tpot_ms * 1e6,
+    };
+    let cfg = ServingConfig {
+        max_batch: opts.max_batch.max(1),
+        tp: opts.model.parallelism.tp,
+        layers: opts.model.num_layers / opts.model.parallelism.pp,
+        target_completions: 0,
+        slo: Some(slo),
+    };
+    let mut replicas = Vec::new();
+    for i in 0..opts.replicas {
+        let backend = ctx.backend_with_cost(names[i % names.len()], opts.cost_model)?;
+        let scheduler = scheduler_from_name(sched_names[i % sched_names.len()], opts.chunk_tokens)?;
+        replicas.push(
+            ServingSim::with_scheduler(backend, opts.model.clone(), cfg.clone(), scheduler)
+                .with_cost_model(opts.cost_model),
+        );
+    }
+    let labels: Vec<String> = replicas
+        .iter()
+        .map(|r| format!("{} ({})", r.backend().label(), r.scheduler_name()))
+        .collect();
+    let mut fleet = FleetSim::new(replicas, policy_from_name(&opts.policy)?)?;
+
+    let mut rng = StdRng::seed_from_u64(0xF1EE7 ^ opts.requests as u64);
+    let arrivals = arrival_stream(&mut rng, opts.rate, opts.requests);
+    for (i, &at) in arrivals.iter().enumerate() {
+        fleet.submit(FleetRequest {
+            id: i as u32,
+            input_len: opts.dataset.sample_input(&mut rng),
+            output_len: opts.dataset.sample_output(&mut rng).min(128),
+            arrival: at,
+        })?;
+    }
+
+    println!(
+        "\n## Fleet — {} requests ({}) at {} req/Mcycle over {} x {} replicas, policy {}\n",
+        opts.requests,
+        opts.dataset.name(),
+        opts.rate,
+        opts.replicas,
+        opts.model.name,
+        fleet.policy_name(),
+    );
+    let out = fleet.run()?;
+    println!("| metric | value |");
+    println!("|---|---:|");
+    println!(
+        "| submitted / completed / dropped | {} / {} / {} |",
+        out.submitted, out.completed, out.dropped
+    );
+    println!("| generated tokens | {} |", out.tokens);
+    println!("| makespan | {:.2} ms |", out.makespan as f64 / 1e6);
+    println!(
+        "| fleet throughput | {:.0} tokens/s |",
+        out.tokens_per_sec()
+    );
+    println!(
+        "| p50 / p99 latency | {:.2} / {:.2} ms |",
+        out.latency_percentile(50.0) as f64 / 1e6,
+        out.latency_percentile(99.0) as f64 / 1e6
+    );
+    println!(
+        "| p50 / p99 TTFT | {:.2} / {:.2} ms |",
+        out.ttft_percentile(50.0) as f64 / 1e6,
+        out.ttft_percentile(99.0) as f64 / 1e6
+    );
+    println!(
+        "| p50 / p99 TPOT | {:.3} / {:.3} ms |",
+        out.tpot_percentile(50.0) / 1e6,
+        out.tpot_percentile(99.0) / 1e6
+    );
+    println!(
+        "| SLO attainment (TTFT {} ms, TPOT {} ms) | {:.1}% |",
+        opts.slo_ttft_ms,
+        opts.slo_tpot_ms,
+        out.slo_attainment() * 100.0
+    );
+    println!("| goodput | {:.0} tokens/s |", out.goodput());
+    println!(
+        "| NPU/PIM overlap (hidden / efficiency) | {:.2} ms / {:.1}% |",
+        out.overlap_hidden_cycles as f64 / 1e6,
+        out.overlap_efficiency() * 100.0
+    );
+    print_trace_rows(out.pim_trace.as_ref());
+
+    println!(
+        "\n| replica | backend (scheduler) | completed | dropped | tokens | clock (ms) | peak KV |"
+    );
+    println!("|---:|---|---:|---:|---:|---:|---:|");
+    for (i, r) in out.replicas.iter().enumerate() {
+        println!(
+            "| {} | {} | {} | {} | {} | {:.2} | {:.1}% |",
+            i,
+            labels[i],
+            r.completed,
+            r.dropped,
+            r.tokens,
+            r.total_cycles as f64 / 1e6,
+            r.peak_kv_utilization * 100.0
+        );
+    }
+    Ok(())
+}
+
+/// Appends the trace-driven cost model's DRAM activity rows to a serve or
+/// fleet report (no-op under analytic pricing).
+fn print_trace_rows(trace: Option<&TraceSnapshot>) {
+    let Some(t) = trace else { return };
+    println!(
+        "| PIM trace: row-buffer hits / misses | {} / {} ({:.1}% hit rate) |",
+        t.stats.row_hits,
+        t.stats.row_misses,
+        t.stats.hit_rate() * 100.0
+    );
+    println!(
+        "| PIM trace: ACT / PRE / REF commands | {} / {} / {} |",
+        t.stats.acts + t.stats.pim_acts,
+        t.stats.precharges + t.stats.pim_precharges,
+        t.stats.refreshes
+    );
+    println!(
+        "| PIM trace: C/A bus busy | {:.3} ms |",
+        t.stats.ca_busy as f64 / 1e6
+    );
+    println!(
+        "| PIM trace: streams simulated / memoized | {} / {} ({:.1}% memo hits) |",
+        t.replays,
+        t.memo_hits,
+        t.memo_hit_rate() * 100.0
+    );
+}
+
+fn cmd_drift(ctx: &ExperimentContext, opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    let tp = opts.model.parallelism.tp;
+    let geo = KvGeometry::with_tp(&opts.model, &ctx.cfg.mem, tp);
+    let analytic = MhaLatencyEstimator::new(geo, ctx.cal.l_tile, ctx.cal.l_gwrite);
+    let trace = TraceDrivenCostModel::new(&ctx.cfg, geo, true);
+    let seq_lens: Vec<u64> = [
+        1u64, 8, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384,
+    ]
+    .to_vec();
+    let report = calibration_drift(&analytic, &trace, &seq_lens, opts.tolerance);
+
+    println!(
+        "\n## Calibration drift — Algorithm 1 vs cycle-level trace ({}, TP={}, tolerance {:.0}%)\n",
+        opts.model.name,
+        tp,
+        opts.tolerance * 100.0
+    );
+    println!("| seq len | analytic (cycles) | trace (cycles) | rel err | |");
+    println!("|---:|---:|---:|---:|---|");
+    for p in &report.points {
+        let flag = if p.rel_err() > report.tolerance {
+            "DRIFT"
+        } else {
+            ""
+        };
+        println!(
+            "| {} | {:.0} | {:.0} | {:.1}% | {} |",
+            p.seq_len,
+            p.analytic,
+            p.trace,
+            p.rel_err() * 100.0,
+            flag
+        );
+    }
+    let violations = report.violations();
+    if violations.is_empty() {
+        println!(
+            "\nno drift beyond {:.0}%: the Algorithm 1 constants still summarize the cycle model",
+            opts.tolerance * 100.0
+        );
+    } else {
+        println!(
+            "\n{} of {} points drift beyond {:.0}% (max {:.1}%) — short contexts pay Algorithm 1's \
+             full-tile rounding; recalibrate or switch those runs to --cost-model trace",
+            violations.len(),
+            report.points.len(),
+            opts.tolerance * 100.0,
+            report.max_rel_err() * 100.0
+        );
+    }
+    Ok(())
+}
+
+fn cmd_calibrate(ctx: &ExperimentContext) -> Result<(), Box<dyn std::error::Error>> {
+    println!("\n## Calibrated PIM constants (from the cycle model)\n");
+    let c = &ctx.cal;
+    println!("| constant | value |");
+    println!("|---|---|");
+    println!("| L_tile (composite PIM_GEMV) | {:.1} cycles |", c.l_tile);
+    println!(
+        "| L_tile (fine-grained Newton) | {:.1} cycles |",
+        c.l_tile_fine
+    );
+    println!("| L_GWRITE | {:.1} cycles |", c.l_gwrite);
+    println!("| dot-product round | {} cycles |", c.dot_cycles);
+    println!(
+        "| MEM stream bandwidth (solo) | {:.2} B/cycle/channel |",
+        c.mem_stream_bw
+    );
+    println!(
+        "| MEM stream bandwidth (during PIM) | {:.2} B/cycle/channel |",
+        c.mem_stream_bw_shared
+    );
+    println!(
+        "| PIM in-bank bandwidth | {:.2} B/cycle/channel |",
+        c.pim_stream_bw
+    );
+    println!("| PIM bandwidth advantage | {:.2}x |", c.pim_advantage());
+    Ok(())
+}
+
+fn cmd_fig4() -> Result<(), Box<dyn std::error::Error>> {
+    println!("\n## Figure 4 — arithmetic intensity of LLM layers (A100 roofline)\n");
+    println!("| model | phase | operator | FLOPs/byte | achievable TFLOPS |");
+    println!("|---|---|---|---:|---:|");
+    for r in fig4_roofline() {
+        let phase = match r.phase {
+            Phase::Summarization => "summarization",
+            Phase::Generation => "generation",
+        };
+        println!(
+            "| {} | {} | {} | {:.2} | {:.1} |",
+            r.model, phase, r.operator, r.intensity, r.tflops
+        );
+    }
+    Ok(())
+}
+
+fn cmd_fig5() -> Result<(), Box<dyn std::error::Error>> {
+    println!("\n## Figure 5 — GPU resource utilization (generation phase)\n");
+    println!("| GPU | model | compute | bandwidth | capacity |");
+    println!("|---|---|---:|---:|---:|");
+    for r in fig5_gpu_util() {
+        println!(
+            "| {} | {} | {:.1}% | {:.1}% | {:.1}% |",
+            r.gpu,
+            r.model,
+            r.compute * 100.0,
+            r.bandwidth * 100.0,
+            r.capacity * 100.0
+        );
+    }
+    Ok(())
+}
+
+fn cmd_fig6(ctx: &ExperimentContext) -> Result<(), Box<dyn std::error::Error>> {
+    println!("\n## Figure 6 — naive NPU+PIM utilization per decoder stage\n");
+    println!("| stage | NPU compute | PIM compute |");
+    println!("|---|---:|---:|");
+    for r in fig6_layer_util(ctx)? {
+        println!(
+            "| {} | {:.1}% | {:.1}% |",
+            r.stage,
+            r.npu * 100.0,
+            r.pim * 100.0
+        );
+    }
+    Ok(())
+}
+
+fn cmd_fig12(ctx: &ExperimentContext, opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    println!("\n## Figure 12 — throughput comparison (tokens/s, mean of warm batches)\n");
+    let batches: Vec<usize> = if opts.quick {
+        vec![64, 256]
+    } else {
+        vec![64, 128, 256, 384, 512]
+    };
+    let models = if opts.quick {
+        vec![LlmConfig::gpt3_7b(), LlmConfig::gpt3_30b()]
+    } else {
+        LlmConfig::table3()
+    };
+
+    // Panels are independent; sweep them across worker threads and print
+    // in deterministic order afterwards.
+    type PanelKey = (usize, usize); // (dataset idx, model idx)
+    type PanelRows = Vec<(usize, Vec<neupims_core::experiments::Fig12Row>)>;
+    type PanelMap = std::collections::HashMap<PanelKey, PanelRows>;
+    let results: std::sync::Mutex<PanelMap> =
+        std::sync::Mutex::new(std::collections::HashMap::new());
+    let mut panels = Vec::new();
+    for (di, dataset) in Dataset::ALL.into_iter().enumerate() {
+        for (mi, model) in models.iter().enumerate() {
+            panels.push((di, dataset, mi, model.clone()));
+        }
+    }
+    let err: std::sync::Mutex<Option<String>> = std::sync::Mutex::new(None);
+    std::thread::scope(|scope| {
+        for chunk in panels.chunks(1.max(panels.len() / 8)) {
+            let results = &results;
+            let err = &err;
+            let batches = &batches;
+            scope.spawn(move || {
+                for (di, dataset, mi, model) in chunk {
+                    let mut rows = Vec::new();
+                    for &batch in batches.iter() {
+                        match fig12_throughput(ctx, *dataset, model, batch) {
+                            Ok(r) => rows.push((batch, r)),
+                            Err(e) => {
+                                *err.lock().unwrap() = Some(e.to_string());
+                                return;
+                            }
+                        }
+                    }
+                    results.lock().unwrap().insert((*di, *mi), rows);
+                }
+            });
+        }
+    });
+    if let Some(e) = err.lock().unwrap().take() {
+        return Err(e.into());
+    }
+
+    let results = results.into_inner().unwrap();
+    for (di, dataset) in Dataset::ALL.into_iter().enumerate() {
+        for (mi, model) in models.iter().enumerate() {
+            println!("\n### {} / {}\n", dataset.name(), model.name);
+            println!("| batch | GPU-only | NPU-only | NPU+PIM | NeuPIMs | NeuPIMs/NPU+PIM |");
+            println!("|---:|---:|---:|---:|---:|---:|");
+            for (batch, rows) in &results[&(di, mi)] {
+                let get = |s: &str| {
+                    rows.iter()
+                        .find(|r| r.system == s)
+                        .map(|r| r.tokens_per_sec)
+                        .unwrap_or(0.0)
+                };
+                println!(
+                    "| {} | {:.0} | {:.0} | {:.0} | {:.0} | {:.2}x |",
+                    batch,
+                    get("GPU-only"),
+                    get("NPU-only"),
+                    get("NPU+PIM"),
+                    get("NeuPIMs"),
+                    get("NeuPIMs") / get("NPU+PIM").max(1e-9),
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_fig13(ctx: &ExperimentContext, opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    println!("\n## Figure 13 — ablation (GPT3-7B, ShareGPT; normalized to NPU+PIM)\n");
+    let batches: &[usize] = if opts.quick {
+        &[64, 256]
+    } else {
+        &[64, 128, 256, 384, 512]
+    };
+    let rows = fig13_ablation(ctx, batches)?;
+    println!("| batch | NPU+PIM | +DRB | +DRB+GMLBP | +DRB+GMLBP+SBI |");
+    println!("|---:|---:|---:|---:|---:|");
+    for &batch in batches {
+        let get = |v: &str| {
+            rows.iter()
+                .find(|r| r.batch == batch && r.variant == v)
+                .map(|r| r.improvement)
+                .unwrap_or(0.0)
+        };
+        println!(
+            "| {} | {:.2} | {:.2} | {:.2} | {:.2} |",
+            batch,
+            get("NPU+PIM"),
+            get("NeuPIMs-DRB"),
+            get("NeuPIMs-DRB+GMLBP"),
+            get("NeuPIMs-DRB+GMLBP+SBI"),
+        );
+    }
+    Ok(())
+}
+
+fn cmd_fig14(ctx: &ExperimentContext) -> Result<(), Box<dyn std::error::Error>> {
+    println!("\n## Figure 14 — (TP, PP) scaling at 256 requests (GPT3-7B)\n");
+    println!("| devices | (TP, PP) | throughput (1k tokens/s) |");
+    println!("|---:|---|---:|");
+    for r in fig14_parallelism(ctx)? {
+        println!(
+            "| {} | ({}, {}) | {:.1} |",
+            r.devices,
+            r.tp,
+            r.pp,
+            r.tokens_per_sec / 1e3
+        );
+    }
+    Ok(())
+}
+
+fn cmd_fig15(ctx: &ExperimentContext, opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    println!("\n## Figure 15 — NeuPIMs speedup over TransPIM (GPT3-7B)\n");
+    let batches: &[usize] = if opts.quick {
+        &[64, 256]
+    } else {
+        &[64, 128, 256, 384, 512]
+    };
+    let rows = fig15_transpim(ctx, batches)?;
+    println!("| dataset | batch | speedup |");
+    println!("|---|---:|---:|");
+    for r in &rows {
+        println!("| {} | {} | {:.0}x |", r.dataset, r.batch, r.speedup);
+    }
+    let avg = rows.iter().map(|r| r.speedup).sum::<f64>() / rows.len() as f64;
+    println!("\naverage speedup: {avg:.0}x (paper: ~228x, range 79-431x)");
+    Ok(())
+}
+
+fn cmd_table4(ctx: &ExperimentContext) -> Result<(), Box<dyn std::error::Error>> {
+    println!("\n## Table 4 — average resource utilization (GPT3-30B, B=256, ShareGPT)\n");
+    println!("| resource | NPU-only | NPU+PIM | NeuPIMs |");
+    println!("|---|---:|---:|---:|");
+    let rows = table4_utilization(ctx)?;
+    let pct = |x: f64| format!("{:.1}%", x * 100.0);
+    println!(
+        "| NPU | {} | {} | {} |",
+        pct(rows[0].npu),
+        pct(rows[1].npu),
+        pct(rows[2].npu)
+    );
+    println!("| PIM | - | {} | {} |", pct(rows[1].pim), pct(rows[2].pim));
+    println!(
+        "| Bandwidth | {} | {} | {} |",
+        pct(rows[0].bandwidth),
+        pct(rows[1].bandwidth),
+        pct(rows[2].bandwidth)
+    );
+    Ok(())
+}
+
+fn cmd_table5(ctx: &ExperimentContext) -> Result<(), Box<dyn std::error::Error>> {
+    println!("\n## Table 5 — DRAM power and energy\n");
+    let t = table5_power(ctx)?;
+    println!("| system | average power (mW/channel) |");
+    println!("|---|---:|");
+    println!("| NPU-only HBM (non-PIM) | {:.1} |", t.baseline_mw);
+    println!("| NeuPIMs dual-row-buffer PIM | {:.1} |", t.neupims_mw);
+    println!(
+        "\npower ratio {:.2}x, fleet speedup {:.2}x -> relative energy {:.2} ({}% reduction)",
+        t.neupims_mw / t.baseline_mw,
+        t.speedup,
+        t.energy_ratio,
+        ((1.0 - t.energy_ratio) * 100.0).round()
+    );
+    Ok(())
+}
+
+fn cmd_area() -> Result<(), Box<dyn std::error::Error>> {
+    println!("\n## Area overhead of dual row buffers (CACTI-like model, 22 nm)\n");
+    println!(
+        "dual row buffer area overhead: {:.2}% (paper: 3.11%)",
+        area_overhead() * 100.0
+    );
+    Ok(())
+}

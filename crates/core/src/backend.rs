@@ -35,7 +35,7 @@
 //! ```
 
 use neupims_pim::{calibrate, PimCalibration};
-use neupims_sched::MhaLatencyEstimator;
+use neupims_sched::{AnalyticCostModel, CostModelKind, MhaCostModel, MhaLatencyEstimator};
 use neupims_types::{
     config::InterconnectConfig, Cycle, GpuSpec, LlmConfig, MemConfig, NeuPimsConfig, SimError,
 };
@@ -202,13 +202,48 @@ pub trait Backend {
     }
 
     /// The Algorithm 1 estimator for the PIM-resident GEMV share of decode
-    /// MHA, when this backend has one (NPU+PIM systems). Iteration-level
-    /// schedulers use it to price NPU/PIM phase overlap
-    /// ([`SubBatchInterleaved`](crate::scheduler::SubBatchInterleaved));
-    /// `None` (the default) marks a single-engine system, which overlaps
-    /// nothing.
+    /// MHA, when this backend has one (NPU+PIM systems).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `mha_cost_model` — it prices MHA behind the `MhaCostModel` \
+                trait (analytic or trace-driven) instead of hard-coding the \
+                Algorithm 1 estimator"
+    )]
     fn mha_estimator(&self, _model: &LlmConfig, _tp: u32) -> Option<MhaLatencyEstimator> {
         None
+    }
+
+    /// The cost-model kind this backend was configured to price its own
+    /// decode iterations with ([`CostModelKind::Analytic`] unless the
+    /// implementation carries a knob, like
+    /// [`NeuPimsBackend::with_cost_model`]). Serving layers use it as
+    /// their default, so configuring the backend alone is enough for a
+    /// coherent end-to-end run.
+    fn preferred_cost_model(&self) -> CostModelKind {
+        CostModelKind::Analytic
+    }
+
+    /// The MHA cost model for the PIM-resident GEMV share of decode MHA,
+    /// when this backend has one (NPU+PIM systems). Iteration-level
+    /// schedulers use it to price NPU/PIM phase overlap
+    /// ([`SubBatchInterleaved`](crate::scheduler::SubBatchInterleaved));
+    /// `None` marks a single-engine system, which overlaps nothing.
+    ///
+    /// `kind` selects the pricing fidelity: the Algorithm 1 closed form,
+    /// or command-stream replay through the cycle-level DRAM model
+    /// (backends without a cycle model fall back to analytic). The default
+    /// implementation adapts the deprecated [`Backend::mha_estimator`], so
+    /// existing backends keep working unchanged.
+    fn mha_cost_model(
+        &self,
+        model: &LlmConfig,
+        tp: u32,
+        kind: CostModelKind,
+    ) -> Option<Box<dyn MhaCostModel>> {
+        let _ = kind; // only analytic is derivable from a bare estimator
+        #[allow(deprecated)]
+        self.mha_estimator(model, tp)
+            .map(|e| Box::new(AnalyticCostModel::new(e)) as Box<dyn MhaCostModel>)
     }
 
     /// Prices the summarization (prefill) phase for a batch of prompts over
@@ -263,8 +298,22 @@ impl<B: Backend + ?Sized> Backend for &B {
         (**self).interconnect()
     }
 
+    #[allow(deprecated)]
     fn mha_estimator(&self, model: &LlmConfig, tp: u32) -> Option<MhaLatencyEstimator> {
         (**self).mha_estimator(model, tp)
+    }
+
+    fn preferred_cost_model(&self) -> CostModelKind {
+        (**self).preferred_cost_model()
+    }
+
+    fn mha_cost_model(
+        &self,
+        model: &LlmConfig,
+        tp: u32,
+        kind: CostModelKind,
+    ) -> Option<Box<dyn MhaCostModel>> {
+        (**self).mha_cost_model(model, tp, kind)
     }
 
     fn prefill_cycles(
@@ -309,8 +358,22 @@ impl<B: Backend + ?Sized> Backend for Box<B> {
         (**self).interconnect()
     }
 
+    #[allow(deprecated)]
     fn mha_estimator(&self, model: &LlmConfig, tp: u32) -> Option<MhaLatencyEstimator> {
         (**self).mha_estimator(model, tp)
+    }
+
+    fn preferred_cost_model(&self) -> CostModelKind {
+        (**self).preferred_cost_model()
+    }
+
+    fn mha_cost_model(
+        &self,
+        model: &LlmConfig,
+        tp: u32,
+        kind: CostModelKind,
+    ) -> Option<Box<dyn MhaCostModel>> {
+        (**self).mha_cost_model(model, tp, kind)
     }
 
     fn prefill_cycles(
@@ -362,10 +425,24 @@ impl Backend for Device {
         self.config().interconnect
     }
 
+    #[allow(deprecated)]
     fn mha_estimator(&self, model: &LlmConfig, tp: u32) -> Option<MhaLatencyEstimator> {
         self.mode()
             .uses_pim()
             .then(|| Device::estimator(self, model, tp))
+    }
+
+    fn preferred_cost_model(&self) -> CostModelKind {
+        Device::cost_model_kind(self)
+    }
+
+    fn mha_cost_model(
+        &self,
+        model: &LlmConfig,
+        tp: u32,
+        kind: CostModelKind,
+    ) -> Option<Box<dyn MhaCostModel>> {
+        Device::cost_model(self, model, tp, kind)
     }
 
     fn prefill_cycles(
@@ -436,6 +513,14 @@ impl NeuPimsBackend {
         Ok(Self::new(cfg, cal, mode))
     }
 
+    /// Selects the MHA cost model the wrapped device prices decode
+    /// iterations with (and hands to schedulers): the Algorithm 1 closed
+    /// form (the default) or trace-driven command-stream replay.
+    pub fn with_cost_model(mut self, kind: CostModelKind) -> Self {
+        self.device = self.device.with_cost_model(kind);
+        self
+    }
+
     /// The wrapped device.
     pub fn device(&self) -> &Device {
         &self.device
@@ -463,8 +548,22 @@ impl Backend for NeuPimsBackend {
         Backend::interconnect(&self.device)
     }
 
+    #[allow(deprecated)]
     fn mha_estimator(&self, model: &LlmConfig, tp: u32) -> Option<MhaLatencyEstimator> {
         Backend::mha_estimator(&self.device, model, tp)
+    }
+
+    fn preferred_cost_model(&self) -> CostModelKind {
+        Backend::preferred_cost_model(&self.device)
+    }
+
+    fn mha_cost_model(
+        &self,
+        model: &LlmConfig,
+        tp: u32,
+        kind: CostModelKind,
+    ) -> Option<Box<dyn MhaCostModel>> {
+        Backend::mha_cost_model(&self.device, model, tp, kind)
     }
 
     fn prefill_cycles(
@@ -674,7 +773,25 @@ pub fn backend_from_name(
     cfg: &NeuPimsConfig,
     cal: &PimCalibration,
 ) -> Result<Box<dyn Backend>, BackendError> {
-    let mode = |m| Box::new(NeuPimsBackend::new(*cfg, *cal, m));
+    backend_from_name_with_cost(name, cfg, cal, CostModelKind::Analytic)
+}
+
+/// Like [`backend_from_name`], but selecting the MHA cost model of the
+/// PIM-bearing backends (`kind` is ignored by `gpu`, which has no PIM).
+/// With [`CostModelKind::TraceDriven`] every decode iteration the backend
+/// prices runs its GEMV streams through the cycle-level DRAM model
+/// (memoized per context-length bucket).
+///
+/// # Errors
+///
+/// Returns [`BackendError::UnknownBackend`] for unrecognized names.
+pub fn backend_from_name_with_cost(
+    name: &str,
+    cfg: &NeuPimsConfig,
+    cal: &PimCalibration,
+    kind: CostModelKind,
+) -> Result<Box<dyn Backend>, BackendError> {
+    let mode = |m| Box::new(NeuPimsBackend::new(*cfg, *cal, m).with_cost_model(kind));
     Ok(match name.to_ascii_lowercase().as_str() {
         "gpu" | "gpu-only" => Box::new(
             GpuRooflineBackend::a100()
@@ -703,11 +820,10 @@ pub fn backend_from_name(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::testsupport::table2_pair;
 
     fn table2() -> (NeuPimsConfig, PimCalibration) {
-        let cfg = NeuPimsConfig::table2();
-        let cal = calibrate(&cfg).unwrap();
-        (cfg, cal)
+        table2_pair()
     }
 
     #[test]

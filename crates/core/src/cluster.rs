@@ -105,13 +105,10 @@ mod tests {
     use super::*;
     use crate::backend::{GpuRooflineBackend, TransPimBackend};
     use crate::device::{Device, DeviceMode};
-    use neupims_pim::calibrate;
-    use neupims_types::NeuPimsConfig;
+    use crate::testsupport::table2_device;
 
     fn device() -> Device {
-        let cfg = NeuPimsConfig::table2();
-        let cal = calibrate(&cfg).unwrap();
-        Device::new(cfg, cal, DeviceMode::neupims())
+        table2_device(DeviceMode::neupims())
     }
 
     #[test]

@@ -41,7 +41,10 @@ use neupims_kvcache::KvGeometry;
 use neupims_llm::compiler::{compile_block, CompiledBlock};
 use neupims_npu::VectorCost;
 use neupims_pim::PimCalibration;
-use neupims_sched::{assign_min_load, assign_round_robin, MhaLatencyEstimator};
+use neupims_sched::{
+    assign_min_load, assign_round_robin, AnalyticCostModel, CostModelKind, MhaCostModel,
+    MhaLatencyEstimator, TraceDrivenCostModel, TraceMemo,
+};
 use neupims_types::{config::InterconnectConfig, LlmConfig, NeuPimsConfig, Phase, SimError};
 
 use crate::metrics::IterationBreakdown;
@@ -128,6 +131,14 @@ pub struct Device {
     cfg: NeuPimsConfig,
     cal: PimCalibration,
     mode: DeviceMode,
+    /// Which MHA cost model prices PIM GEMV work (Algorithm 1 closed form
+    /// by default; trace-driven replays through the cycle-level DRAM
+    /// model).
+    cost: CostModelKind,
+    /// Replay memo shared by every trace-driven model this device (and
+    /// its clones) hands out, so distinct command streams are simulated
+    /// once per context-length bucket device-wide.
+    trace_memo: TraceMemo,
 }
 
 /// Per-sub-batch stage costs, all in cycles or bytes (per decoder layer).
@@ -188,9 +199,32 @@ fn ring_allreduce_cycles(bytes: u64, tp: u32, ic: &InterconnectConfig) -> u64 {
 
 impl Device {
     /// Creates a device from a hardware config, calibrated PIM constants,
-    /// and an execution mode.
+    /// and an execution mode. MHA is priced analytically (Algorithm 1) by
+    /// default; see [`Self::with_cost_model`].
     pub fn new(cfg: NeuPimsConfig, cal: PimCalibration, mode: DeviceMode) -> Self {
-        Self { cfg, cal, mode }
+        Self {
+            cfg,
+            cal,
+            mode,
+            cost: CostModelKind::Analytic,
+            trace_memo: TraceMemo::new(),
+        }
+    }
+
+    /// Selects the MHA cost model this device prices decode iterations
+    /// with — and hands to serving schedulers via
+    /// [`Backend::mha_cost_model`](crate::backend::Backend::mha_cost_model).
+    /// [`CostModelKind::TraceDriven`] runs every GEMV stream through the
+    /// cycle-level DRAM channel (memoized per context-length bucket) in
+    /// place of the Algorithm 1 constants.
+    pub fn with_cost_model(mut self, kind: CostModelKind) -> Self {
+        self.cost = kind;
+        self
+    }
+
+    /// The MHA cost-model kind in effect.
+    pub fn cost_model_kind(&self) -> CostModelKind {
+        self.cost
     }
 
     /// Hardware configuration.
@@ -220,6 +254,37 @@ impl Device {
         MhaLatencyEstimator::new(geo, l_tile, self.cal.l_gwrite)
     }
 
+    /// The MHA cost model of `kind` for this device's PIM (`None` when the
+    /// mode runs no PIM). Trace-driven models share the device-wide replay
+    /// memo, so repeated calls amortize one set of simulated streams.
+    pub fn cost_model(
+        &self,
+        model: &LlmConfig,
+        tp: u32,
+        kind: CostModelKind,
+    ) -> Option<Box<dyn MhaCostModel>> {
+        if !self.mode.uses_pim() {
+            return None;
+        }
+        Some(match kind {
+            CostModelKind::Analytic => Box::new(AnalyticCostModel::new(self.estimator(model, tp))),
+            CostModelKind::TraceDriven => Box::new(TraceDrivenCostModel::with_memo(
+                &self.cfg,
+                KvGeometry::with_tp(model, &self.cfg.mem, tp),
+                self.mode.dual_row_buffer(),
+                self.trace_memo.clone(),
+            )),
+        })
+    }
+
+    /// The cost model decode pricing uses internally: the configured kind
+    /// for PIM modes, the analytic form otherwise (NPU-only MHA needs only
+    /// the geometry, which both carry).
+    fn active_cost_model(&self, model: &LlmConfig, tp: u32) -> Box<dyn MhaCostModel> {
+        self.cost_model(model, tp, self.cost)
+            .unwrap_or_else(|| Box::new(AnalyticCostModel::new(self.estimator(model, tp))))
+    }
+
     /// Device-wide solo streaming bandwidth, bytes/cycle.
     fn bw_solo(&self) -> f64 {
         self.cal.mem_stream_bw * self.cfg.mem.channels as f64
@@ -236,7 +301,7 @@ impl Device {
         tp: u32,
         seq_lens: &[u64],
         assignment: &[neupims_types::ChannelId],
-        estimator: &MhaLatencyEstimator,
+        estimator: &dyn MhaCostModel,
     ) -> Result<SubCosts, SimError> {
         let cb: CompiledBlock =
             compile_block(&self.cfg.npu, model, tp, seq_lens, Phase::Generation)?;
@@ -335,11 +400,7 @@ impl Device {
         (d_qkv + d_mha + d_pf, bus)
     }
 
-    fn assign(
-        &self,
-        seqs: &[u64],
-        estimator: &MhaLatencyEstimator,
-    ) -> Vec<neupims_types::ChannelId> {
+    fn assign(&self, seqs: &[u64], estimator: &dyn MhaCostModel) -> Vec<neupims_types::ChannelId> {
         match self.mode {
             DeviceMode::NeuPims { gmlbp: true, .. } => {
                 assign_min_load(seqs, self.cfg.mem.channels, estimator)
@@ -351,7 +412,7 @@ impl Device {
     fn fill_common(
         &self,
         out: &mut IterationBreakdown,
-        estimator: &MhaLatencyEstimator,
+        estimator: &dyn MhaCostModel,
         seq_lens: &[u64],
         layers: u64,
     ) {
@@ -373,7 +434,7 @@ impl Device {
         tp: u32,
         layers: u64,
         seq_lens: &[u64],
-        estimator: &MhaLatencyEstimator,
+        estimator: &dyn MhaCostModel,
     ) -> Result<IterationBreakdown, SimError> {
         let assignment = self.assign(seq_lens, estimator);
         let s = self.sub_costs(model, tp, seq_lens, &assignment, estimator)?;
@@ -404,7 +465,7 @@ impl Device {
         tp: u32,
         layers: u64,
         seq_lens: &[u64],
-        estimator: &MhaLatencyEstimator,
+        estimator: &dyn MhaCostModel,
     ) -> Result<IterationBreakdown, SimError> {
         // Algorithm 3 operates on per-channel request lists; reconstruct
         // them from the assignment, split, then cost each sub-batch.
@@ -550,7 +611,8 @@ impl Device {
         if layers == 0 {
             return Err(SimError::InvalidShape("zero resident layers".into()));
         }
-        let estimator = self.estimator(model, tp);
+        let estimator = self.active_cost_model(model, tp);
+        let estimator: &dyn MhaCostModel = &*estimator;
         let layers = layers as u64;
 
         let policy = match self.mode {
@@ -558,11 +620,11 @@ impl Device {
             _ => SbiPolicy::Off,
         };
         match policy {
-            SbiPolicy::Off => self.serial_iteration(model, tp, layers, seq_lens, &estimator),
-            SbiPolicy::Always => self.sbi_iteration(model, tp, layers, seq_lens, &estimator),
+            SbiPolicy::Off => self.serial_iteration(model, tp, layers, seq_lens, estimator),
+            SbiPolicy::Always => self.sbi_iteration(model, tp, layers, seq_lens, estimator),
             SbiPolicy::Adaptive => {
-                let serial = self.serial_iteration(model, tp, layers, seq_lens, &estimator)?;
-                let sbi = self.sbi_iteration(model, tp, layers, seq_lens, &estimator)?;
+                let serial = self.serial_iteration(model, tp, layers, seq_lens, estimator)?;
+                let sbi = self.sbi_iteration(model, tp, layers, seq_lens, estimator)?;
                 Ok(if sbi.total_cycles < serial.total_cycles {
                     sbi
                 } else {
@@ -576,14 +638,10 @@ impl Device {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use neupims_pim::calibrate;
-
-    fn cal() -> PimCalibration {
-        calibrate(&NeuPimsConfig::table2()).unwrap()
-    }
+    use crate::testsupport::table2_device;
 
     fn device(mode: DeviceMode) -> Device {
-        Device::new(NeuPimsConfig::table2(), cal(), mode)
+        table2_device(mode)
     }
 
     fn batch(n: usize, seq: u64) -> Vec<u64> {

@@ -104,6 +104,21 @@ impl ExperimentContext {
         backend_from_name(name, &self.cfg, &self.cal)
     }
 
+    /// Like [`Self::backend`], but selecting the MHA cost model of the
+    /// PIM-bearing backends (see
+    /// [`backend_from_name_with_cost`](crate::backend::backend_from_name_with_cost)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BackendError::UnknownBackend`] for unrecognized names.
+    pub fn backend_with_cost(
+        &self,
+        name: &str,
+        kind: neupims_sched::CostModelKind,
+    ) -> Result<Box<dyn Backend>, BackendError> {
+        crate::backend::backend_from_name_with_cost(name, &self.cfg, &self.cal, kind)
+    }
+
     /// Starts a [`Simulation`] builder pre-seeded with this context's RNG
     /// seed and sample count.
     pub fn simulation(&self) -> SimulationBuilder {

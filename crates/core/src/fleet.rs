@@ -60,6 +60,7 @@
 
 use std::collections::HashSet;
 
+use neupims_sched::{CostModelKind, TraceSnapshot};
 use neupims_types::{Cycle, RequestId, SimError};
 
 use crate::backend::{Backend, BackendError};
@@ -237,6 +238,12 @@ pub struct FleetOutcome {
     pub prefill_cycles_on_device: Cycle,
     /// Prefill cycles replicas hid under decode PIM GEMV phases.
     pub overlap_hidden_cycles: Cycle,
+    /// Merged DRAM-channel activity of the fleet's trace-driven MHA cost
+    /// models (`None` when the whole fleet priced analytically). Replicas
+    /// whose backends were cloned from one device share a replay memo and
+    /// would snapshot the same cumulative counters; the merge dedupes by
+    /// [`TraceSnapshot::memo_id`], summing only distinct memos.
+    pub pim_trace: Option<TraceSnapshot>,
 }
 
 impl FleetOutcome {
@@ -257,6 +264,27 @@ impl FleetOutcome {
             out.goodput_tokens += r.goodput_tokens;
             out.prefill_cycles_on_device += r.prefill_cycles_on_device;
             out.overlap_hidden_cycles += r.overlap_hidden_cycles;
+        }
+        // Replicas built from clones of one backend share a replay memo,
+        // so their snapshots are views of the same cumulative counters:
+        // keep the most complete snapshot per memo, then sum distinct
+        // memos.
+        let mut per_memo: std::collections::HashMap<u64, TraceSnapshot> =
+            std::collections::HashMap::new();
+        for t in replicas.iter().filter_map(|r| r.pim_trace.as_ref()) {
+            let entry = per_memo.entry(t.memo_id).or_insert(*t);
+            if t.replays + t.memo_hits > entry.replays + entry.memo_hits {
+                *entry = *t;
+            }
+        }
+        if !per_memo.is_empty() {
+            let mut merged = TraceSnapshot::default();
+            for t in per_memo.values() {
+                merged.stats.merge(&t.stats);
+                merged.replays += t.replays;
+                merged.memo_hits += t.memo_hits;
+            }
+            out.pim_trace = Some(merged);
         }
         out.latencies.sort_unstable();
         out.ttfts.sort_unstable();
@@ -389,6 +417,21 @@ impl<B: Backend> FleetSim<B> {
             seen: HashSet::new(),
             submitted: 0,
         })
+    }
+
+    /// Selects the MHA cost model every replica's scheduler prices PIM
+    /// GEMV phases with (see [`ServingSim::with_cost_model`] — replica
+    /// backends keep pricing their own decode iterations with the kind
+    /// *they* were configured with): Algorithm 1 analytic pricing or
+    /// trace-driven command-stream replay. Replicas added later keep
+    /// their own setting.
+    pub fn with_cost_model(mut self, kind: CostModelKind) -> Self {
+        self.replicas = self
+            .replicas
+            .into_iter()
+            .map(|r| r.with_cost_model(kind))
+            .collect();
+        self
     }
 
     /// Number of replicas.

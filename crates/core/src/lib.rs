@@ -70,11 +70,13 @@ pub mod metrics;
 pub mod scheduler;
 pub mod serving;
 pub mod simulation;
+#[cfg(test)]
+pub(crate) mod testsupport;
 pub mod transpim;
 
 pub use backend::{
-    backend_from_name, Backend, BackendCaps, BackendError, GpuRooflineBackend, IterationResult,
-    NeuPimsBackend, TransPimBackend, BACKEND_NAMES,
+    backend_from_name, backend_from_name_with_cost, Backend, BackendCaps, BackendError,
+    GpuRooflineBackend, IterationResult, NeuPimsBackend, TransPimBackend, BACKEND_NAMES,
 };
 pub use cluster::{cluster_throughput, ClusterSpec};
 pub use device::{Device, DeviceMode, SbiPolicy};

@@ -24,14 +24,16 @@
 //! * [`SubBatchInterleaved`] — NeuPIMs-style: the decode-ready batch is
 //!   split per home channel by Algorithm 3
 //!   ([`partition_sub_batches`]) and each sub-batch's PIM GEMV phase is
-//!   estimated by Algorithm 1
-//!   ([`MhaLatencyEstimator`](neupims_sched::MhaLatencyEstimator), via
-//!   [`Backend::mha_estimator`]). Prefill chunks stream on the NPU *under*
+//!   estimated by Algorithm 1's cost function behind the
+//!   [`MhaCostModel`] trait (via
+//!   [`Backend::mha_cost_model`] — analytic by default, or trace-driven
+//!   replay through the cycle-level DRAM model under the serving layer's
+//!   cost-model knob). Prefill chunks stream on the NPU *under*
 //!   those PIM phases, so up to `min(phase, chunk_cost / 2)` cycles per
 //!   phase are hidden and the iteration costs
 //!   `decode + prefill − hidden`. When the backend lacks one of the two
 //!   engines, dual row buffers (the naive integration blocks MEM traffic
-//!   during PIM compute), or an estimator, the policy degrades to the
+//!   during PIM compute), or a cost model, the policy degrades to the
 //!   serial [`ChunkedPrefill`] cost.
 //!
 //! The serving loop reports the consequences per iteration
@@ -70,7 +72,7 @@
 
 use std::collections::{HashMap, HashSet};
 
-use neupims_sched::partition_sub_batches;
+use neupims_sched::{partition_sub_batches, CostModelKind, MhaCostModel};
 use neupims_types::{Cycle, LlmConfig, RequestId};
 
 use crate::backend::{Backend, BackendError};
@@ -139,6 +141,12 @@ pub struct IterationDemand<'a> {
     /// vector per channel of [`Backend::mem_config`]) — the shape
     /// Algorithm 3 partitions.
     pub per_channel: &'a [Vec<RequestId>],
+    /// The MHA cost model pricing PIM GEMV phases, when the serving loop
+    /// carries one (built once per run via [`Backend::mha_cost_model`], so
+    /// trace-driven replay memos persist across iterations). `None` makes
+    /// overlap-aware policies fall back to
+    /// [`Backend::mha_cost_model`] with the analytic kind.
+    pub cost_model: Option<&'a dyn MhaCostModel>,
 }
 
 /// What a [`SchedulerPolicy`] decided one iteration executes and costs.
@@ -430,14 +438,16 @@ impl SchedulerPolicy for ChunkedPrefill {
 ///
 /// Per iteration the decode-ready requests are split per home channel by
 /// Algorithm 3 ([`partition_sub_batches`]) into two sub-batches; each
-/// sub-batch's GEMV phase length is the slowest channel's load under
-/// Algorithm 1 ([`Backend::mha_estimator`]), capped so the two phases
-/// never exceed the backend-priced decode iteration. Half the prefill
-/// chunk budget overlaps each phase, so the iteration costs
-/// `decode + prefill − Σ min(phase, prefill / 2)`. Backends without both
-/// engines *and dual row buffers* (the naive NPU+PIM integration blocks
-/// all MEM traffic while PIM computes, so nothing can overlap), or
-/// without an estimator, fall back to the serial [`ChunkedPrefill`] cost.
+/// sub-batch's GEMV phase length is the slowest channel's load under the
+/// active [`MhaCostModel`] (the serving loop's configured model via
+/// [`IterationDemand::cost_model`], else the backend's analytic one),
+/// capped so the two phases never exceed the backend-priced decode
+/// iteration. Half the prefill chunk budget overlaps each phase, so the
+/// iteration costs `decode + prefill − Σ min(phase, prefill / 2)`.
+/// Backends without both engines *and dual row buffers* (the naive
+/// NPU+PIM integration blocks all MEM traffic while PIM computes, so
+/// nothing can overlap), or without a cost model, fall back to the serial
+/// [`ChunkedPrefill`] cost.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SubBatchInterleaved {
     chunk_tokens: u32,
@@ -504,10 +514,21 @@ impl SchedulerPolicy for SubBatchInterleaved {
         // AND the banks carry dual row buffers — without them (the naive
         // NPU+PIM integration) the channel serves no MEM traffic while PIM
         // computes, so the NPU cannot stream prefill weights during GEMV
-        // and nothing overlaps. Also requires an Algorithm 1 estimator and
-        // prefill work to hide under a decode batch.
+        // and nothing overlaps. Also requires an MHA cost model and
+        // prefill work to hide under a decode batch. The model comes from
+        // the serving loop when it carries one (so trace-driven memos
+        // persist across iterations); standalone use falls back to the
+        // backend's analytic model.
         let caps = backend.caps();
-        let hidden_cycles = match backend.mha_estimator(model, tp) {
+        let fallback;
+        let cost_model: Option<&dyn MhaCostModel> = match demand.cost_model {
+            Some(m) => Some(m),
+            None => {
+                fallback = backend.mha_cost_model(model, tp, CostModelKind::Analytic);
+                fallback.as_deref()
+            }
+        };
+        let hidden_cycles = match cost_model {
             Some(est)
                 if caps.uses_npu
                     && caps.uses_pim
@@ -703,6 +724,7 @@ mod tests {
             decode: &decode,
             prefill: &prefill,
             per_channel: &per_channel,
+            cost_model: None,
         };
         let chunked = ChunkedPrefill::new(256)
             .plan(&backend, &model, 4, 32, &demand)
@@ -730,6 +752,7 @@ mod tests {
             decode: &decode,
             prefill: &prefill,
             per_channel: &per_channel,
+            cost_model: None,
         };
         let sbi = SubBatchInterleaved::new(256)
             .plan(&backend, &model, 4, 32, &demand)
@@ -756,6 +779,7 @@ mod tests {
             decode: &decode,
             prefill: &prefill,
             per_channel: &per_channel,
+            cost_model: None,
         };
         let sbi = SubBatchInterleaved::new(256)
             .plan(&backend, &model, 4, 32, &demand)
@@ -777,6 +801,7 @@ mod tests {
             decode: &[],
             prefill: &prefill,
             per_channel: &per_channel,
+            cost_model: None,
         };
         for mut policy in [
             Box::new(ChunkedPrefill::new(256)) as Box<dyn SchedulerPolicy>,

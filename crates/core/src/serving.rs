@@ -73,7 +73,7 @@
 use std::collections::{HashMap, HashSet};
 
 use neupims_kvcache::{KvGeometry, PagedKvCache};
-use neupims_sched::RequestPool;
+use neupims_sched::{CostModelKind, MhaCostModel, RequestPool, TraceSnapshot};
 use neupims_types::{ChannelId, Cycle, LlmConfig, Request, RequestId, SimError};
 
 use crate::backend::Backend;
@@ -200,6 +200,13 @@ pub struct ServingOutcome {
     /// Prefill cycles hidden under decode PIM GEMV phases by NPU/PIM
     /// sub-batch interleaving (0 for serial schedulers).
     pub overlap_hidden_cycles: Cycle,
+    /// DRAM channel activity of the trace-driven MHA cost model, when the
+    /// run used one (`None` under analytic pricing): row-buffer hit/miss
+    /// counts, command counts, and bus-busy cycles of every distinct GEMV
+    /// command stream simulated, plus the memoization balance. Memo hits
+    /// reuse a prior stream's cycles, so the counters describe the
+    /// distinct streams, not per-iteration traffic.
+    pub pim_trace: Option<TraceSnapshot>,
 }
 
 /// Nearest-rank percentile over a sorted slice; `T::default()` when empty.
@@ -341,6 +348,11 @@ pub struct ServingSim<B: Backend = Device> {
     model: LlmConfig,
     cfg: ServingConfig,
     scheduler: Box<dyn SchedulerPolicy>,
+    /// Which MHA cost model the run prices PIM phases with.
+    cost_kind: CostModelKind,
+    /// The cost model instance, built once per run so trace-driven replay
+    /// memos persist across iterations (`None` on backends without PIM).
+    cost_model: Option<Box<dyn MhaCostModel>>,
     pool: RequestPool,
     kv: PagedKvCache,
     home_channel: HashMap<RequestId, ChannelId>,
@@ -389,7 +401,14 @@ impl<B: Backend> ServingSim<B> {
         let mem = backend.mem_config();
         let geo = KvGeometry::with_tp(&model, &mem, cfg.tp);
         let kv = PagedKvCache::new(&mem, geo, cfg.layers);
+        // Default to whatever the backend itself prices decode with, so a
+        // trace-driven backend yields a coherent (and stats-bearing) run
+        // without a second knob.
+        let cost_kind = backend.preferred_cost_model();
+        let cost_model = backend.mha_cost_model(&model, cfg.tp, cost_kind);
         Self {
+            cost_kind,
+            cost_model,
             pool: RequestPool::new(cfg.max_batch),
             kv,
             home_channel: Default::default(),
@@ -424,6 +443,28 @@ impl<B: Backend> ServingSim<B> {
     /// `"interleaved"`).
     pub fn scheduler_name(&self) -> &'static str {
         self.scheduler.name()
+    }
+
+    /// Selects the MHA cost model the scheduler prices PIM GEMV phases
+    /// with: [`CostModelKind::Analytic`] (the Algorithm 1 closed form) or
+    /// [`CostModelKind::TraceDriven`] (command-stream replay through the
+    /// cycle-level DRAM model, memoized per context-length bucket, with
+    /// channel statistics surfaced as [`ServingOutcome::pim_trace`]).
+    ///
+    /// The backend's *decode iterations* keep the pricing the backend
+    /// itself was configured with (its
+    /// [`preferred_cost_model`](Backend::preferred_cost_model), which is
+    /// also this knob's default) — configure the backend for a fully
+    /// trace-priced run. On backends without a PIM the knob is a no-op.
+    pub fn with_cost_model(mut self, kind: CostModelKind) -> Self {
+        self.cost_kind = kind;
+        self.cost_model = self.backend.mha_cost_model(&self.model, self.cfg.tp, kind);
+        self
+    }
+
+    /// The MHA cost-model kind in effect.
+    pub fn cost_model_kind(&self) -> CostModelKind {
+        self.cost_kind
     }
 
     /// The run parameters.
@@ -686,6 +727,7 @@ impl<B: Backend> ServingSim<B> {
             decode: &ready,
             prefill: &prefilling,
             per_channel: &per_channel,
+            cost_model: self.cost_model.as_deref(),
         };
         let plan = {
             let scheduler = &mut self.scheduler;
@@ -805,6 +847,7 @@ impl<B: Backend> ServingSim<B> {
             prefill_cycles_on_device: self.iteration_stats.iter().map(|s| s.prefill_cycles).sum(),
             overlap_hidden_cycles: self.iteration_stats.iter().map(|s| s.hidden_cycles).sum(),
             iteration_stats: self.iteration_stats.clone(),
+            pim_trace: self.cost_model.as_ref().and_then(|m| m.trace_snapshot()),
         }
     }
 
@@ -825,14 +868,13 @@ impl<B: Backend> ServingSim<B> {
 mod tests {
     use super::*;
     use crate::device::DeviceMode;
+    use crate::testsupport::table2_device;
     use neupims_pim::calibrate;
     use neupims_types::NeuPimsConfig;
 
     fn sim(mode: DeviceMode, max_batch: usize) -> ServingSim {
-        let cfg = NeuPimsConfig::table2();
-        let cal = calibrate(&cfg).unwrap();
         let model = LlmConfig::gpt3_7b();
-        let device = Device::new(cfg, cal, mode);
+        let device = table2_device(mode);
         ServingSim::new(
             device,
             model,
@@ -977,6 +1019,8 @@ mod tests {
     }
 
     fn tight_sim(capacity_per_channel: u64) -> ServingSim {
+        // Custom memory geometry: cannot reuse the memoized Table 2
+        // calibration, so this one calibrates its own configuration.
         let mut cfg = NeuPimsConfig::table2();
         cfg.mem.channels = 4;
         cfg.mem.capacity_per_channel = capacity_per_channel;
@@ -1047,10 +1091,8 @@ mod tests {
 
     #[test]
     fn prefill_is_charged_into_ttft() {
-        let cfg = NeuPimsConfig::table2();
-        let cal = calibrate(&cfg).unwrap();
         let model = LlmConfig::gpt3_7b();
-        let device = Device::new(cfg, cal, DeviceMode::neupims());
+        let device = table2_device(DeviceMode::neupims());
         let floor = Backend::prefill_cycles(&device, &model, 4, 32, &[256]).unwrap();
         assert!(floor > 0);
 
@@ -1079,10 +1121,8 @@ mod tests {
         // starving arrivals that land inside the prefill window. A short
         // request arriving while a long prompt encodes must start its own
         // (much shorter) prefill immediately, not inherit the long one.
-        let cfg = NeuPimsConfig::table2();
-        let cal = calibrate(&cfg).unwrap();
         let model = LlmConfig::gpt3_7b();
-        let device = Device::new(cfg, cal, DeviceMode::neupims());
+        let device = table2_device(DeviceMode::neupims());
         let long_prefill = Backend::prefill_cycles(&device, &model, 4, 32, &[4096]).unwrap();
 
         let mut s = sim(DeviceMode::neupims(), 8);

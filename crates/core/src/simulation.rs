@@ -32,6 +32,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use neupims_sched::CostModelKind;
 use neupims_types::{Cycle, LlmConfig};
 use neupims_workload::{warm_batch, Dataset};
 
@@ -56,6 +57,7 @@ pub struct Simulation<B: Backend> {
     seed: u64,
     samples: usize,
     scheduler: Box<dyn SchedulerPolicy>,
+    cost_model: Option<CostModelKind>,
 }
 
 /// Builder for [`Simulation`] (see [`Simulation::builder`]).
@@ -74,6 +76,7 @@ pub struct SimulationBuilder<B = NoBackend> {
     seed: u64,
     samples: usize,
     scheduler: Box<dyn SchedulerPolicy>,
+    cost_model: Option<CostModelKind>,
 }
 
 /// Type-state marker: no backend selected yet.
@@ -99,6 +102,7 @@ impl Simulation<Box<dyn Backend>> {
             seed: DEFAULT_SEED,
             samples: 10,
             scheduler: Box::new(LumpPrefill),
+            cost_model: None,
         }
     }
 }
@@ -116,6 +120,7 @@ impl<T> SimulationBuilder<T> {
             seed: self.seed,
             samples: self.samples,
             scheduler: self.scheduler,
+            cost_model: self.cost_model,
         }
     }
 
@@ -124,6 +129,27 @@ impl<T> SimulationBuilder<T> {
     /// [`LumpPrefill`]; see [`crate::scheduler`] for the shipped policies).
     pub fn scheduler(mut self, scheduler: Box<dyn SchedulerPolicy>) -> Self {
         self.scheduler = scheduler;
+        self
+    }
+
+    /// Overrides the MHA cost model the serving scheduler prices PIM
+    /// GEMV phases with (and whose channel statistics surface as
+    /// [`ServingOutcome::pim_trace`](crate::serving::ServingOutcome::pim_trace)):
+    /// the Algorithm 1 closed form or trace-driven command-stream replay
+    /// through the cycle-level DRAM model.
+    ///
+    /// The backend's *decode iterations* are priced by its own configured
+    /// kind (e.g. [`NeuPimsBackend::with_cost_model`]), which this
+    /// serving-layer knob cannot reach — configure the backend too for a
+    /// fully trace-priced run (the CLI's `--cost-model` sets both). When
+    /// unset, serving follows the backend's configured kind
+    /// ([`Backend::preferred_cost_model`]), so configuring only the
+    /// backend is always coherent. Backends without a PIM ignore the knob
+    /// entirely.
+    ///
+    /// [`NeuPimsBackend::with_cost_model`]: crate::backend::NeuPimsBackend::with_cost_model
+    pub fn cost_model(mut self, kind: CostModelKind) -> Self {
+        self.cost_model = Some(kind);
         self
     }
 
@@ -210,6 +236,7 @@ impl<B: Backend> SimulationBuilder<B> {
             seed: self.seed,
             samples: self.samples,
             scheduler: self.scheduler,
+            cost_model: self.cost_model,
         })
     }
 }
@@ -309,6 +336,14 @@ impl<B: Backend> Simulation<B> {
         &*self.scheduler
     }
 
+    /// The MHA cost-model kind installed into [`Self::serving`] runs:
+    /// the builder override when one was set, else the backend's own
+    /// configured kind.
+    pub fn cost_model_kind(&self) -> CostModelKind {
+        self.cost_model
+            .unwrap_or_else(|| self.backend.preferred_cost_model())
+    }
+
     /// Builds a serving simulation over this backend (borrowed), with the
     /// simulation's TP degree, resident layers, and configured scheduler.
     pub fn serving(&self, max_batch: usize, target_completions: u64) -> ServingSim<&B> {
@@ -335,6 +370,7 @@ impl<B: Backend> Simulation<B> {
             },
             self.scheduler.clone(),
         )
+        .with_cost_model(self.cost_model_kind())
     }
 }
 
@@ -342,8 +378,7 @@ impl<B: Backend> Simulation<B> {
 mod tests {
     use super::*;
     use crate::backend::{backend_from_name, GpuRooflineBackend, NeuPimsBackend, TransPimBackend};
-    use neupims_pim::calibrate;
-    use neupims_types::NeuPimsConfig;
+    use crate::testsupport::table2_pair;
 
     #[test]
     fn builder_defaults_follow_the_model() {
@@ -375,8 +410,7 @@ mod tests {
 
     #[test]
     fn throughput_ranks_systems_like_figure12() {
-        let cfg = NeuPimsConfig::table2();
-        let cal = calibrate(&cfg).unwrap();
+        let (cfg, cal) = table2_pair();
         let thr = |name: &str| {
             Simulation::builder()
                 .model(LlmConfig::gpt3_7b())
@@ -421,8 +455,7 @@ mod tests {
 
     #[test]
     fn serving_runs_on_every_backend_kind() {
-        let cfg = NeuPimsConfig::table2();
-        let cal = calibrate(&cfg).unwrap();
+        let (cfg, cal) = table2_pair();
         let run = |sim: &Simulation<Box<dyn crate::backend::Backend>>| {
             let mut s = sim.serving(8, 0);
             for i in 0..8 {

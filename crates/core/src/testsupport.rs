@@ -1,0 +1,35 @@
+//! Shared test-support helpers for this crate's module tests.
+//!
+//! Nearly every test in `simulation`, `cluster`, `serving`, `device`,
+//! `transpim`, and `backend` needs the Table 2 configuration with its PIM
+//! constants calibrated from the cycle model. Calibration is deterministic
+//! and not free (five command-stream runs), so this module computes it
+//! once per test binary behind a [`OnceLock`] and hands out copies —
+//! replacing the `calibrate(&NeuPimsConfig::table2()).unwrap()` boilerplate
+//! that used to be repeated in every module's test setup.
+
+use std::sync::OnceLock;
+
+use neupims_pim::{calibrate, PimCalibration};
+use neupims_types::NeuPimsConfig;
+
+use crate::device::{Device, DeviceMode};
+
+/// The memoized Table 2 calibration (calibrated once per test binary).
+pub(crate) fn table2_calibration() -> PimCalibration {
+    static CAL: OnceLock<PimCalibration> = OnceLock::new();
+    *CAL.get_or_init(|| {
+        calibrate(&NeuPimsConfig::table2()).expect("Table 2 configuration must calibrate")
+    })
+}
+
+/// The Table 2 configuration next to its memoized calibration.
+pub(crate) fn table2_pair() -> (NeuPimsConfig, PimCalibration) {
+    (NeuPimsConfig::table2(), table2_calibration())
+}
+
+/// A Table 2 device in `mode`, using the memoized calibration.
+pub(crate) fn table2_device(mode: DeviceMode) -> Device {
+    let (cfg, cal) = table2_pair();
+    Device::new(cfg, cal, mode)
+}

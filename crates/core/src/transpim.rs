@@ -136,12 +136,11 @@ pub(crate) fn prefill_impl(
 mod tests {
     use super::*;
     use crate::device::{Device, DeviceMode};
-    use neupims_pim::calibrate;
+    use crate::testsupport::table2_pair;
 
     #[test]
     fn neupims_beats_transpim_by_orders_of_magnitude() {
-        let cfg = NeuPimsConfig::table2();
-        let cal = calibrate(&cfg).unwrap();
+        let (cfg, cal) = table2_pair();
         let model = LlmConfig::gpt3_7b();
         let seqs = vec![376u64; 256];
 
@@ -157,8 +156,7 @@ mod tests {
 
     #[test]
     fn batching_does_not_help_transpim() {
-        let cfg = NeuPimsConfig::table2();
-        let cal = calibrate(&cfg).unwrap();
+        let (cfg, cal) = table2_pair();
         let model = LlmConfig::gpt3_7b();
         let one = decode_impl(&cfg, &cal, &model, 4, 32, &[376]).unwrap();
         let many = decode_impl(&cfg, &cal, &model, 4, 32, &[376; 64]).unwrap();
@@ -169,8 +167,7 @@ mod tests {
 
     #[test]
     fn degenerate_inputs_rejected() {
-        let cfg = NeuPimsConfig::table2();
-        let cal = calibrate(&cfg).unwrap();
+        let (cfg, cal) = table2_pair();
         let model = LlmConfig::gpt3_7b();
         assert!(decode_impl(&cfg, &cal, &model, 4, 32, &[]).is_err());
         assert!(decode_impl(&cfg, &cal, &model, 4, 0, &[1]).is_err());

@@ -9,20 +9,24 @@
 
 use neupims_types::ChannelId;
 
-use crate::estimator::MhaLatencyEstimator;
+use crate::cost::MhaCostModel;
 
 /// Assigns each request (by context length) to a channel, greedily
 /// minimizing the maximum estimated channel load (Algorithm 2).
+///
+/// Generic over [`MhaCostModel`], so the balance target can be the
+/// Algorithm 1 closed form ([`MhaLatencyEstimator`](crate::estimator::MhaLatencyEstimator)
+/// implements the trait directly) or the trace-driven cycle model.
 ///
 /// Returns one [`ChannelId`] per input request, index-aligned.
 ///
 /// # Panics
 ///
 /// Panics if `channels == 0`.
-pub fn assign_min_load(
+pub fn assign_min_load<C: MhaCostModel + ?Sized>(
     seq_lens: &[u64],
     channels: u32,
-    estimator: &MhaLatencyEstimator,
+    estimator: &C,
 ) -> Vec<ChannelId> {
     assert!(channels > 0, "at least one channel required");
     let mut loads = vec![0.0f64; channels as usize];
@@ -56,11 +60,11 @@ pub fn assign_round_robin(seq_lens: &[u64], channels: u32) -> Vec<ChannelId> {
 }
 
 /// Estimated per-channel loads induced by an assignment.
-pub fn channel_loads(
+pub fn channel_loads<C: MhaCostModel + ?Sized>(
     seq_lens: &[u64],
     assignment: &[ChannelId],
     channels: u32,
-    estimator: &MhaLatencyEstimator,
+    estimator: &C,
 ) -> Vec<f64> {
     let mut loads = vec![0.0f64; channels as usize];
     for (&seq, &ch) in seq_lens.iter().zip(assignment) {
@@ -72,6 +76,7 @@ pub fn channel_loads(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::estimator::MhaLatencyEstimator;
     use neupims_kvcache::KvGeometry;
     use neupims_types::{LlmConfig, MemConfig};
 

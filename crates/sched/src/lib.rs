@@ -5,6 +5,11 @@
 //! * [`estimator::MhaLatencyEstimator`] — **Algorithm 1**: estimates a
 //!   request's MHA latency on the PIM from its context length and the K/V
 //!   memory layout (`L_GWRITE`, `L_tile` calibrated from the cycle model);
+//! * [`cost`] — the [`MhaCostModel`] trait unifying MHA pricing: the
+//!   Algorithm 1 closed form ([`AnalyticCostModel`]) and a trace-driven
+//!   cycle-level model ([`TraceDrivenCostModel`]) that replays the real
+//!   GEMV command streams through `neupims-dram`, plus the
+//!   [`calibration_drift`] check between them;
 //! * [`binpack`] — **Algorithm 2**: greedy min-load bin packing of requests
 //!   onto PIM channels, balancing the per-channel MHA latency (the paper's
 //!   GMLBP ablation knob), plus the round-robin baseline policy;
@@ -31,11 +36,16 @@
 #![warn(missing_docs)]
 
 pub mod binpack;
+pub mod cost;
 pub mod estimator;
 pub mod partition;
 pub mod pool;
 
 pub use binpack::{assign_min_load, assign_round_robin, channel_loads};
+pub use cost::{
+    calibration_drift, AnalyticCostModel, CostModelKind, DriftPoint, DriftReport, MhaCostModel,
+    TraceDrivenCostModel, TraceMemo, TraceSnapshot, COST_MODEL_NAMES, DEFAULT_DRIFT_TOLERANCE,
+};
 pub use estimator::MhaLatencyEstimator;
 pub use partition::{partition_sub_batches, SubBatches};
 pub use pool::RequestPool;

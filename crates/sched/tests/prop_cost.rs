@@ -1,0 +1,119 @@
+//! Property tests on the MHA cost models: analytic/trace agreement across
+//! the Table 3 model configurations, and the regression pin that the
+//! analytic model reproduces the legacy estimator cycle-for-cycle.
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+
+use neupims_kvcache::KvGeometry;
+use neupims_pim::{calibrate, PimCalibration};
+use neupims_sched::{
+    calibration_drift, AnalyticCostModel, MhaCostModel, MhaLatencyEstimator, TraceDrivenCostModel,
+    DEFAULT_DRIFT_TOLERANCE,
+};
+use neupims_types::{LlmConfig, NeuPimsConfig};
+
+fn table2_cal() -> PimCalibration {
+    static CAL: OnceLock<PimCalibration> = OnceLock::new();
+    *CAL.get_or_init(|| calibrate(&NeuPimsConfig::table2()).unwrap())
+}
+
+/// One (analytic, trace) model pair per Table 3 model, built once so the
+/// trace replay memo persists across proptest cases.
+fn model_pairs() -> &'static Vec<(String, MhaLatencyEstimator, TraceDrivenCostModel)> {
+    static PAIRS: OnceLock<Vec<(String, MhaLatencyEstimator, TraceDrivenCostModel)>> =
+        OnceLock::new();
+    PAIRS.get_or_init(|| {
+        let cfg = NeuPimsConfig::table2();
+        let cal = table2_cal();
+        LlmConfig::table3()
+            .into_iter()
+            .map(|model| {
+                let geo = KvGeometry::for_model(&model, &cfg.mem);
+                let analytic = MhaLatencyEstimator::new(geo, cal.l_tile, cal.l_gwrite);
+                let trace = TraceDrivenCostModel::new(&cfg, geo, true);
+                (model.name.clone(), analytic, trace)
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Analytic and trace-driven MHA latencies agree within the documented
+    /// tolerance across context lengths 1..16k for every Table 3 model —
+    /// the acceptance bar of the trace-driven refactor. (Log-uniform seq
+    /// sampling so every octave is exercised, not just the long tail.)
+    #[test]
+    fn trace_agrees_with_analytic_across_models(
+        octave in 0u32..14,
+        frac in 0.0f64..1.0,
+    ) {
+        let seq = ((1u64 << octave) as f64 * (1.0 + frac)) as u64;
+        prop_assert!((1..=16_384).contains(&seq));
+        for (name, analytic, trace) in model_pairs() {
+            let ea = analytic.estimate(seq);
+            let et = trace.estimate(seq);
+            let rel = (et - ea).abs() / ea.max(1.0);
+            prop_assert!(
+                rel <= DEFAULT_DRIFT_TOLERANCE,
+                "{name} seq {seq}: analytic {ea:.0} vs trace {et:.0} (rel {rel:.3})"
+            );
+        }
+    }
+
+    /// Regression pin: `AnalyticCostModel` (and the trait impl on the
+    /// estimator itself) reproduce the legacy `MhaLatencyEstimator`
+    /// cycle-for-cycle — bitwise-identical estimates and sums.
+    #[test]
+    fn analytic_matches_legacy_estimator(
+        seqs in prop::collection::vec(0u64..20_000, 1..64),
+    ) {
+        for (name, est, _) in model_pairs() {
+            let wrapped = AnalyticCostModel::new(*est);
+            let dyn_est: &dyn MhaCostModel = est;
+            for &seq in &seqs {
+                let legacy = est.estimate(seq);
+                prop_assert_eq!(wrapped.estimate(seq).to_bits(), legacy.to_bits(), "{}", name);
+                prop_assert_eq!(dyn_est.estimate(seq).to_bits(), legacy.to_bits(), "{}", name);
+            }
+            let legacy_sum = est.estimate_sum(&seqs);
+            prop_assert_eq!(wrapped.estimate_sum(&seqs).to_bits(), legacy_sum.to_bits(), "{}", name);
+        }
+    }
+
+    /// Trace-driven estimates are deterministic and monotone across memo
+    /// buckets (a longer context never costs less than a shorter one).
+    #[test]
+    fn trace_is_deterministic_and_monotone(
+        a in 1u64..16_384,
+        b in 1u64..16_384,
+    ) {
+        let (_, _, trace) = &model_pairs()[0];
+        let (lo, hi) = (a.min(b), a.max(b));
+        let c_lo = trace.estimate(lo);
+        let c_hi = trace.estimate(hi);
+        prop_assert!(c_lo <= c_hi, "seq {lo} -> {c_lo}, seq {hi} -> {c_hi}");
+        prop_assert_eq!(trace.estimate(lo).to_bits(), c_lo.to_bits());
+    }
+}
+
+/// Fixed-grid drift sweep: the shipped tolerance holds on every Table 3
+/// model at the canonical probe points (the same grid the `drift` CLI
+/// command prints).
+#[test]
+fn drift_grid_within_default_tolerance() {
+    let grid = [
+        1u64, 8, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384,
+    ];
+    for (name, analytic, trace) in model_pairs() {
+        let report = calibration_drift(analytic, trace, &grid, DEFAULT_DRIFT_TOLERANCE);
+        assert!(
+            report.within_tolerance(),
+            "{name}: max drift {:.3} exceeds {DEFAULT_DRIFT_TOLERANCE}",
+            report.max_rel_err()
+        );
+    }
+}

@@ -1,0 +1,6 @@
+//! The workspace-root `neupims` bin: delegates to the CLI crate so
+//! `cargo run --release -- <command>` works without `-p neupims-cli`.
+
+fn main() -> std::process::ExitCode {
+    neupims_cli::run_cli()
+}
