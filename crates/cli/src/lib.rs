@@ -6,6 +6,7 @@
 //!                   [--dataset NAME] [--batch N] [--requests N] [--max-batch N]
 //!                   [--replicas N] [--policy NAME] [--rate R]
 //!                   [--scheduler NAME] [--chunk-tokens N]
+//!                   [--preemption NAME] [--swap-gbps GB]
 //!                   [--cost-model NAME] [--tolerance F]
 //!                   [--slo-ttft-ms MS] [--slo-tpot-ms MS]
 //!
@@ -37,6 +38,10 @@
 //!   (fleet accepts a comma-separated list, cycled over the replicas);
 //!   --chunk-tokens sets the per-iteration prefill budget of the chunked
 //!   schedulers (default 256)
+//! preemption policies (for --preemption, on serve/fleet): drop (defer or
+//!   shed on KV pressure, default), recompute (evict newest admissions,
+//!   re-pay prefill at restore), swap (evict coldest, restore over a
+//!   --swap-gbps GB/s PCIe-style link, default 32)
 //! cost models (for --cost-model, on sweep/serve/fleet): analytic (the
 //!   Algorithm 1 closed form, default) or trace (replay the real GEMV
 //!   command streams through the cycle-level DRAM model, memoized per
@@ -56,6 +61,7 @@ use neupims_core::experiments::{
     ExperimentContext,
 };
 use neupims_core::fleet::{policy_from_name, FleetRequest, FleetSim, POLICY_NAMES};
+use neupims_core::preempt::{preemption_from_name, SwapConfig, PREEMPTION_NAMES};
 use neupims_core::scheduler::{scheduler_from_name, SCHEDULER_NAMES};
 use neupims_core::serving::{ServingConfig, ServingSim, SloTargets};
 use neupims_core::BACKEND_NAMES;
@@ -82,6 +88,8 @@ struct Options {
     policy: String,
     scheduler: String,
     chunk_tokens: u32,
+    preemption: String,
+    swap_gbps: f64,
     cost_model: CostModelKind,
     tolerance: f64,
     rate: f64,
@@ -126,6 +134,8 @@ pub fn run_cli() -> ExitCode {
         policy: "jsq".to_owned(),
         scheduler: "lump".to_owned(),
         chunk_tokens: 256,
+        preemption: "drop".to_owned(),
+        swap_gbps: 32.0,
         cost_model: CostModelKind::Analytic,
         tolerance: DEFAULT_DRIFT_TOLERANCE,
         rate: 3.0,
@@ -191,6 +201,23 @@ pub fn run_cli() -> ExitCode {
                 Some(n) if n > 0 => opts.chunk_tokens = n,
                 _ => {
                     eprintln!("--chunk-tokens requires a positive number of tokens");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--preemption" => match it.next() {
+                Some(name) => opts.preemption = name.clone(),
+                None => {
+                    eprintln!(
+                        "--preemption requires a name ({})",
+                        PREEMPTION_NAMES.join("|")
+                    );
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--swap-gbps" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(g) if g > 0.0 => opts.swap_gbps = g,
+                _ => {
+                    eprintln!("--swap-gbps requires a positive bandwidth (GB/s)");
                     return ExitCode::FAILURE;
                 }
             },
@@ -360,15 +387,20 @@ fn cmd_serve(ctx: &ExperimentContext, opts: &Options) -> Result<(), Box<dyn std:
         .dataset(opts.dataset)
         .batch(opts.max_batch.max(1))
         .scheduler(scheduler_from_name(&opts.scheduler, opts.chunk_tokens)?)
+        .preemption(preemption_from_name(&opts.preemption)?)
+        .swap(SwapConfig {
+            gb_per_sec: opts.swap_gbps,
+        })
         .cost_model(opts.cost_model)
         .build()?;
     println!(
-        "\n## Serve — {} requests ({}) through {} serving {} ({} scheduler, {} cost model)\n",
+        "\n## Serve — {} requests ({}) through {} serving {} ({} scheduler, {} preemption, {} cost model)\n",
         opts.requests,
         opts.dataset.name(),
         sim.backend().label(),
         opts.model.name,
         sim.scheduler().name(),
+        sim.preemption().name(),
         opts.cost_model,
     );
 
@@ -424,6 +456,12 @@ fn cmd_serve(ctx: &ExperimentContext, opts: &Options) -> Result<(), Box<dyn std:
         "| peak KV utilization | {:.1}% |",
         out.peak_kv_utilization * 100.0
     );
+    print_preemption_rows(
+        out.preemptions,
+        out.restores,
+        out.preemption_stall_cycles,
+        out.restore_overhead_cycles,
+    );
     println!(
         "| mean decode batch | {:.1} of {} |",
         out.mean_decode_batch(),
@@ -473,7 +511,11 @@ fn cmd_fleet(ctx: &ExperimentContext, opts: &Options) -> Result<(), Box<dyn std:
         .iter()
         .map(|r| format!("{} ({})", r.backend().label(), r.scheduler_name()))
         .collect();
-    let mut fleet = FleetSim::new(replicas, policy_from_name(&opts.policy)?)?;
+    let mut fleet = FleetSim::new(replicas, policy_from_name(&opts.policy)?)?
+        .with_preemption(preemption_from_name(&opts.preemption)?)
+        .with_swap(SwapConfig {
+            gb_per_sec: opts.swap_gbps,
+        });
 
     let mut rng = StdRng::seed_from_u64(0xF1EE7 ^ opts.requests as u64);
     let arrivals = arrival_stream(&mut rng, opts.rate, opts.requests);
@@ -530,6 +572,12 @@ fn cmd_fleet(ctx: &ExperimentContext, opts: &Options) -> Result<(), Box<dyn std:
         out.slo_attainment() * 100.0
     );
     println!("| goodput | {:.0} tokens/s |", out.goodput());
+    print_preemption_rows(
+        out.preemptions,
+        out.restores,
+        out.preemption_stall_cycles,
+        out.restore_overhead_cycles,
+    );
     println!(
         "| NPU/PIM overlap (hidden / efficiency) | {:.2} ms / {:.1}% |",
         out.overlap_hidden_cycles as f64 / 1e6,
@@ -538,22 +586,40 @@ fn cmd_fleet(ctx: &ExperimentContext, opts: &Options) -> Result<(), Box<dyn std:
     print_trace_rows(out.pim_trace.as_ref());
 
     println!(
-        "\n| replica | backend (scheduler) | completed | dropped | tokens | clock (ms) | peak KV |"
+        "\n| replica | backend (scheduler) | completed | dropped | preempted | tokens | clock (ms) | peak KV |"
     );
-    println!("|---:|---|---:|---:|---:|---:|---:|");
+    println!("|---:|---|---:|---:|---:|---:|---:|---:|");
     for (i, r) in out.replicas.iter().enumerate() {
         println!(
-            "| {} | {} | {} | {} | {} | {:.2} | {:.1}% |",
+            "| {} | {} | {} | {} | {} | {} | {:.2} | {:.1}% |",
             i,
             labels[i],
             r.completed,
             r.dropped,
+            r.preemptions,
             r.tokens,
             r.total_cycles as f64 / 1e6,
             r.peak_kv_utilization * 100.0
         );
     }
     Ok(())
+}
+
+/// Appends the KV-pressure preemption rows to a serve or fleet report
+/// (no-op when the run never preempted and never stalled).
+fn print_preemption_rows(preemptions: u64, restores: u64, stall: u64, overhead: u64) {
+    if preemptions == 0 && restores == 0 {
+        return;
+    }
+    println!("| KV preemptions / restores | {preemptions} / {restores} |");
+    println!(
+        "| preemption stall (parked wall-clock) | {:.2} ms |",
+        stall as f64 / 1e6
+    );
+    println!(
+        "| restore overhead (recompute + swap-in) | {:.2} ms |",
+        overhead as f64 / 1e6
+    );
 }
 
 /// Appends the trace-driven cost model's DRAM activity rows to a serve or

@@ -20,7 +20,9 @@
 //!
 //! [`FleetOutcome`] aggregates every replica's [`ServingOutcome`]:
 //! fleet-wide TTFT/TPOT/latency percentiles, SLO attainment, goodput,
-//! drops, NPU/PIM overlap accounting, and makespan throughput.
+//! drops, preemption/restore counts ([`FleetSim::with_preemption`]
+//! installs one KV-pressure policy fleet-wide), NPU/PIM overlap
+//! accounting, and makespan throughput.
 //!
 //! Replicas are plain [`ServingSim`]s, so each may carry its own
 //! [`SchedulerPolicy`](crate::scheduler::SchedulerPolicy) (built via
@@ -65,6 +67,7 @@ use neupims_types::{Cycle, RequestId, SimError};
 
 use crate::backend::{Backend, BackendError};
 use crate::device::Device;
+use crate::preempt::{PreemptionPolicy, SwapConfig};
 use crate::serving::{ServingOutcome, ServingSim, StepEvent};
 
 /// One request entering the fleet frontend.
@@ -93,19 +96,26 @@ pub struct ReplicaSnapshot {
     pub waiting: usize,
     /// Requests in the running batch (decoding or prefilling).
     pub running: usize,
-    /// Tokens still to generate across waiting and running requests.
+    /// Preempted requests parked awaiting restoration — evicted from the
+    /// cache but still owed their remaining decode, so they count as
+    /// load.
+    pub preempted: usize,
+    /// Tokens still to generate across waiting, running, and parked
+    /// requests.
     pub outstanding_tokens: u64,
     /// KV-cache pool utilization (reserved pages only), `[0, 1]`.
     pub kv_utilization: f64,
-    /// KV pressure: reserved pages plus queued prompt demand over the
-    /// pool size (may exceed 1 when the queue oversubscribes the cache).
+    /// KV pressure: reserved pages plus queued prompt demand plus parked
+    /// contexts' restore demand, over the pool size (may exceed 1 when
+    /// the backlog oversubscribes the cache).
     pub kv_pressure: f64,
 }
 
 impl ReplicaSnapshot {
-    /// Queue depth: waiting plus running requests.
+    /// Queue depth: waiting, running, and parked (preempted) requests —
+    /// everything the replica still owes work for.
     pub fn queue_len(&self) -> usize {
-        self.waiting + self.running
+        self.waiting + self.running + self.preempted
     }
 }
 
@@ -233,6 +243,16 @@ pub struct FleetOutcome {
     pub slo_attained: u64,
     /// Tokens from SLO-attaining requests.
     pub goodput_tokens: u64,
+    /// Preemption events across the fleet (victim evictions under KV
+    /// pressure; 0 when every replica runs drop-only).
+    pub preemptions: u64,
+    /// Restore events across the fleet.
+    pub restores: u64,
+    /// Cycles preempted requests spent parked, summed across replicas.
+    pub preemption_stall_cycles: Cycle,
+    /// Extra work charged to restores (re-paid prefill plus swap
+    /// transfers), summed across replicas.
+    pub restore_overhead_cycles: Cycle,
     /// Cycles replicas charged to on-device prefill chunks (0 when every
     /// replica runs the lump-prefill scheduler).
     pub prefill_cycles_on_device: Cycle,
@@ -262,6 +282,10 @@ impl FleetOutcome {
             out.tpots.extend_from_slice(&r.tpots);
             out.slo_attained += r.slo_attained;
             out.goodput_tokens += r.goodput_tokens;
+            out.preemptions += r.preemptions;
+            out.restores += r.restores;
+            out.preemption_stall_cycles += r.preemption_stall_cycles;
+            out.restore_overhead_cycles += r.restore_overhead_cycles;
             out.prefill_cycles_on_device += r.prefill_cycles_on_device;
             out.overlap_hidden_cycles += r.overlap_hidden_cycles;
         }
@@ -434,6 +458,30 @@ impl<B: Backend> FleetSim<B> {
         self
     }
 
+    /// Installs one preemption policy into every replica (see
+    /// [`ServingSim::with_preemption`]); replicas added later keep their
+    /// own setting. Per-replica policies can instead be set on the
+    /// [`ServingSim`]s before building the fleet.
+    pub fn with_preemption(mut self, policy: Box<dyn PreemptionPolicy>) -> Self {
+        self.replicas = self
+            .replicas
+            .into_iter()
+            .map(|r| r.with_preemption(policy.clone()))
+            .collect();
+        self
+    }
+
+    /// Sets every replica's swap-link parameters (see
+    /// [`ServingSim::with_swap`]).
+    pub fn with_swap(mut self, swap: SwapConfig) -> Self {
+        self.replicas = self
+            .replicas
+            .into_iter()
+            .map(|r| r.with_swap(swap))
+            .collect();
+        self
+    }
+
     /// Number of replicas.
     pub fn replica_count(&self) -> usize {
         self.replicas.len()
@@ -479,6 +527,7 @@ impl<B: Backend> FleetSim<B> {
                 now: r.now(),
                 waiting: r.waiting_len(),
                 running: r.running_len(),
+                preempted: r.preempted_len(),
                 outstanding_tokens: r.outstanding_tokens(),
                 kv_utilization: r.kv_utilization(),
                 kv_pressure: r.kv_pressure(),
@@ -556,6 +605,7 @@ mod tests {
             now: 0,
             waiting: queue,
             running: 0,
+            preempted: 0,
             outstanding_tokens: tokens,
             kv_utilization: kv,
             kv_pressure: kv,
@@ -598,6 +648,23 @@ mod tests {
         queued.kv_pressure = 0.9;
         let snaps = vec![queued, snap(1, 0, 0, 0.4)];
         assert_eq!(kv.choose(&snaps, &req(0)), 1, "queued demand counts");
+    }
+
+    #[test]
+    fn parked_requests_count_as_queue_load() {
+        // A replica thrashing on preemption holds few pages and few
+        // running requests, but its parked backlog is still owed work —
+        // JSQ must not treat it as idle.
+        let mut thrashing = snap(0, 0, 50, 0.1);
+        thrashing.preempted = 6;
+        let calm = snap(1, 2, 50, 0.1);
+        assert_eq!(thrashing.queue_len(), 6);
+        let mut jsq = JoinShortestQueue;
+        assert_eq!(
+            jsq.choose(&[thrashing, calm], &req(0)),
+            1,
+            "the parked backlog must repel new dispatches"
+        );
     }
 
     #[test]

@@ -26,9 +26,15 @@
 //!   [`SchedulerPolicy`] trait: lump prefill (standalone-NPU delegation),
 //!   Orca/vLLM-style chunked prefill, and NeuPIMs-style NPU/PIM sub-batch
 //!   interleaving (Algorithms 1 and 3 in the serving path);
+//! * [`preempt`] — preemption-aware KV memory management behind one
+//!   [`PreemptionPolicy`] trait: drop-only (the historical baseline),
+//!   vLLM-style recompute of the newest admissions, and LRU swap over a
+//!   PCIe-style link ([`SwapConfig`]);
 //! * [`serving`] — Orca-style iteration-level serving with paged KV cache,
-//!   charged prefill (TTFT), per-request latency metrics, and per-iteration
-//!   occupancy/overlap accounting, generic over any backend and scheduler;
+//!   charged prefill (TTFT), per-request latency metrics, per-iteration
+//!   occupancy/overlap accounting, and preempt/restore of requests blocked
+//!   on KV pages, generic over any backend, scheduler, and preemption
+//!   policy;
 //! * [`fleet`] — SLO-aware multi-replica serving: N [`ServingSim`]
 //!   replicas behind a pluggable [`DispatchPolicy`] (round-robin,
 //!   join-shortest-queue, KV-pressure-aware), with fleet-wide TTFT/TPOT
@@ -67,6 +73,7 @@ pub mod experiments;
 pub mod fleet;
 pub mod gpu;
 pub mod metrics;
+pub mod preempt;
 pub mod scheduler;
 pub mod serving;
 pub mod simulation;
@@ -88,6 +95,10 @@ pub use fleet::{
 #[allow(deprecated)]
 pub use gpu::gpu_decode_iteration;
 pub use metrics::{IterationBreakdown, Utilization};
+pub use preempt::{
+    preemption_from_name, DropOnly, PreemptionPolicy, RecomputeLastAdmitted, RestoreMode,
+    SwapConfig, SwapLru, VictimCandidate, PREEMPTION_NAMES,
+};
 pub use scheduler::{
     scheduler_from_name, ChunkedPrefill, IterationOccupancy, LumpPrefill, SchedulerPolicy,
     SubBatchInterleaved, SCHEDULER_NAMES,

@@ -26,10 +26,30 @@
 //! NPU/PIM overlap ([`ServingOutcome::iteration_stats`],
 //! [`ServingOutcome::overlap_efficiency`]).
 //!
+//! How the run behaves when the paged KV cache runs out of pages is a
+//! second policy axis ([`ServingSim::with_preemption`], default
+//! [`DropOnly`]): under drop-only, admission
+//! out-of-memory defers the request (head-of-line FIFO, the historical
+//! behavior) and a request whose growth is blocked by a *crowded* channel
+//! is shed (a context that has *saturated* a whole channel instead pins
+//! at capacity, as it always has — no eviction could help it); under
+//! [`RecomputeLastAdmitted`](crate::preempt::RecomputeLastAdmitted)
+//! or [`SwapLru`](crate::preempt::SwapLru) the policy instead selects
+//! victims, their pages are released, and the victims are parked in a
+//! preempted queue to be restored FIFO as pages free up — re-paying
+//! prefill over their grown context (recompute) or a PCIe-style transfer
+//! of their saved pages ([`SwapConfig`]).
+//! [`ServingOutcome`] counts the traffic (`preemptions`, `restores`,
+//! `preemption_stall_cycles`, `restore_overhead_cycles`) and each
+//! completed request's [`RequestMetrics::preemptions`].
+//!
 //! Requests whose context can never fit the KV cache (they would not fit
 //! even an empty channel) are *dropped* and counted in
-//! [`ServingOutcome::dropped`] rather than silently vanishing, so
-//! `completed + dropped == submitted` holds for every drained run.
+//! [`ServingOutcome::dropped`] rather than silently vanishing — as are
+//! requests shed or parked hopelessly under KV pressure — so
+//! `completed + dropped == submitted` holds for every drained run, with
+//! preemptions tracked separately (a preempted-then-restored request
+//! counts once, as completed).
 //!
 //! The simulation advances through a public [`ServingSim::step`] API (one
 //! iteration boundary per call), which is what lets
@@ -70,7 +90,7 @@
 //! assert_eq!(sim.run().unwrap().completed, 1);
 //! ```
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 use neupims_kvcache::{KvGeometry, PagedKvCache};
 use neupims_sched::{CostModelKind, MhaCostModel, RequestPool, TraceSnapshot};
@@ -79,6 +99,7 @@ use neupims_types::{ChannelId, Cycle, LlmConfig, Request, RequestId, SimError};
 use crate::backend::Backend;
 use crate::device::Device;
 use crate::metrics::IterationBreakdown;
+use crate::preempt::{DropOnly, PreemptionPolicy, RestoreMode, SwapConfig, VictimCandidate};
 use crate::scheduler::{
     IterationDemand, IterationOccupancy, LumpPrefill, PrefillCharge, PrefillProgress,
     SchedulerPolicy,
@@ -127,6 +148,9 @@ pub struct RequestMetrics {
     pub latency: Cycle,
     /// Generated tokens (the request's `output_len`).
     pub tokens: u64,
+    /// How many times the request was preempted (KV pages evicted and
+    /// later restored) before completing; 0 under drop-only.
+    pub preemptions: u32,
 }
 
 impl RequestMetrics {
@@ -156,10 +180,33 @@ pub struct ServingOutcome {
     /// Completed requests.
     pub completed: u64,
     /// Requests dropped because their context could never fit the KV
-    /// cache (head-of-line OOM against an empty channel). For a drained
-    /// run, `completed + dropped == submitted`.
+    /// cache (head-of-line OOM against an empty channel), was shed under
+    /// drop-only KV pressure (growth blocked by a crowded channel), or
+    /// outgrew a channel while parked. For a drained run,
+    /// `completed + dropped == submitted`.
     pub dropped: u64,
-    /// Generated tokens.
+    /// Preemption events: a running request's KV pages were evicted to
+    /// relieve pressure and the request was parked for later restoration
+    /// (always 0 under the default drop-only policy, which sheds instead
+    /// of parking).
+    pub preemptions: u64,
+    /// Restore events: a parked request re-reserved pages and rejoined
+    /// the running batch. On a drained run every preemption is either
+    /// restored or (rarely, when the parked context outgrew a channel)
+    /// dropped.
+    pub restores: u64,
+    /// Total cycles preempted requests spent parked (preemption to
+    /// restore, summed over restore events) — the wall-clock stall
+    /// preemption injected into those requests' latencies.
+    pub preemption_stall_cycles: Cycle,
+    /// Extra work charged to restores: re-paid prefill cycles for
+    /// recompute victims plus swap-in transfer cycles for swap victims.
+    pub restore_overhead_cycles: Cycle,
+    /// Generated tokens — all decode work performed, including the
+    /// partial output of requests later shed under KV pressure (so on
+    /// runs with mid-flight drops this can exceed the sum of completed
+    /// requests' tokens; preempted-then-restored requests count each
+    /// token exactly once).
     pub tokens: u64,
     /// Iterations executed (decode iterations, plus prefill-only
     /// iterations under chunked schedulers).
@@ -182,7 +229,9 @@ pub struct ServingOutcome {
     /// prefill share separately.
     pub totals: IterationBreakdown,
     /// Peak KV-cache utilization observed, `[0, 1]` (sampled after token
-    /// growth, before releases — the true page high-water mark).
+    /// growth and at every out-of-memory instant — before completion or
+    /// preemption releases — so it is the true page high-water mark even
+    /// under KV pressure).
     pub peak_kv_utilization: f64,
     /// Completed requests meeting the configured [`SloTargets`] (all of
     /// them when no SLO was configured).
@@ -336,6 +385,17 @@ pub enum StepEvent {
     Finished,
 }
 
+/// One parked (preempted) request awaiting restoration.
+#[derive(Debug, Clone)]
+struct Parked {
+    /// The request, generation progress intact.
+    req: Request,
+    /// When it was preempted (stall accounting).
+    at: Cycle,
+    /// Bytes its evicted pages held (the swap transfer size).
+    bytes: u64,
+}
+
 /// An iteration-level serving simulation over one simulated system.
 ///
 /// Generic over [`Backend`], so the same Orca-style scheduler, request
@@ -378,6 +438,23 @@ pub struct ServingSim<B: Backend = Device> {
     submitted: u64,
     dropped: u64,
     next_channel: u32,
+    /// How KV out-of-memory is handled (victim selection + restore mode).
+    preemption: Box<dyn PreemptionPolicy>,
+    /// Swap-link pricing for [`RestoreMode::Swap`] restores.
+    swap: SwapConfig,
+    /// Preempted requests awaiting restoration, FIFO.
+    parked: VecDeque<Parked>,
+    /// Monotone admission sequence numbers (the LIFO victim axis).
+    admit_seq: HashMap<RequestId, u64>,
+    admit_counter: u64,
+    /// Last decode-iteration end per running request (the LRU victim axis).
+    last_decoded: HashMap<RequestId, Cycle>,
+    /// Preemption count per in-flight request (reported in its record).
+    preempt_counts: HashMap<RequestId, u32>,
+    preempt_events: u64,
+    restore_events: u64,
+    stall_cycles: Cycle,
+    restore_overhead: Cycle,
 }
 
 impl<B: Backend> ServingSim<B> {
@@ -427,11 +504,51 @@ impl<B: Backend> ServingSim<B> {
             submitted: 0,
             dropped: 0,
             next_channel: 0,
+            preemption: Box::new(DropOnly),
+            swap: SwapConfig::default(),
+            parked: VecDeque::new(),
+            admit_seq: Default::default(),
+            admit_counter: 0,
+            last_decoded: Default::default(),
+            preempt_counts: Default::default(),
+            preempt_events: 0,
+            restore_events: 0,
+            stall_cycles: 0,
+            restore_overhead: 0,
             backend,
             model,
             cfg,
             scheduler,
         }
+    }
+
+    /// Selects the preemption policy KV out-of-memory is handled with (see
+    /// [`crate::preempt`] for the shipped policies and
+    /// [`preemption_from_name`](crate::preempt::preemption_from_name) for
+    /// name-based construction). Defaults to
+    /// [`DropOnly`], the historical defer-or-shed behavior.
+    pub fn with_preemption(mut self, policy: Box<dyn PreemptionPolicy>) -> Self {
+        self.preemption = policy;
+        self
+    }
+
+    /// Sets the swap-link parameters pricing
+    /// [`SwapLru`](crate::preempt::SwapLru) restores (ignored by the other
+    /// policies). Defaults to [`SwapConfig::default`].
+    pub fn with_swap(mut self, swap: SwapConfig) -> Self {
+        self.swap = swap;
+        self
+    }
+
+    /// The preemption policy's name (e.g. `"drop"`, `"recompute"`,
+    /// `"swap"`).
+    pub fn preemption_name(&self) -> &'static str {
+        self.preemption.name()
+    }
+
+    /// Preempted requests currently parked awaiting restoration.
+    pub fn preempted_len(&self) -> usize {
+        self.parked.len()
     }
 
     /// The simulated backend.
@@ -492,9 +609,16 @@ impl<B: Backend> ServingSim<B> {
         self.pool.completed()
     }
 
-    /// Tokens still to be generated across waiting and running requests.
+    /// Tokens still to be generated across waiting, running, and parked
+    /// (preempted) requests — parked work is still owed, so it must stay
+    /// visible to dispatchers.
     pub fn outstanding_tokens(&self) -> u64 {
         self.pool.outstanding_tokens()
+            + self
+                .parked
+                .iter()
+                .map(|p| p.req.remaining() as u64)
+                .sum::<u64>()
     }
 
     /// Current KV-cache pool utilization, `[0, 1]`.
@@ -502,11 +626,14 @@ impl<B: Backend> ServingSim<B> {
         self.kv.utilization()
     }
 
-    /// KV *pressure*: pages already reserved plus the pages the queued
-    /// prompts will demand at admission, over the pool size. Unlike
-    /// [`Self::kv_utilization`] this reacts immediately to submissions,
-    /// which is what a capacity-aware dispatcher needs; it can exceed 1
-    /// when the queue oversubscribes the cache.
+    /// KV *pressure*: pages already reserved, plus the pages the queued
+    /// prompts will demand at admission, plus the pages parked
+    /// (preempted) contexts will re-reserve at restore, over the pool
+    /// size. Unlike [`Self::kv_utilization`] this reacts immediately to
+    /// submissions and survives evictions — a replica thrashing on
+    /// preemption holds few pages but owes many, and a capacity-aware
+    /// dispatcher must see that; it can exceed 1 when the backlog
+    /// oversubscribes the cache.
     pub fn kv_pressure(&self) -> f64 {
         let total = self.kv.total_pages();
         if total == 0 {
@@ -517,7 +644,12 @@ impl<B: Backend> ServingSim<B> {
             .waiting()
             .map(|r| self.kv.pages_for(r.input_len as u64))
             .sum();
-        (self.kv.used_pages() + queued) as f64 / total as f64
+        let parked: u64 = self
+            .parked
+            .iter()
+            .map(|p| self.kv.pages_for(p.req.seq_len() as u64))
+            .sum();
+        (self.kv.used_pages() + queued + parked) as f64 / total as f64
     }
 
     /// Submits one request (prompt `input_len`, target `output_len`,
@@ -553,6 +685,173 @@ impl<B: Backend> ServingSim<B> {
         Ok(())
     }
 
+    /// The channel with the most free pages (ties broken toward the
+    /// lowest index) — where restores go, since a parked context may no
+    /// longer fit its original home.
+    fn most_free_channel(&self) -> ChannelId {
+        let channels = self.backend.mem_config().channels;
+        (0..channels)
+            .map(ChannelId::new)
+            .max_by_key(|&c| (self.kv.free_pages(c), std::cmp::Reverse(c.index())))
+            .expect("memory configs have at least one channel")
+    }
+
+    /// Decode-resident victim candidates on `channel`: running requests
+    /// holding pages there whose prompt is fully encoded. Requests still
+    /// prefilling are never candidates — evicting one would forfeit
+    /// charged prefill work for no reclaimable decode progress.
+    fn victim_candidates(&self, channel: ChannelId) -> Vec<VictimCandidate> {
+        self.pool
+            .running()
+            .iter()
+            .filter(|r| self.home_channel.get(&r.id) == Some(&channel))
+            .filter(|r| {
+                self.ready_at.get(&r.id).is_none_or(|&t| t <= self.now)
+                    && !self.prefill_left.contains_key(&r.id)
+            })
+            .filter_map(|r| {
+                let seq = self.kv.seq_len(r.id).ok()?;
+                Some(VictimCandidate {
+                    id: r.id,
+                    pages: self.kv.pages_for(seq),
+                    seq_len: seq,
+                    admitted_seq: self.admit_seq.get(&r.id).copied().unwrap_or(0),
+                    last_decoded: self.last_decoded.get(&r.id).copied().unwrap_or(0),
+                })
+            })
+            .collect()
+    }
+
+    /// Evicts `id`'s KV pages and parks the request for later
+    /// restoration, clearing every per-request structure the serving loop
+    /// keys on it (in particular its chunked-prefill progress, so
+    /// schedulers never plan — or hide — prefill work for a request they
+    /// no longer hold).
+    fn park(&mut self, id: RequestId) -> Result<(), SimError> {
+        let receipt = self.kv.preempt(id)?;
+        let req = self
+            .pool
+            .preempt_running(id)
+            .ok_or(SimError::UnknownRequest(id))?;
+        self.home_channel.remove(&id);
+        self.ready_at.remove(&id);
+        self.prefill_left.remove(&id);
+        self.prefill_order.retain(|x| *x != id);
+        self.last_decoded.remove(&id);
+        *self.preempt_counts.entry(id).or_insert(0) += 1;
+        self.preempt_events += 1;
+        self.parked.push_back(Parked {
+            req,
+            at: self.now,
+            bytes: receipt.bytes,
+        });
+        Ok(())
+    }
+
+    /// Drops a running request that cannot continue (its context cannot
+    /// grow a token and the policy does not park), releasing its pages.
+    fn shed_running(&mut self, id: RequestId) -> Result<(), SimError> {
+        self.kv.release(id)?;
+        self.pool
+            .preempt_running(id)
+            .ok_or(SimError::UnknownRequest(id))?;
+        self.home_channel.remove(&id);
+        self.ready_at.remove(&id);
+        self.prefill_left.remove(&id);
+        self.prefill_order.retain(|x| *x != id);
+        self.last_decoded.remove(&id);
+        self.first_token.remove(&id);
+        self.arrivals.remove(&id);
+        self.admit_seq.remove(&id);
+        self.preempt_counts.remove(&id);
+        self.dropped += 1;
+        Ok(())
+    }
+
+    /// Restores parked requests FIFO while pages and batch slots allow,
+    /// charging each restore per the policy's [`RestoreMode`]: recompute
+    /// re-runs the scheduler's admission charge over the grown context
+    /// (a lump delay, or fresh on-device chunks under the chunked
+    /// schedulers); swap delays the request by the link transfer of its
+    /// saved bytes. A parked head whose grown context can no longer fit
+    /// even an empty channel is dropped (`Some(Dropped)`).
+    fn restore_parked(&mut self) -> Result<Option<StepEvent>, SimError> {
+        while let Some((id, seq)) = self
+            .parked
+            .front()
+            .map(|p| (p.req.id, p.req.seq_len() as u64))
+        {
+            let pages = self.kv.pages_for(seq);
+            if pages > self.kv.pages_per_channel() {
+                self.parked.pop_front().expect("peeked");
+                self.arrivals.remove(&id);
+                self.first_token.remove(&id);
+                self.admit_seq.remove(&id);
+                self.preempt_counts.remove(&id);
+                self.dropped += 1;
+                return Ok(Some(StepEvent::Dropped(id)));
+            }
+            if self.pool.running().len() >= self.cfg.max_batch {
+                break;
+            }
+            let ch = self.most_free_channel();
+            if pages > self.kv.free_pages(ch) {
+                break; // head-of-line: wait for completions to free pages
+            }
+            let p = self.parked.pop_front().expect("peeked");
+            self.kv.restore(id, ch, seq)?;
+            self.home_channel.insert(id, ch);
+            self.stall_cycles += self.now.saturating_sub(p.at);
+            self.restore_events += 1;
+            let mode = self
+                .preemption
+                .restore_mode()
+                .expect("parked requests only exist under preempting policies");
+            match mode {
+                RestoreMode::Recompute => {
+                    let prompt = seq.max(1);
+                    let charge = self
+                        .scheduler
+                        .admission_charge(
+                            &self.backend,
+                            &self.model,
+                            self.cfg.tp,
+                            self.cfg.layers,
+                            prompt,
+                        )
+                        .map_err(SimError::from)?;
+                    match charge {
+                        PrefillCharge::Delay(d) => {
+                            self.ready_at.insert(id, self.now + d);
+                            self.restore_overhead += d;
+                        }
+                        PrefillCharge::Chunked => {
+                            self.prefill_left.insert(id, (0, prompt, 0));
+                            self.prefill_order.push(id);
+                            self.restore_overhead += self
+                                .backend
+                                .prefill_cycles(
+                                    &self.model,
+                                    self.cfg.tp,
+                                    self.cfg.layers,
+                                    &[prompt],
+                                )
+                                .map_err(SimError::from)?;
+                        }
+                    }
+                }
+                RestoreMode::Swap => {
+                    let d = self.swap.transfer_cycles(p.bytes);
+                    self.ready_at.insert(id, self.now + d);
+                    self.restore_overhead += d;
+                }
+            }
+            let resumed = self.pool.resume(p.req);
+            debug_assert!(resumed, "batch cap was checked before restoring");
+        }
+        Ok(None)
+    }
+
     /// Advances the simulation by one event: admits arrivals, then either
     /// executes one decode iteration for the decode-ready sub-batch,
     /// jumps the clock to the next arrival/prefill completion, drops a
@@ -569,59 +868,118 @@ impl<B: Backend> ServingSim<B> {
             return Ok(StepEvent::Finished);
         }
 
+        // Restore parked (preempted) requests first: already-started work
+        // outranks new admissions, and restores only proceed when pages
+        // and batch slots are genuinely free, so they never preempt.
+        if let Some(event) = self.restore_parked()? {
+            return Ok(event);
+        }
+
         // Iteration boundary: admit while capacity allows. Requests are
         // homed on channels round-robin at admission (their KV pages live
         // there for their lifetime) and charged their prompt the way the
         // scheduler directs: a lump delay (they become decode-ready
         // `prefill_cycles` after admission) or chunked on-device encoding.
-        let kv = &mut self.kv;
-        let next_channel = &mut self.next_channel;
-        let channels = self.backend.mem_config().channels;
-        let home = &mut self.home_channel;
-        let ready_at = &mut self.ready_at;
-        let prefill_left = &mut self.prefill_left;
-        let prefill_order = &mut self.prefill_order;
-        let scheduler = &self.scheduler;
-        let backend: &dyn Backend = &self.backend;
-        let model = &self.model;
-        let (tp, layers) = (self.cfg.tp, self.cfg.layers);
-        let now = self.now;
-        let mut prefill_err: Option<SimError> = None;
-        self.pool.admit(now, |req| {
-            let ch = ChannelId::new(*next_channel % channels);
-            match kv.admit(req.id, ch, req.input_len as u64) {
-                Ok(()) => {
-                    let prompt = req.input_len.max(1) as u64;
-                    match scheduler.admission_charge(backend, model, tp, layers, prompt) {
-                        Ok(charge) => {
-                            *next_channel += 1;
-                            home.insert(req.id, ch);
-                            match charge {
-                                PrefillCharge::Delay(prefill) => {
-                                    ready_at.insert(req.id, now + prefill);
+        // Under a preempting policy, a queue head blocked by out-of-memory
+        // evicts victims and admission retries; the loop exits when the
+        // head is unblocked, hopeless, or no victim selection helps.
+        loop {
+            let kv = &mut self.kv;
+            let next_channel = &mut self.next_channel;
+            let channels = self.backend.mem_config().channels;
+            let home = &mut self.home_channel;
+            let ready_at = &mut self.ready_at;
+            let prefill_left = &mut self.prefill_left;
+            let prefill_order = &mut self.prefill_order;
+            let scheduler = &self.scheduler;
+            let backend: &dyn Backend = &self.backend;
+            let model = &self.model;
+            let (tp, layers) = (self.cfg.tp, self.cfg.layers);
+            let now = self.now;
+            let mut prefill_err: Option<SimError> = None;
+            let admitted = self.pool.admit(now, |req| {
+                let ch = ChannelId::new(*next_channel % channels);
+                match kv.admit(req.id, ch, req.input_len as u64) {
+                    Ok(()) => {
+                        let prompt = req.input_len.max(1) as u64;
+                        match scheduler.admission_charge(backend, model, tp, layers, prompt) {
+                            Ok(charge) => {
+                                *next_channel += 1;
+                                home.insert(req.id, ch);
+                                match charge {
+                                    PrefillCharge::Delay(prefill) => {
+                                        ready_at.insert(req.id, now + prefill);
+                                    }
+                                    PrefillCharge::Chunked => {
+                                        prefill_left.insert(req.id, (0, prompt, 0));
+                                        prefill_order.push(req.id);
+                                    }
                                 }
-                                PrefillCharge::Chunked => {
-                                    prefill_left.insert(req.id, (0, prompt, 0));
-                                    prefill_order.push(req.id);
-                                }
+                                true
                             }
-                            true
-                        }
-                        Err(e) => {
-                            // Roll the reservation back and fail the run:
-                            // a backend that cannot price prefill is a
-                            // configuration error, not a capacity one.
-                            let _ = kv.release(req.id);
-                            prefill_err = Some(e.into());
-                            false
+                            Err(e) => {
+                                // Roll the reservation back and fail the run:
+                                // a backend that cannot price prefill is a
+                                // configuration error, not a capacity one.
+                                let _ = kv.release(req.id);
+                                prefill_err = Some(e.into());
+                                false
+                            }
                         }
                     }
+                    Err(_) => false,
                 }
-                Err(_) => false,
+            });
+            if let Some(e) = prefill_err {
+                return Err(e);
             }
-        });
-        if let Some(e) = prefill_err {
-            return Err(e);
+            for id in admitted {
+                let seq = self.admit_counter;
+                self.admit_seq.insert(id, seq);
+                self.admit_counter += 1;
+            }
+
+            // Admission-triggered preemption: only when the head is
+            // actually blocked by out-of-memory — not by the batch cap or
+            // a future arrival — and victims can cover the shortfall.
+            if self.preemption.restore_mode().is_none()
+                || self.pool.running().len() >= self.cfg.max_batch
+            {
+                break;
+            }
+            let Some((head_arrival, head_input)) = self
+                .pool
+                .waiting()
+                .next()
+                .map(|r| (r.arrival, r.input_len as u64))
+            else {
+                break;
+            };
+            if head_arrival > self.now {
+                break;
+            }
+            let mem_channels = self.backend.mem_config().channels;
+            let ch = ChannelId::new(self.next_channel % mem_channels);
+            let pages = self.kv.pages_for(head_input);
+            let free = self.kv.free_pages(ch);
+            if pages > self.kv.pages_per_channel() || pages <= free {
+                // Hopeless heads take the historical drop path below; a
+                // fitting head means admission stopped for another reason.
+                break;
+            }
+            let victims = self
+                .preemption
+                .select_victims(&self.victim_candidates(ch), pages - free);
+            if victims.is_empty() {
+                break;
+            }
+            // Admission OOM is an occupancy high-water mark too: sample
+            // before the evictions release pages.
+            self.peak_kv = self.peak_kv.max(self.kv.utilization());
+            for v in victims {
+                self.park(v)?;
+            }
+            // Retry admission against the freed pages.
         }
 
         // The decode-ready sub-batch: admitted requests whose prompt is
@@ -685,7 +1043,16 @@ impl<B: Backend> ServingSim<B> {
                 return Ok(StepEvent::Waited);
             }
             if self.pool.waiting_len() == 0 {
-                return Ok(StepEvent::Finished);
+                if self.parked.is_empty() {
+                    return Ok(StepEvent::Finished);
+                }
+                // Unreachable in practice: with nothing running the cache
+                // is empty, so restore_parked either restored or dropped
+                // the parked head at the top of this step. Fail loudly
+                // rather than spin.
+                return Err(SimError::Scheduling(
+                    "parked requests stranded with an idle, empty KV cache".into(),
+                ));
             }
             // Nothing is running, so the KV cache is empty. If the head
             // of the waiting queue has arrived, admission just failed
@@ -768,17 +1135,81 @@ impl<B: Backend> ServingSim<B> {
         }
 
         // Token growth, then the KV high-water mark (after growth, before
-        // releases), then completion handling.
+        // releases), then completion handling. Out-of-memory on growth is
+        // the preemption policy's call: drop-only sheds the request that
+        // cannot grow; preempting policies evict victims (possibly the
+        // grower itself) and park them for restoration.
+        let mut decoded: Vec<RequestId> = Vec::with_capacity(plan.decode.len());
         for &id in &plan.decode {
-            // OOM on growth stalls that request's page growth; the
-            // count-based model tolerates it (the request finishes on
-            // schedule, pages stay at their last size).
-            let _ = self.kv.append_token(id);
-            self.first_token.entry(id).or_insert(self.now);
+            if self.pool.get_running(id).is_err() {
+                continue; // preempted as a victim earlier in this loop
+            }
+            match self.kv.append_token(id) {
+                Ok(_) => decoded.push(id),
+                Err(SimError::OutOfMemory {
+                    channel,
+                    requested_pages,
+                    free_pages,
+                }) => {
+                    // The OOM instant is the occupancy high-water mark:
+                    // sample before any shed/park below releases pages.
+                    self.peak_kv = self.peak_kv.max(self.kv.utilization());
+                    let seq = self.kv.seq_len(id)?;
+                    if self.kv.pages_for(seq + 1) > self.kv.pages_per_channel() {
+                        // The context has *saturated* its channel: not even
+                        // an empty channel could hold the next token, so no
+                        // eviction helps. Growth pins at channel capacity
+                        // (the historical count-model behavior, which the
+                        // golden traces rely on) and the request finishes
+                        // on schedule with its pages at their last size.
+                        decoded.push(id);
+                        continue;
+                    }
+                    // The channel is merely *crowded*: the context would
+                    // fit an empty channel, but its neighbors hold the
+                    // pages. This is the preemption decision point.
+                    if self.preemption.restore_mode().is_none() {
+                        self.shed_running(id)?;
+                        continue;
+                    }
+                    let needed = requested_pages.saturating_sub(free_pages);
+                    let victims = self
+                        .preemption
+                        .select_victims(&self.victim_candidates(channel), needed);
+                    if victims.is_empty() {
+                        // No selection covers the shortfall: park the
+                        // grower itself until pages free up.
+                        self.park(id)?;
+                        continue;
+                    }
+                    let self_evicted = victims.contains(&id);
+                    for v in victims {
+                        self.park(v)?;
+                    }
+                    if !self_evicted {
+                        match self.kv.append_token(id) {
+                            Ok(_) => decoded.push(id),
+                            Err(SimError::OutOfMemory { .. }) => self.park(id)?,
+                            Err(e) => return Err(e),
+                        }
+                    }
+                }
+                Err(e) => return Err(e),
+            }
         }
         self.peak_kv = self.peak_kv.max(self.kv.utilization());
 
-        let ready_ids: HashSet<RequestId> = plan.decode.iter().copied().collect();
+        // Only requests that grew a token *and* are still running advance
+        // (a victim parked after its append re-generates that token after
+        // restoration).
+        let ready_ids: HashSet<RequestId> = decoded
+            .into_iter()
+            .filter(|id| self.pool.get_running(*id).is_ok())
+            .collect();
+        for &id in &ready_ids {
+            self.first_token.entry(id).or_insert(self.now);
+            self.last_decoded.insert(id, self.now);
+        }
         for done in self
             .pool
             .complete_iteration_where(|r| ready_ids.contains(&r.id))
@@ -786,6 +1217,8 @@ impl<B: Backend> ServingSim<B> {
             self.kv.release(done.id)?;
             self.home_channel.remove(&done.id);
             self.ready_at.remove(&done.id);
+            self.admit_seq.remove(&done.id);
+            self.last_decoded.remove(&done.id);
             let arrival = self.arrivals.remove(&done.id).unwrap_or(done.arrival);
             let first = self
                 .first_token
@@ -797,6 +1230,7 @@ impl<B: Backend> ServingSim<B> {
                 ttft: first.saturating_sub(arrival),
                 latency: self.now.saturating_sub(arrival),
                 tokens: done.output_len as u64,
+                preemptions: self.preempt_counts.remove(&done.id).unwrap_or(0),
             });
         }
         Ok(StepEvent::Iteration)
@@ -833,6 +1267,10 @@ impl<B: Backend> ServingSim<B> {
             submitted: self.submitted,
             completed: self.pool.completed(),
             dropped: self.dropped,
+            preemptions: self.preempt_events,
+            restores: self.restore_events,
+            preemption_stall_cycles: self.stall_cycles,
+            restore_overhead_cycles: self.restore_overhead,
             tokens: self.pool.tokens_generated(),
             iterations: self.iterations,
             mean_latency,
@@ -1157,6 +1595,192 @@ mod tests {
             "request 1 ({} cycles) must not wait for the last arrival",
             early.latency
         );
+    }
+
+    /// Eight requests, two per channel, whose contexts together outgrow
+    /// their channel mid-decode (each fits a channel alone): the
+    /// crowded-channel KV-pressure regime preemption exists for.
+    fn submit_crowded(s: &mut ServingSim) {
+        for i in 0..8 {
+            s.submit(i, 256, 200, 0).unwrap();
+        }
+    }
+
+    #[test]
+    fn drop_only_sheds_on_crowded_channel_growth() {
+        let mut s = tight_sim(80 << 20);
+        submit_crowded(&mut s);
+        let out = s.run().unwrap();
+        assert_eq!(out.submitted, 8);
+        assert!(out.dropped > 0, "crowding must shed under drop-only");
+        assert_eq!(out.completed + out.dropped, out.submitted);
+        assert_eq!(out.preemptions, 0, "drop-only never parks");
+        assert_eq!(out.restores, 0);
+        assert_eq!(out.preemption_stall_cycles, 0);
+        for r in &out.records {
+            assert_eq!(r.preemptions, 0);
+        }
+    }
+
+    #[test]
+    fn recompute_preemption_survives_crowding() {
+        let mut drop = tight_sim(80 << 20);
+        submit_crowded(&mut drop);
+        let drop_out = drop.run().unwrap();
+
+        let mut rec =
+            tight_sim(80 << 20).with_preemption(Box::new(crate::preempt::RecomputeLastAdmitted));
+        assert_eq!(rec.preemption_name(), "recompute");
+        submit_crowded(&mut rec);
+        let rec_out = rec.run().unwrap();
+
+        assert!(
+            rec_out.completed > drop_out.completed,
+            "recompute ({}) must complete strictly more than drop-only ({})",
+            rec_out.completed,
+            drop_out.completed
+        );
+        assert_eq!(rec_out.completed, 8, "every context fits a channel alone");
+        assert_eq!(rec_out.dropped, 0);
+        assert_eq!(rec_out.completed + rec_out.dropped, rec_out.submitted);
+        assert!(rec_out.preemptions > 0, "survival came from preemption");
+        assert_eq!(
+            rec_out.restores, rec_out.preemptions,
+            "every victim was restored (none outgrew a channel while parked)"
+        );
+        assert!(rec_out.preemption_stall_cycles > 0);
+        assert!(
+            rec_out.restore_overhead_cycles > 0,
+            "recompute re-pays prefill"
+        );
+        let preempted_records: u32 = rec_out.records.iter().map(|r| r.preemptions).sum();
+        assert_eq!(preempted_records as u64, rec_out.preemptions);
+        // Tokens: every request generated its full output exactly once.
+        assert_eq!(rec_out.tokens, 8 * 200);
+    }
+
+    #[test]
+    fn swap_restore_is_cheaper_than_recompute() {
+        let run = |policy: Box<dyn crate::preempt::PreemptionPolicy>| {
+            let mut s = tight_sim(80 << 20).with_preemption(policy);
+            submit_crowded(&mut s);
+            s.run().unwrap()
+        };
+        let rec = run(Box::new(crate::preempt::RecomputeLastAdmitted));
+        let swap = run(Box::new(crate::preempt::SwapLru));
+        assert_eq!(swap.completed, 8);
+        assert_eq!(swap.dropped, 0);
+        assert!(swap.preemptions > 0);
+        // A 32 GB/s link moves a few-hundred-token context in far fewer
+        // cycles than re-running its prefill.
+        assert!(
+            swap.restore_overhead_cycles < rec.restore_overhead_cycles,
+            "swap-in ({}) should undercut recompute ({})",
+            swap.restore_overhead_cycles,
+            rec.restore_overhead_cycles
+        );
+    }
+
+    #[test]
+    fn admission_preemption_unblocks_the_queue_head() {
+        // One channel: request 1 cannot be admitted while request 0 holds
+        // its pages. Drop-only makes it wait out request 0's whole decode;
+        // recompute evicts request 0 (the newest admission) as soon as it
+        // is decode-resident, so request 1's TTFT shrinks.
+        let sim_one_channel = || {
+            let mut cfg = NeuPimsConfig::table2();
+            cfg.mem.channels = 1;
+            cfg.mem.capacity_per_channel = 80 << 20;
+            let cal = calibrate(&cfg).unwrap();
+            ServingSim::new(
+                Device::new(cfg, cal, DeviceMode::neupims()),
+                LlmConfig::gpt3_7b(),
+                ServingConfig {
+                    max_batch: 4,
+                    tp: 4,
+                    layers: 32,
+                    target_completions: 0,
+                    slo: None,
+                },
+            )
+        };
+        let submit = |s: &mut ServingSim| {
+            s.submit(0, 400, 60, 0).unwrap();
+            s.submit(1, 400, 4, 0).unwrap();
+        };
+        let mut drop = sim_one_channel();
+        submit(&mut drop);
+        let drop_out = drop.run().unwrap();
+        assert_eq!(drop_out.completed, 2);
+        assert_eq!(drop_out.preemptions, 0);
+
+        let mut rec =
+            sim_one_channel().with_preemption(Box::new(crate::preempt::RecomputeLastAdmitted));
+        submit(&mut rec);
+        let rec_out = rec.run().unwrap();
+        assert_eq!(rec_out.completed, 2);
+        assert_eq!(rec_out.completed + rec_out.dropped, rec_out.submitted);
+        assert!(rec_out.preemptions > 0, "admission must have evicted");
+        let ttft =
+            |out: &ServingOutcome, id: u32| out.records.iter().find(|r| r.id.0 == id).unwrap().ttft;
+        assert!(
+            ttft(&rec_out, 1) < ttft(&drop_out, 1),
+            "preempting request 0 must cut request 1's TTFT ({} vs {})",
+            ttft(&rec_out, 1),
+            ttft(&drop_out, 1)
+        );
+        let victim = rec_out.records.iter().find(|r| r.id.0 == 0).unwrap();
+        assert!(victim.preemptions > 0, "request 0 paid the eviction");
+    }
+
+    #[test]
+    fn parked_requests_stay_visible_to_load_signals() {
+        // All 8 crowding requests arrive at once and fit the batch cap,
+        // so the waiting queue drains immediately; once the first victim
+        // parks, the backlog it represents must still show up in the
+        // dispatcher-facing load signals even though it holds no pages.
+        let mut s =
+            tight_sim(80 << 20).with_preemption(Box::new(crate::preempt::RecomputeLastAdmitted));
+        submit_crowded(&mut s);
+        while s.preempted_len() == 0 {
+            assert_ne!(
+                s.step().unwrap(),
+                StepEvent::Finished,
+                "the crowded trace must preempt before draining"
+            );
+        }
+        assert_eq!(s.waiting_len(), 0, "test setup: nothing left queued");
+        assert!(
+            s.kv_pressure() > s.kv_utilization(),
+            "parked restore demand must show in kv_pressure ({} vs {})",
+            s.kv_pressure(),
+            s.kv_utilization()
+        );
+        // Outstanding work still accounts every unfinished request:
+        // generated-so-far plus outstanding covers the full trace.
+        let generated = s.outcome().tokens;
+        assert_eq!(s.outstanding_tokens() + generated, 8 * 200);
+    }
+
+    #[test]
+    fn preempting_policies_match_drop_only_without_pressure() {
+        // On a trace that never runs out of pages, every preemption policy
+        // must produce bit-for-bit the drop-only outcome (preemption is a
+        // pressure response, not a scheduling change).
+        let run = |policy: Box<dyn crate::preempt::PreemptionPolicy>| {
+            let mut s = sim(DeviceMode::neupims(), 8).with_preemption(policy);
+            for i in 0..12u32 {
+                s.submit(i, 64 + i * 16, 3 + i % 5, (i as u64) * 400_000)
+                    .unwrap();
+            }
+            s.run().unwrap()
+        };
+        let drop = run(Box::new(crate::preempt::DropOnly));
+        let rec = run(Box::new(crate::preempt::RecomputeLastAdmitted));
+        let swap = run(Box::new(crate::preempt::SwapLru));
+        assert_eq!(drop, rec);
+        assert_eq!(drop, swap);
+        assert_eq!(drop.preemptions, 0);
     }
 
     #[test]

@@ -38,6 +38,7 @@ use neupims_workload::{warm_batch, Dataset};
 
 use crate::backend::{Backend, BackendError, IterationResult};
 use crate::cluster::{cluster_throughput, ClusterSpec};
+use crate::preempt::{DropOnly, PreemptionPolicy, SwapConfig};
 use crate::scheduler::{LumpPrefill, SchedulerPolicy};
 use crate::serving::{ServingConfig, ServingSim, SloTargets};
 
@@ -58,6 +59,8 @@ pub struct Simulation<B: Backend> {
     samples: usize,
     scheduler: Box<dyn SchedulerPolicy>,
     cost_model: Option<CostModelKind>,
+    preemption: Box<dyn PreemptionPolicy>,
+    swap: SwapConfig,
 }
 
 /// Builder for [`Simulation`] (see [`Simulation::builder`]).
@@ -77,6 +80,8 @@ pub struct SimulationBuilder<B = NoBackend> {
     samples: usize,
     scheduler: Box<dyn SchedulerPolicy>,
     cost_model: Option<CostModelKind>,
+    preemption: Box<dyn PreemptionPolicy>,
+    swap: SwapConfig,
 }
 
 /// Type-state marker: no backend selected yet.
@@ -103,6 +108,8 @@ impl Simulation<Box<dyn Backend>> {
             samples: 10,
             scheduler: Box::new(LumpPrefill),
             cost_model: None,
+            preemption: Box::new(DropOnly),
+            swap: SwapConfig::default(),
         }
     }
 }
@@ -121,7 +128,25 @@ impl<T> SimulationBuilder<T> {
             samples: self.samples,
             scheduler: self.scheduler,
             cost_model: self.cost_model,
+            preemption: self.preemption,
+            swap: self.swap,
         }
+    }
+
+    /// Sets the KV-pressure preemption policy installed into every
+    /// [`Simulation::serving`] run (defaults to [`DropOnly`]; see
+    /// [`crate::preempt`] for the shipped policies).
+    pub fn preemption(mut self, policy: Box<dyn PreemptionPolicy>) -> Self {
+        self.preemption = policy;
+        self
+    }
+
+    /// Sets the swap-link parameters pricing
+    /// [`SwapLru`](crate::preempt::SwapLru) restores in
+    /// [`Simulation::serving`] runs (ignored by the other policies).
+    pub fn swap(mut self, swap: SwapConfig) -> Self {
+        self.swap = swap;
+        self
     }
 
     /// Sets the iteration-level serving scheduler installed into every
@@ -237,6 +262,8 @@ impl<B: Backend> SimulationBuilder<B> {
             samples: self.samples,
             scheduler: self.scheduler,
             cost_model: self.cost_model,
+            preemption: self.preemption,
+            swap: self.swap,
         })
     }
 }
@@ -336,6 +363,12 @@ impl<B: Backend> Simulation<B> {
         &*self.scheduler
     }
 
+    /// The KV-pressure preemption policy installed into [`Self::serving`]
+    /// runs.
+    pub fn preemption(&self) -> &dyn PreemptionPolicy {
+        &*self.preemption
+    }
+
     /// The MHA cost-model kind installed into [`Self::serving`] runs:
     /// the builder override when one was set, else the backend's own
     /// configured kind.
@@ -371,6 +404,8 @@ impl<B: Backend> Simulation<B> {
             self.scheduler.clone(),
         )
         .with_cost_model(self.cost_model_kind())
+        .with_preemption(self.preemption.clone())
+        .with_swap(self.swap)
     }
 }
 

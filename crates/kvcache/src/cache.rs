@@ -6,6 +6,17 @@
 //! and out-of-memory signaling at admission. [`PagedKvCache`] provides
 //! that, with page counts computed by the same [`KvGeometry`] the latency
 //! estimator uses.
+//!
+//! Beyond admit/grow/release, the cache supports the vLLM preemption
+//! lifecycle: [`PagedKvCache::preempt`] releases a victim's pages but
+//! hands back a [`PreemptedKv`] receipt (context length, page count,
+//! bytes) so a serving layer can park the request and later
+//! [`PagedKvCache::restore`] it — re-reserving pages for the context it
+//! had grown to, on whichever channel now has room. Preempt/restore
+//! traffic is counted separately from plain releases
+//! ([`PagedKvCache::preemptions`], [`PagedKvCache::restores`],
+//! [`PagedKvCache::pages_preempted`]) so outcomes can report how much
+//! KV state the run evicted.
 
 use std::collections::HashMap;
 
@@ -20,14 +31,34 @@ struct ReqAlloc {
     pages: u64,
 }
 
+/// Receipt of one preempted request's released KV allocation — everything
+/// a serving layer needs to park the request and price its restoration
+/// (recompute re-pays prefill over `seq_len` tokens; swap transfers
+/// `bytes` over the host link).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PreemptedKv {
+    /// Channel the pages lived on.
+    pub channel: ChannelId,
+    /// Context length (tokens) the request had grown to at preemption.
+    pub seq_len: u64,
+    /// Pages released.
+    pub pages: u64,
+    /// Bytes released (`pages * page_bytes`) — the swap transfer size.
+    pub bytes: u64,
+}
+
 /// Per-channel paged KV-cache accounting.
 #[derive(Debug, Clone)]
 pub struct PagedKvCache {
     geometry: KvGeometry,
     layers: u32,
     pages_per_channel: u64,
+    page_bytes: u64,
     used: Vec<u64>,
     requests: HashMap<RequestId, ReqAlloc>,
+    preemptions: u64,
+    restores: u64,
+    pages_preempted: u64,
 }
 
 impl PagedKvCache {
@@ -38,14 +69,31 @@ impl PagedKvCache {
             geometry,
             layers,
             pages_per_channel: mem.capacity_per_channel / mem.page_bytes,
+            page_bytes: mem.page_bytes,
             used: vec![0; mem.channels as usize],
             requests: HashMap::new(),
+            preemptions: 0,
+            restores: 0,
+            pages_preempted: 0,
         }
     }
 
     /// Layout geometry used for page math.
     pub fn geometry(&self) -> &KvGeometry {
         &self.geometry
+    }
+
+    /// Page capacity of one channel (the hard ceiling on any single
+    /// request's context: a context needing more pages than this can
+    /// never be admitted or restored).
+    pub fn pages_per_channel(&self) -> u64 {
+        self.pages_per_channel
+    }
+
+    /// Bytes per page (swap transfer math: a preempted allocation moves
+    /// `pages * page_bytes` bytes over the host link).
+    pub fn page_bytes(&self) -> u64 {
+        self.page_bytes
     }
 
     /// Pages a `seq_len`-token context occupies on its channel (all
@@ -173,6 +221,96 @@ impl PagedKvCache {
         Ok(alloc.pages)
     }
 
+    /// Releases every page of `id` *for preemption*, returning a
+    /// [`PreemptedKv`] receipt instead of a bare page count: the serving
+    /// layer parks the request and uses the receipt to price its
+    /// restoration (recompute or swap). Counted in
+    /// [`Self::preemptions`] / [`Self::pages_preempted`], separately from
+    /// completion releases.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownRequest`] for unregistered ids.
+    ///
+    /// # Example
+    ///
+    /// The full preempt/restore round trip — pages come back, the context
+    /// length survives parking, and the traffic is accounted:
+    ///
+    /// ```
+    /// use neupims_kvcache::{KvGeometry, PagedKvCache};
+    /// use neupims_types::{ChannelId, LlmConfig, MemConfig, RequestId};
+    ///
+    /// let mem = MemConfig::table2();
+    /// let geo = KvGeometry::for_model(&LlmConfig::gpt3_7b(), &mem);
+    /// let mut kv = PagedKvCache::new(&mem, geo, 32);
+    /// let (id, ch) = (RequestId::new(7), ChannelId::new(0));
+    ///
+    /// kv.admit(id, ch, 128).unwrap();
+    /// kv.append_token(id).unwrap(); // context grows to 129
+    ///
+    /// let receipt = kv.preempt(id).unwrap(); // victim selected: evict
+    /// assert_eq!(receipt.seq_len, 129);
+    /// assert_eq!(receipt.bytes, receipt.pages * kv.page_bytes());
+    /// assert_eq!(kv.used_pages(), 0, "pages are free while parked");
+    ///
+    /// kv.restore(id, ch, receipt.seq_len).unwrap(); // swap back in
+    /// assert_eq!(kv.seq_len(id).unwrap(), 129);
+    /// assert_eq!((kv.preemptions(), kv.restores()), (1, 1));
+    /// ```
+    pub fn preempt(&mut self, id: RequestId) -> Result<PreemptedKv, SimError> {
+        let alloc = self
+            .requests
+            .remove(&id)
+            .ok_or(SimError::UnknownRequest(id))?;
+        self.used[alloc.channel.index()] -= alloc.pages;
+        self.preemptions += 1;
+        self.pages_preempted += alloc.pages;
+        Ok(PreemptedKv {
+            channel: alloc.channel,
+            seq_len: alloc.seq_len,
+            pages: alloc.pages,
+            bytes: alloc.pages * self.page_bytes,
+        })
+    }
+
+    /// Re-admits a previously [preempted](Self::preempt) request with the
+    /// `seq_len`-token context it had grown to, reserving all its pages on
+    /// `channel` (which need not be the original home — restores go where
+    /// room is). Counted in [`Self::restores`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::OutOfMemory`] (reserving nothing) if the
+    /// channel lacks pages, or [`SimError::Scheduling`] when `id` is
+    /// still resident.
+    pub fn restore(
+        &mut self,
+        id: RequestId,
+        channel: ChannelId,
+        seq_len: u64,
+    ) -> Result<(), SimError> {
+        self.admit(id, channel, seq_len)?;
+        self.restores += 1;
+        Ok(())
+    }
+
+    /// Preemption events since construction.
+    pub fn preemptions(&self) -> u64 {
+        self.preemptions
+    }
+
+    /// Restore events since construction.
+    pub fn restores(&self) -> u64 {
+        self.restores
+    }
+
+    /// Total pages released by preemptions (cumulative; restores do not
+    /// subtract).
+    pub fn pages_preempted(&self) -> u64 {
+        self.pages_preempted
+    }
+
     /// Number of admitted requests.
     pub fn active_requests(&self) -> usize {
         self.requests.len()
@@ -286,6 +424,70 @@ mod tests {
             kv.utilization(),
             kv.used_pages() as f64 / kv.total_pages() as f64
         );
+    }
+
+    #[test]
+    fn preempt_restore_round_trip() {
+        let mut kv = cache();
+        let c = ChannelId::new(1);
+        kv.admit(RequestId::new(4), c, 200).unwrap();
+        for _ in 0..7 {
+            kv.append_token(RequestId::new(4)).unwrap();
+        }
+        let free_before = kv.free_pages(c);
+        let receipt = kv.preempt(RequestId::new(4)).unwrap();
+        assert_eq!(receipt.channel, c);
+        assert_eq!(receipt.seq_len, 207);
+        assert_eq!(receipt.pages, kv.pages_for(207));
+        assert_eq!(receipt.bytes, receipt.pages * kv.page_bytes());
+        assert_eq!(kv.free_pages(c), free_before + receipt.pages);
+        assert_eq!(kv.active_requests(), 0);
+        assert_eq!(kv.preemptions(), 1);
+        assert_eq!(kv.pages_preempted(), receipt.pages);
+        assert_eq!(kv.restores(), 0);
+
+        // Restore onto a *different* channel: the context survives.
+        let other = ChannelId::new(3);
+        kv.restore(RequestId::new(4), other, receipt.seq_len)
+            .unwrap();
+        assert_eq!(kv.seq_len(RequestId::new(4)).unwrap(), 207);
+        assert_eq!(kv.used_pages(), receipt.pages);
+        assert_eq!(kv.free_pages(c), kv.pages_per_channel());
+        assert_eq!(kv.restores(), 1);
+        // Growth resumes where the context left off.
+        kv.append_token(RequestId::new(4)).unwrap();
+        assert_eq!(kv.seq_len(RequestId::new(4)).unwrap(), 208);
+    }
+
+    #[test]
+    fn preempt_accounting_is_separate_from_release() {
+        let mut kv = cache();
+        kv.admit(RequestId::new(1), ChannelId::new(0), 64).unwrap();
+        kv.admit(RequestId::new(2), ChannelId::new(0), 64).unwrap();
+        kv.release(RequestId::new(1)).unwrap();
+        assert_eq!(kv.preemptions(), 0, "release is not a preemption");
+        kv.preempt(RequestId::new(2)).unwrap();
+        assert_eq!(kv.preemptions(), 1);
+        assert!(matches!(
+            kv.preempt(RequestId::new(2)),
+            Err(SimError::UnknownRequest(_))
+        ));
+    }
+
+    #[test]
+    fn restore_oom_reserves_nothing() {
+        let mem = MemConfig {
+            capacity_per_channel: 64 << 10, // 64 pages
+            ..MemConfig::table2()
+        };
+        let model = LlmConfig::gpt3_7b();
+        let geo = KvGeometry::for_model(&model, &mem);
+        let mut kv = PagedKvCache::new(&mem, geo, 8);
+        let c = ChannelId::new(0);
+        let err = kv.restore(RequestId::new(1), c, 4096).unwrap_err();
+        assert!(matches!(err, SimError::OutOfMemory { .. }));
+        assert_eq!(kv.free_pages(c), 64, "failed restore must not leak");
+        assert_eq!(kv.restores(), 0, "failed restore is not counted");
     }
 
     #[test]

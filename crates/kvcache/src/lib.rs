@@ -11,7 +11,8 @@
 //!   `(bank, row)` placement, used by functional paths and tests;
 //! * [`cache::PagedKvCache`] — count-based per-channel accounting used by
 //!   the system simulator at scale (admission, per-token growth, release,
-//!   out-of-memory signaling).
+//!   out-of-memory signaling, and the vLLM preempt/restore lifecycle —
+//!   see [`cache::PagedKvCache::preempt`]).
 //!
 //! # Example
 //!
@@ -33,6 +34,6 @@ pub mod cache;
 pub mod geometry;
 pub mod pool;
 
-pub use cache::PagedKvCache;
+pub use cache::{PagedKvCache, PreemptedKv};
 pub use geometry::KvGeometry;
 pub use pool::{PageId, PagePool};

@@ -158,6 +158,33 @@ impl RequestPool {
         done
     }
 
+    /// Removes `id` from the running batch without retiring it, returning
+    /// the request (generation progress intact) so a serving frontend can
+    /// park it in a preempted queue. The request counts neither as
+    /// completed nor as a generated-token event; [`Self::resume`] puts it
+    /// back.
+    ///
+    /// Returns `None` when `id` is not running.
+    pub fn preempt_running(&mut self, id: RequestId) -> Option<Request> {
+        let pos = self.running.iter().position(|r| r.id == id)?;
+        let mut req = self.running.remove(pos);
+        req.state = RequestState::Waiting;
+        Some(req)
+    }
+
+    /// Re-inserts a previously [preempted](Self::preempt_running) request
+    /// at the back of the running batch. Returns `false` (and leaves the
+    /// pool untouched) when the batch is at its cap — the caller keeps the
+    /// request parked and retries at a later boundary.
+    pub fn resume(&mut self, mut req: Request) -> bool {
+        if self.running.len() >= self.max_batch {
+            return false;
+        }
+        req.state = RequestState::Running;
+        self.running.push(req);
+        true
+    }
+
     /// Looks up a running request.
     ///
     /// # Errors
@@ -327,6 +354,42 @@ mod tests {
         // drop_head_waiting removes exactly the earliest-submitted waiter.
         assert_eq!(pool.drop_head_waiting().unwrap().id, RequestId::new(9));
         assert_eq!(pool.admit(5, |_| true), vec![RequestId::new(1)]);
+    }
+
+    #[test]
+    fn preempt_and_resume_preserve_progress_and_cap() {
+        let mut pool = RequestPool::new(2);
+        pool.submit(req(0, 8, 4, 0));
+        pool.submit(req(1, 8, 4, 0));
+        pool.submit(req(2, 8, 4, 0)); // queued behind the cap
+        pool.admit(0, |_| true);
+        pool.complete_iteration(); // both running requests have 1 token
+
+        let victim = pool.preempt_running(RequestId::new(1)).unwrap();
+        assert_eq!(victim.generated, 1, "progress rides along");
+        assert_eq!(victim.state, RequestState::Waiting);
+        assert_eq!(pool.running().len(), 1);
+        assert_eq!(pool.completed(), 0, "preemption is not completion");
+        assert_eq!(pool.tokens_generated(), 2, "earned tokens are kept");
+        assert!(pool.preempt_running(RequestId::new(1)).is_none());
+
+        // The freed slot admits the queued request; the batch is full
+        // again, so resume must refuse rather than overshoot the cap.
+        pool.admit(0, |_| true);
+        assert_eq!(pool.running().len(), 2);
+        assert!(!pool.resume(victim.clone()), "cap must hold");
+
+        // After a slot frees, resume re-enters with progress intact.
+        pool.complete_iteration();
+        pool.complete_iteration();
+        pool.complete_iteration();
+        pool.complete_iteration(); // requests 0 and 2 retire
+        assert!(pool.resume(victim));
+        let r = pool.get_running(RequestId::new(1)).unwrap();
+        assert_eq!(r.generated, 1);
+        assert_eq!(r.state, RequestState::Running);
+        // Outstanding work counts the resumed request's remaining tokens.
+        assert_eq!(pool.outstanding_tokens(), 3);
     }
 
     #[test]

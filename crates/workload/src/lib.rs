@@ -12,12 +12,17 @@
 //!   published means;
 //! * [`batch::warm_batch`] — the warm-batch sampler;
 //! * [`batch::poisson_arrivals`] / [`batch::arrival_stream`] — streaming
-//!   Poisson arrivals for serving and fleet simulations.
+//!   Poisson arrivals for serving and fleet simulations;
+//! * [`pressure::kv_pressure_burst`] — KV-pressure burst traces (modest
+//!   prompts, long decode tails, bursty arrivals) that oversubscribe the
+//!   paged KV cache and exercise the preemption policies.
 
 #![warn(missing_docs)]
 
 pub mod batch;
 pub mod dataset;
+pub mod pressure;
 
 pub use batch::{arrival_stream, poisson_arrivals, warm_batch, WarmRequest};
 pub use dataset::Dataset;
+pub use pressure::{kv_pressure_burst, PressureRequest, PressureSpec};

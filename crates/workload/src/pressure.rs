@@ -1,0 +1,146 @@
+//! KV-pressure burst synthesis: traffic that oversubscribes the paged KV
+//! cache.
+//!
+//! The ShareGPT/Alpaca streams ([`crate::dataset`]) model *steady* load;
+//! what exercises preemption is the opposite regime — bursts of requests
+//! with modest prompts and **long decode tails**, so admission succeeds
+//! cheaply and the crunch arrives mid-decode when every context has grown
+//! and the channels are crowded. [`kv_pressure_burst`] generates exactly
+//! that: `bursts` waves of `burst_size` requests each, arriving together
+//! every `burst_interval` cycles, lengths jittered around the spec means
+//! so page-boundary crossings spread out instead of landing in lockstep.
+//!
+//! The defaults are tuned to crowd a deliberately tight serving
+//! configuration (a few hundred tokens of KV per channel-pair) — see
+//! `examples/preemption_pressure.rs` and the `docs/MEMORY.md` worked
+//! example, which drive this trace against the three preemption policies.
+
+use rand::{Rng, RngExt};
+
+use neupims_types::Cycle;
+
+/// Parameters of a [`kv_pressure_burst`] trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PressureSpec {
+    /// Requests arriving together in each burst.
+    pub burst_size: usize,
+    /// Number of bursts.
+    pub bursts: usize,
+    /// Cycles between burst fronts.
+    pub burst_interval: Cycle,
+    /// Mean prompt length in tokens (kept modest so admission succeeds
+    /// and the pressure lands on growth).
+    pub input_len: u32,
+    /// Mean generation length in tokens (long, so contexts keep growing
+    /// after the cache fills).
+    pub output_len: u32,
+    /// Uniform ±jitter (tokens) applied independently to both lengths.
+    pub jitter: u32,
+}
+
+impl Default for PressureSpec {
+    fn default() -> Self {
+        Self {
+            burst_size: 8,
+            bursts: 3,
+            burst_interval: 40_000_000, // 40 ms at 1 GHz
+            input_len: 256,
+            output_len: 200,
+            jitter: 32,
+        }
+    }
+}
+
+/// One request of a KV-pressure burst trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PressureRequest {
+    /// Prompt length in tokens.
+    pub input_len: u32,
+    /// Target generation length in tokens.
+    pub output_len: u32,
+    /// Arrival time at the serving frontend.
+    pub arrival: Cycle,
+}
+
+/// Samples a KV-pressure burst trace: `spec.bursts` waves of
+/// `spec.burst_size` requests, arrival-sorted, lengths jittered uniformly
+/// within `±spec.jitter` tokens of the spec means (never below 1 output
+/// token or 1 prompt token).
+pub fn kv_pressure_burst<R: Rng + ?Sized>(
+    rng: &mut R,
+    spec: &PressureSpec,
+) -> Vec<PressureRequest> {
+    let jittered = |rng: &mut R, mean: u32, jitter: u32| -> u32 {
+        if jitter == 0 {
+            return mean.max(1);
+        }
+        let low = mean.saturating_sub(jitter).max(1);
+        let high = mean + jitter;
+        rng.random_range(low..high + 1)
+    };
+    let mut out = Vec::with_capacity(spec.bursts * spec.burst_size);
+    for burst in 0..spec.bursts {
+        let front = burst as Cycle * spec.burst_interval;
+        for _ in 0..spec.burst_size {
+            out.push(PressureRequest {
+                input_len: jittered(rng, spec.input_len, spec.jitter),
+                output_len: jittered(rng, spec.output_len, spec.jitter),
+                arrival: front,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn trace_shape_follows_the_spec() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let spec = PressureSpec::default();
+        let trace = kv_pressure_burst(&mut rng, &spec);
+        assert_eq!(trace.len(), spec.bursts * spec.burst_size);
+        assert!(trace.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+        for r in &trace {
+            assert!(r.input_len >= spec.input_len - spec.jitter);
+            assert!(r.input_len <= spec.input_len + spec.jitter);
+            assert!(r.output_len >= spec.output_len - spec.jitter);
+            assert!(r.output_len <= spec.output_len + spec.jitter);
+            assert_eq!(r.arrival % spec.burst_interval, 0, "bursty, not spread");
+        }
+        // Jitter actually varies the lengths.
+        assert!(trace.iter().any(|r| r.input_len != trace[0].input_len));
+    }
+
+    #[test]
+    fn deterministic_under_one_seed() {
+        let spec = PressureSpec::default();
+        let a = kv_pressure_burst(&mut StdRng::seed_from_u64(3), &spec);
+        let b = kv_pressure_burst(&mut StdRng::seed_from_u64(3), &spec);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_jitter_is_exact_and_floors_at_one() {
+        let spec = PressureSpec {
+            jitter: 0,
+            input_len: 64,
+            output_len: 1,
+            ..PressureSpec::default()
+        };
+        let trace = kv_pressure_burst(&mut StdRng::seed_from_u64(0), &spec);
+        assert!(trace.iter().all(|r| r.input_len == 64 && r.output_len == 1));
+        // A jitter window reaching 0 clamps to 1 token.
+        let spec = PressureSpec {
+            jitter: 5,
+            output_len: 2,
+            ..PressureSpec::default()
+        };
+        let trace = kv_pressure_burst(&mut StdRng::seed_from_u64(0), &spec);
+        assert!(trace.iter().all(|r| r.output_len >= 1));
+    }
+}

@@ -1,0 +1,104 @@
+//! Validates that every intra-repo markdown link in `README.md` and
+//! `docs/*.md` resolves to a real file, so the growing docs site cannot
+//! silently rot as files move. External (`http...`), `mailto:`, and
+//! same-file anchor links are out of scope.
+
+use std::path::{Path, PathBuf};
+
+/// Extracts every inline markdown link target — the `target` of
+/// `[text](target)` — from `text`.
+fn link_targets(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = text;
+    while let Some(pos) = rest.find("](") {
+        let after = &rest[pos + 2..];
+        match after.find(')') {
+            Some(end) => {
+                out.push(after[..end].to_string());
+                rest = &after[end + 1..];
+            }
+            None => break,
+        }
+    }
+    out
+}
+
+/// Markdown files whose links must resolve: the README plus every file
+/// under `docs/`.
+fn doc_files(root: &Path) -> Vec<PathBuf> {
+    let mut files = vec![root.join("README.md")];
+    let docs = root.join("docs");
+    let entries =
+        std::fs::read_dir(&docs).unwrap_or_else(|e| panic!("docs/ directory must exist: {e}"));
+    for entry in entries {
+        let path = entry.unwrap().path();
+        if path.extension().is_some_and(|e| e == "md") {
+            files.push(path);
+        }
+    }
+    files.sort();
+    assert!(
+        files.len() >= 4,
+        "expected README + at least three docs chapters, found {files:?}"
+    );
+    files
+}
+
+#[test]
+fn every_intra_repo_markdown_link_resolves() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let mut checked = 0;
+    let mut broken = Vec::new();
+    for file in doc_files(&root) {
+        let text = std::fs::read_to_string(&file).unwrap();
+        let dir = file.parent().unwrap();
+        for target in link_targets(&text) {
+            // Out of scope: external links and same-file anchors.
+            if target.starts_with("http://")
+                || target.starts_with("https://")
+                || target.starts_with("mailto:")
+                || target.starts_with('#')
+                || target.is_empty()
+            {
+                continue;
+            }
+            // Inside code spans/blocks "](" can appear in expressions;
+            // only plausible path targets are checked.
+            if target.contains(char::is_whitespace) {
+                continue;
+            }
+            let path_part = target.split('#').next().unwrap();
+            let resolved = dir.join(path_part);
+            checked += 1;
+            if !resolved.exists() {
+                broken.push(format!("{}: {target}", file.display()));
+            }
+        }
+    }
+    assert!(
+        checked >= 10,
+        "link scan looks broken: only {checked} intra-repo links found"
+    );
+    assert!(
+        broken.is_empty(),
+        "broken intra-repo markdown links:\n  {}",
+        broken.join("\n  ")
+    );
+}
+
+#[test]
+fn link_extraction_handles_the_usual_shapes() {
+    let text = "see [a](docs/A.md) and [b](B.md#anchor), not [c](https://x.y) \
+                or [d](#local); trailing [e](sub/dir/E.md).";
+    let targets = link_targets(text);
+    assert_eq!(
+        targets,
+        vec![
+            "docs/A.md",
+            "B.md#anchor",
+            "https://x.y",
+            "#local",
+            "sub/dir/E.md"
+        ]
+    );
+}
