@@ -1,0 +1,130 @@
+//! `bench-snapshot` — a JSON perf-trajectory snapshot of the MHA cost
+//! models, measured with `std::time` (the vendored criterion shim does
+//! not time for real).
+//!
+//! Prices the same ShareGPT-shaped 256-request batch as the
+//! `cost_models` criterion bench through all three paths — the
+//! Algorithm 1 analytic closed form, cold trace-driven replay (fresh
+//! memo every estimate), and warm trace-driven replay (memoized
+//! serving-loop steady state) — and writes `BENCH_cost_models.json`
+//! (or the path given as the first argument). The checked-in baseline
+//! at the repo root seeds the trajectory; regenerate it with:
+//!
+//! ```text
+//! cargo run --release -p neupims-bench --bin bench-snapshot
+//! ```
+
+use std::time::Instant;
+
+use neupims_eval::json::Json;
+use neupims_kvcache::KvGeometry;
+use neupims_pim::calibrate;
+use neupims_sched::{MhaCostModel, MhaLatencyEstimator, TraceDrivenCostModel};
+use neupims_types::{LlmConfig, NeuPimsConfig};
+
+/// The cost_models bench batch: mixed short/long ShareGPT-shaped tail.
+fn batch() -> Vec<u64> {
+    (0..256u64).map(|i| 16 + (i * 97) % 1500).collect()
+}
+
+/// Median / min / max over per-iteration wall times of `f`, in
+/// nanoseconds per iteration.
+fn time<F: FnMut() -> f64>(iters: usize, mut f: F) -> (Vec<f64>, f64) {
+    let mut samples = Vec::with_capacity(iters);
+    let mut sink = 0.0;
+    for _ in 0..iters {
+        let start = Instant::now();
+        sink += f();
+        samples.push(start.elapsed().as_nanos() as f64);
+    }
+    (samples, sink)
+}
+
+fn stats(label: &str, mut samples: Vec<f64>) -> (String, Json) {
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = samples[samples.len() / 2];
+    let fields = vec![
+        ("median_ns".to_owned(), Json::Num(median)),
+        ("min_ns".to_owned(), Json::Num(samples[0])),
+        ("max_ns".to_owned(), Json::Num(samples[samples.len() - 1])),
+        ("iters".to_owned(), Json::int(samples.len() as u64)),
+    ];
+    (label.to_owned(), Json::Obj(fields))
+}
+
+fn median_of(j: &Json) -> f64 {
+    match j {
+        Json::Obj(fields) => fields
+            .iter()
+            .find(|(k, _)| k == "median_ns")
+            .and_then(|(_, v)| match v {
+                Json::Num(n) => Some(*n),
+                _ => None,
+            })
+            .unwrap_or(f64::NAN),
+        _ => f64::NAN,
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_cost_models.json".to_owned());
+
+    let cfg = NeuPimsConfig::table2();
+    let cal = calibrate(&cfg).expect("Table 2 calibrates");
+    let geo = KvGeometry::for_model(&LlmConfig::gpt3_7b(), &cfg.mem);
+    let seqs = batch();
+
+    eprintln!(
+        "pricing {} contexts through 3 cost-model paths ...",
+        seqs.len()
+    );
+
+    let analytic = MhaLatencyEstimator::new(geo, cal.l_tile, cal.l_gwrite);
+    let (analytic_samples, mut sink) = time(200, || analytic.estimate_sum(&seqs) as f64);
+
+    // Cold: a fresh memo per estimate — every context-length bucket
+    // replays its GEMV command stream through the cycle model.
+    let (cold_samples, s) = time(10, || {
+        let trace = TraceDrivenCostModel::new(&cfg, geo, true);
+        MhaCostModel::estimate_sum(&trace, &seqs)
+    });
+    sink += s;
+
+    // Warm: one shared memo, pre-populated — the serving-loop steady
+    // state where estimates are hash lookups.
+    let warm = TraceDrivenCostModel::new(&cfg, geo, true);
+    MhaCostModel::estimate_sum(&warm, &seqs);
+    let (warm_samples, s) = time(200, || MhaCostModel::estimate_sum(&warm, &seqs));
+    sink += s;
+
+    let timings = vec![
+        stats("analytic", analytic_samples),
+        stats("trace_cold", cold_samples),
+        stats("trace_warm", warm_samples),
+    ];
+    let a = median_of(&timings[0].1);
+    let c = median_of(&timings[1].1);
+    let w = median_of(&timings[2].1);
+    let doc = Json::Obj(vec![
+        ("bench".to_owned(), Json::str("cost_models")),
+        ("batch".to_owned(), Json::int(seqs.len() as u64)),
+        ("model".to_owned(), Json::str("gpt3-7b")),
+        ("timings".to_owned(), Json::Obj(timings)),
+        (
+            "ratios".to_owned(),
+            Json::Obj(vec![
+                ("warm_over_analytic".to_owned(), Json::Num(w / a)),
+                ("cold_over_warm".to_owned(), Json::Num(c / w)),
+            ]),
+        ),
+        // Keeps the sink live so the timed loops can't be optimized out.
+        ("checksum".to_owned(), Json::Num(sink)),
+    ]);
+
+    let json = doc.pretty();
+    std::fs::write(&out_path, &json).expect("write snapshot");
+    print!("{json}");
+    eprintln!("wrote {out_path}");
+}

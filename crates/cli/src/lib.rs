@@ -2,20 +2,24 @@
 //! NeuPIMs paper (ASPLOS'24), plus backend-generic sweeps and serving.
 //!
 //! ```text
-//! neupims <command> [--samples N] [--quick] [--backend NAME] [--model NAME]
-//!                   [--dataset NAME] [--batch N] [--requests N] [--max-batch N]
-//!                   [--replicas N] [--policy NAME] [--rate R]
+//! neupims <command> [suite] [--samples N] [--quick] [--backend NAME]
+//!                   [--model NAME] [--dataset NAME] [--batch N]
+//!                   [--requests N] [--max-batch N]
+//!                   [--replicas N] [--policy NAME] [--rate R] [--seed N]
 //!                   [--scheduler NAME] [--chunk-tokens N]
 //!                   [--preemption NAME] [--swap-gbps GB]
 //!                   [--cost-model NAME] [--tolerance F]
 //!                   [--slo-ttft-ms MS] [--slo-tpot-ms MS]
+//!                   [--list] [--reports-dir DIR]
 //!
 //! commands:
 //!   sweep       throughput sweep of one backend across batch sizes
 //!   serve       serving simulation (streaming arrivals) on one backend
 //!   fleet       SLO-aware multi-replica fleet serving behind a dispatcher
+//!   eval        run a golden-expectation suite (eval <suite>, eval --list)
 //!   calibrate   print the cycle-model calibration constants
 //!   drift       analytic-vs-trace MHA cost model calibration drift
+//!               (exits non-zero when any point exceeds --tolerance)
 //!   fig4        roofline / arithmetic-intensity points (Figure 4)
 //!   fig5        GPU utilization for four LLMs (Figure 5)
 //!   fig6        naive NPU+PIM per-stage utilization (Figure 6)
@@ -51,6 +55,15 @@
 //! and drives both `serve` and `fleet` arrivals; --slo-ttft-ms /
 //! --slo-tpot-ms set the latency targets their SLO-attainment and
 //! goodput columns are measured against.
+//! --seed pins the workload RNG of `serve`, `fleet`, and `eval`: two runs
+//! with the same seed (and flags) submit identical requests. Without it,
+//! serve/fleet derive a seed from --requests (legacy behavior) and eval
+//! suites use their spec'd per-scenario seeds.
+//! eval suites: smoke (CI default), fig12, table3, pressure — or a path
+//! to a .toml spec (see docs/EVAL.md); reports are stored under
+//! --reports-dir (default `reports/`) keyed by suite + git revision, and
+//! the command exits non-zero when any fail-severity golden check is
+//! violated.
 //! ```
 
 use std::process::ExitCode;
@@ -95,6 +108,10 @@ struct Options {
     rate: f64,
     slo_ttft_ms: f64,
     slo_tpot_ms: f64,
+    seed: Option<u64>,
+    suite: Option<String>,
+    list: bool,
+    reports_dir: String,
 }
 
 fn parse_model(name: &str) -> Option<LlmConfig> {
@@ -141,6 +158,10 @@ pub fn run_cli() -> ExitCode {
         rate: 3.0,
         slo_ttft_ms: 50.0,
         slo_tpot_ms: 10.0,
+        seed: None,
+        suite: None,
+        list: false,
+        reports_dir: "reports".to_owned(),
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -280,8 +301,27 @@ pub fn run_cli() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--seed" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(s) => opts.seed = Some(s),
+                None => {
+                    eprintln!("--seed requires a number");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--reports-dir" => match it.next() {
+                Some(dir) => opts.reports_dir = dir.clone(),
+                None => {
+                    eprintln!("--reports-dir requires a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--list" => opts.list = true,
             "--quick" => opts.quick = true,
             cmd if command.is_none() => command = Some(cmd.to_owned()),
+            // A second positional argument names the eval suite.
+            suite if opts.suite.is_none() && !suite.starts_with('-') => {
+                opts.suite = Some(suite.to_owned());
+            }
             other => {
                 eprintln!("unexpected argument {other:?}");
                 return ExitCode::FAILURE;
@@ -311,6 +351,11 @@ fn run(command: &str, opts: &Options) -> Result<(), Box<dyn std::error::Error>> 
     }
     if command == "area" {
         return cmd_area();
+    }
+    if command == "eval" {
+        // The eval runner calibrates per scenario (suites may override
+        // the memory system), so it skips the shared context below.
+        return cmd_eval(opts);
     }
 
     // Every remaining command needs the calibrated context.
@@ -409,7 +454,7 @@ fn cmd_serve(ctx: &ExperimentContext, opts: &Options) -> Result<(), Box<dyn std:
         tpot: opts.slo_tpot_ms * 1e6,
     });
     let mut serving = sim.serving_with_slo(opts.max_batch.max(1), 0, slo);
-    let mut rng = StdRng::seed_from_u64(0x5EED ^ opts.requests as u64);
+    let mut rng = StdRng::seed_from_u64(opts.seed.unwrap_or(0x5EED ^ opts.requests as u64));
     let arrivals = arrival_stream(&mut rng, opts.rate, opts.requests);
     for (i, &at) in arrivals.iter().enumerate() {
         let input = opts.dataset.sample_input(&mut rng);
@@ -517,7 +562,7 @@ fn cmd_fleet(ctx: &ExperimentContext, opts: &Options) -> Result<(), Box<dyn std:
             gb_per_sec: opts.swap_gbps,
         });
 
-    let mut rng = StdRng::seed_from_u64(0xF1EE7 ^ opts.requests as u64);
+    let mut rng = StdRng::seed_from_u64(opts.seed.unwrap_or(0xF1EE7 ^ opts.requests as u64));
     let arrivals = arrival_stream(&mut rng, opts.rate, opts.requests);
     for (i, &at) in arrivals.iter().enumerate() {
         fleet.submit(FleetRequest {
@@ -690,6 +735,7 @@ fn cmd_drift(ctx: &ExperimentContext, opts: &Options) -> Result<(), Box<dyn std:
             "\nno drift beyond {:.0}%: the Algorithm 1 constants still summarize the cycle model",
             opts.tolerance * 100.0
         );
+        Ok(())
     } else {
         println!(
             "\n{} of {} points drift beyond {:.0}% (max {:.1}%) — short contexts pay Algorithm 1's \
@@ -699,6 +745,58 @@ fn cmd_drift(ctx: &ExperimentContext, opts: &Options) -> Result<(), Box<dyn std:
             opts.tolerance * 100.0,
             report.max_rel_err() * 100.0
         );
+        // A drifted calibration is a failure, not a report: CI and
+        // scripts gate on the exit code.
+        Err(format!(
+            "calibration drift: {} of {} points exceed the {:.0}% tolerance",
+            violations.len(),
+            report.points.len(),
+            opts.tolerance * 100.0
+        )
+        .into())
+    }
+}
+
+fn cmd_eval(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    if opts.list {
+        println!("\n## Eval suites\n");
+        println!("| suite | description |");
+        println!("|---|---|");
+        for name in neupims_eval::SUITE_NAMES {
+            println!(
+                "| {} | {} |",
+                name,
+                neupims_eval::builtin_description(name).unwrap_or_default()
+            );
+        }
+        println!("\nrun one with: neupims-sim eval <suite> [--seed N] [--reports-dir DIR]");
+        return Ok(());
+    }
+    let suite_name = opts.suite.as_deref().unwrap_or("smoke");
+    let suite = neupims_eval::load_suite(suite_name)?;
+    eprintln!(
+        "running eval suite {} ({} scenarios, {} checks) ...",
+        suite.name,
+        suite.scenarios.len(),
+        suite
+            .scenarios
+            .iter()
+            .map(|s| s.expects.len())
+            .sum::<usize>()
+            + suite.compares.len()
+    );
+    let report = neupims_eval::run_eval(&suite, opts.seed)?;
+    print!("{}", report.render());
+    let (keyed, latest) =
+        neupims_eval::store_report(std::path::Path::new(&opts.reports_dir), &report)?;
+    println!("\nstored: {} (alias {})", keyed.display(), latest.display());
+    let (_, _, fail) = report.counts();
+    if fail > 0 {
+        return Err(format!(
+            "eval suite {} violated {} fail-severity golden check(s)",
+            suite.name, fail
+        )
+        .into());
     }
     Ok(())
 }

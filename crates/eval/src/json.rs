@@ -1,0 +1,167 @@
+//! A minimal JSON document builder and pretty-printer.
+//!
+//! The workspace's `serde` is an offline no-op shim (marker traits only),
+//! so the eval harness emits its `EvalReport` JSON through this tiny
+//! value tree instead. Output is deterministic: object keys keep
+//! insertion order, floats use Rust's shortest round-trip formatting,
+//! and non-finite floats become `null` (JSON has no NaN/Infinity).
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A finite number (non-finite values print as `null`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// A string value.
+    pub fn str(s: impl Into<String>) -> Self {
+        Json::Str(s.into())
+    }
+
+    /// An integer value (exact for |n| < 2^53).
+    pub fn int(n: u64) -> Self {
+        Json::Num(n as f64)
+    }
+
+    /// Pretty-prints with two-space indentation and a trailing newline.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => {
+                if n.is_finite() {
+                    // Integral values print without a fraction; everything
+                    // else uses the shortest representation that round-trips.
+                    if n.fract() == 0.0 && n.abs() < 9.0e15 {
+                        let _ = write!(out, "{}", *n as i64);
+                    } else {
+                        let _ = write!(out, "{n}");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    pad(out, indent + 1);
+                    item.write(out, indent + 1);
+                }
+                out.push('\n');
+                pad(out, indent);
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    pad(out, indent + 1);
+                    write_escaped(out, key);
+                    out.push_str(": ");
+                    value.write(out, indent + 1);
+                }
+                out.push('\n');
+                pad(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn pad(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_documents() {
+        let doc = Json::Obj(vec![
+            ("name".into(), Json::str("smoke")),
+            ("ok".into(), Json::Bool(true)),
+            ("count".into(), Json::int(3)),
+            ("ratio".into(), Json::Num(1.625)),
+            ("nan".into(), Json::Num(f64::NAN)),
+            ("items".into(), Json::Arr(vec![Json::Num(1.0), Json::Null])),
+            ("empty".into(), Json::Obj(vec![])),
+        ]);
+        let text = doc.pretty();
+        assert!(text.contains("\"name\": \"smoke\""));
+        assert!(text.contains("\"count\": 3"));
+        assert!(text.contains("\"ratio\": 1.625"));
+        assert!(text.contains("\"nan\": null"));
+        assert!(text.contains("\"empty\": {}"));
+        assert!(text.ends_with("}\n"));
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let mut s = String::new();
+        write_escaped(&mut s, "a\"b\\c\nd\u{1}");
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn integral_floats_have_no_fraction() {
+        assert_eq!(Json::Num(42.0).pretty(), "42\n");
+        assert_eq!(Json::Num(-0.5).pretty(), "-0.5\n");
+    }
+}

@@ -1,0 +1,372 @@
+//! Executes suite specs against the simulator and collects metric maps.
+//!
+//! Each [`ScenarioSpec`] becomes one [`ScenarioRun`]: a flat
+//! `metric name -> f64` map the scorer grades golden expectations
+//! against. Serving scenarios drive a [`FleetSim`] (a single replica is
+//! just a one-element fleet, so every serving metric comes from the same
+//! code path); throughput scenarios reuse the warm-batch
+//! [`Simulation::throughput`](neupims_core::simulation::Simulation::throughput)
+//! methodology behind Figure 12 and Table 3.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use neupims_core::experiments::ExperimentContext;
+use neupims_core::fleet::{policy_from_name, FleetOutcome, FleetRequest, FleetSim};
+use neupims_core::preempt::{preemption_from_name, SwapConfig};
+use neupims_core::scheduler::scheduler_from_name;
+use neupims_core::serving::{ServingConfig, ServingSim, SloTargets};
+use neupims_pim::calibrate;
+use neupims_types::NeuPimsConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::spec::{ScenarioKind, ScenarioSpec, SpecError, SuiteSpec, SystemSpec};
+
+/// Any failure while executing a suite.
+#[derive(Debug)]
+pub enum EvalError {
+    /// The spec was malformed or referenced unknown names.
+    Spec(SpecError),
+    /// The simulator rejected a configuration or run.
+    Sim(String),
+    /// Report persistence failed.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::Spec(e) => write!(f, "{e}"),
+            EvalError::Sim(e) => write!(f, "simulation error: {e}"),
+            EvalError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+impl From<SpecError> for EvalError {
+    fn from(e: SpecError) -> Self {
+        EvalError::Spec(e)
+    }
+}
+
+impl From<std::io::Error> for EvalError {
+    fn from(e: std::io::Error) -> Self {
+        EvalError::Io(e)
+    }
+}
+
+fn sim_err(e: impl fmt::Display) -> EvalError {
+    EvalError::Sim(e.to_string())
+}
+
+/// Flat metric map of one executed scenario.
+pub type Metrics = BTreeMap<String, f64>;
+
+/// One executed scenario: its name plus every metric the run produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioRun {
+    /// Scenario name (matches the spec).
+    pub name: String,
+    /// What was measured ("serving" or "throughput").
+    pub kind: &'static str,
+    /// Metric name -> observed value.
+    pub metrics: Metrics,
+}
+
+impl ScenarioRun {
+    /// Looks up one metric.
+    pub fn metric(&self, name: &str) -> Option<f64> {
+        self.metrics.get(name).copied()
+    }
+}
+
+/// Executes every scenario of a suite, in file order.
+///
+/// `seed_override` (the CLI's `--seed`) replaces each scenario's spec'd
+/// workload/sampling seed, keeping everything else fixed — two runs with
+/// the same override are bit-identical.
+///
+/// # Errors
+///
+/// Returns [`EvalError`] when calibration, backend construction, or a
+/// simulation run fails. A scenario that *runs* but misses its golden
+/// expectations is not an error here — that's the scorer's verdict.
+pub fn run_suite(
+    suite: &SuiteSpec,
+    seed_override: Option<u64>,
+) -> Result<Vec<ScenarioRun>, EvalError> {
+    suite
+        .scenarios
+        .iter()
+        .map(|s| run_scenario(s, seed_override))
+        .collect()
+}
+
+/// Executes one scenario.
+///
+/// # Errors
+///
+/// See [`run_suite`].
+pub fn run_scenario(
+    spec: &ScenarioSpec,
+    seed_override: Option<u64>,
+) -> Result<ScenarioRun, EvalError> {
+    let ctx = context_for(&spec.system)?;
+    let seed = seed_override.unwrap_or(spec.seed);
+    let metrics = match spec.kind {
+        ScenarioKind::Throughput => run_throughput(&ctx, spec, seed)?,
+        ScenarioKind::Serving => run_serving(&ctx, spec, seed)?,
+    };
+    Ok(ScenarioRun {
+        name: spec.name.clone(),
+        kind: spec.kind.name(),
+        metrics,
+    })
+}
+
+/// Builds the calibrated context, applying the scenario's tight-memory
+/// overrides (channel count / per-channel KV capacity) when present.
+fn context_for(system: &SystemSpec) -> Result<ExperimentContext, EvalError> {
+    if system.channels.is_none() && system.kv_mib_per_channel.is_none() {
+        return ExperimentContext::table2().map_err(sim_err);
+    }
+    let mut cfg = NeuPimsConfig::table2();
+    if let Some(channels) = system.channels {
+        cfg.mem.channels = channels;
+    }
+    if let Some(mib) = system.kv_mib_per_channel {
+        cfg.mem.capacity_per_channel = mib << 20;
+    }
+    let cal = calibrate(&cfg).map_err(sim_err)?;
+    let base = ExperimentContext::table2().map_err(sim_err)?;
+    Ok(ExperimentContext {
+        cfg,
+        cal,
+        seed: base.seed,
+        samples: base.samples,
+    })
+}
+
+fn run_throughput(
+    ctx: &ExperimentContext,
+    spec: &ScenarioSpec,
+    seed: u64,
+) -> Result<Metrics, EvalError> {
+    let sim = ctx
+        .simulation()
+        .model(spec.system.model.clone())
+        .backend(
+            ctx.backend_with_cost(&spec.system.backend, spec.system.cost_model)
+                .map_err(sim_err)?,
+        )
+        .dataset(spec.dataset)
+        .batch(spec.batch)
+        .seed(seed)
+        .samples(spec.samples)
+        .build()
+        .map_err(sim_err)?;
+    let tokens_per_sec = sim.throughput().map_err(sim_err)?;
+    let mut metrics = Metrics::new();
+    metrics.insert("tokens_per_sec".into(), tokens_per_sec);
+    metrics.insert("batch".into(), spec.batch as f64);
+    Ok(metrics)
+}
+
+fn run_serving(
+    ctx: &ExperimentContext,
+    spec: &ScenarioSpec,
+    seed: u64,
+) -> Result<Metrics, EvalError> {
+    let system = &spec.system;
+    let workload = spec
+        .workload
+        .as_ref()
+        .expect("serving scenarios carry a workload");
+
+    let slo = SloTargets {
+        ttft: (system.slo_ttft_ms * 1e6) as u64,
+        tpot: system.slo_tpot_ms * 1e6,
+    };
+    let cfg = ServingConfig {
+        max_batch: system.max_batch,
+        tp: system.model.parallelism.tp,
+        layers: system.model.num_layers / system.model.parallelism.pp,
+        target_completions: 0,
+        slo: Some(slo),
+    };
+
+    // Comma-separated backend/scheduler lists cycle over the replicas,
+    // mirroring the `fleet` CLI command.
+    let backend_names: Vec<&str> = system.backend.split(',').map(str::trim).collect();
+    let sched_names: Vec<&str> = system.scheduler.split(',').map(str::trim).collect();
+    let mut replicas = Vec::new();
+    for i in 0..system.replicas {
+        let backend = ctx
+            .backend_with_cost(backend_names[i % backend_names.len()], system.cost_model)
+            .map_err(sim_err)?;
+        let scheduler =
+            scheduler_from_name(sched_names[i % sched_names.len()], system.chunk_tokens)
+                .map_err(sim_err)?;
+        replicas.push(
+            ServingSim::with_scheduler(backend, system.model.clone(), cfg.clone(), scheduler)
+                .with_cost_model(system.cost_model),
+        );
+    }
+    let mut fleet = FleetSim::new(
+        replicas,
+        policy_from_name(&system.dispatch).map_err(sim_err)?,
+    )
+    .map_err(sim_err)?
+    .with_preemption(preemption_from_name(&system.preemption).map_err(sim_err)?)
+    .with_swap(SwapConfig {
+        gb_per_sec: system.swap_gbps,
+    });
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let generated = neupims_workload::ScenarioWorkload {
+        arrival: workload.arrival,
+        tenants: workload.tenants.clone(),
+        requests: workload.requests,
+    }
+    .generate(&mut rng);
+    for (i, req) in generated.iter().enumerate() {
+        let output = match workload.output_cap {
+            Some(cap) => req.output_len.min(cap).max(1),
+            None => req.output_len,
+        };
+        fleet
+            .submit(FleetRequest {
+                id: i as u32,
+                input_len: req.input_len,
+                output_len: output,
+                arrival: req.arrival,
+            })
+            .map_err(sim_err)?;
+    }
+
+    let out = fleet.run().map_err(sim_err)?;
+    Ok(serving_metrics(&out))
+}
+
+/// Flattens a fleet outcome into the scorer's metric namespace.
+fn serving_metrics(out: &FleetOutcome) -> Metrics {
+    let mut m = Metrics::new();
+    m.insert("submitted".into(), out.submitted as f64);
+    m.insert("completed".into(), out.completed as f64);
+    m.insert("dropped".into(), out.dropped as f64);
+    m.insert("tokens".into(), out.tokens as f64);
+    m.insert("tokens_per_sec".into(), out.tokens_per_sec());
+    m.insert("goodput".into(), out.goodput());
+    m.insert("slo_attainment".into(), out.slo_attainment());
+    m.insert("makespan_ms".into(), out.makespan as f64 / 1e6);
+    m.insert("preemptions".into(), out.preemptions as f64);
+    m.insert("restores".into(), out.restores as f64);
+    m.insert(
+        "preemption_stall_ms".into(),
+        out.preemption_stall_cycles as f64 / 1e6,
+    );
+    m.insert(
+        "restore_overhead_ms".into(),
+        out.restore_overhead_cycles as f64 / 1e6,
+    );
+    m.insert(
+        "latency_p50_ms".into(),
+        out.latency_percentile(50.0) as f64 / 1e6,
+    );
+    m.insert(
+        "latency_p99_ms".into(),
+        out.latency_percentile(99.0) as f64 / 1e6,
+    );
+    m.insert("ttft_p50_ms".into(), out.ttft_percentile(50.0) as f64 / 1e6);
+    m.insert("ttft_p99_ms".into(), out.ttft_percentile(99.0) as f64 / 1e6);
+    m.insert("tpot_p50_ms".into(), out.tpot_percentile(50.0) / 1e6);
+    m.insert("tpot_p99_ms".into(), out.tpot_percentile(99.0) / 1e6);
+    m.insert("overlap_efficiency".into(), out.overlap_efficiency());
+    let peak_kv = out
+        .replicas
+        .iter()
+        .map(|r| r.peak_kv_utilization)
+        .fold(0.0, f64::max);
+    m.insert("peak_kv_utilization".into(), peak_kv);
+    if let Some(trace) = &out.pim_trace {
+        m.insert("row_buffer_hit_rate".into(), trace.stats.hit_rate());
+        m.insert("memo_hit_rate".into(), trace.memo_hit_rate());
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::SuiteSpec;
+
+    const TINY: &str = r#"
+[suite]
+name = "tiny"
+
+[[scenario]]
+name = "serve"
+requests = 6
+seed = 5
+max-batch = 8
+rate = 4.0
+output-cap = 24
+
+[[scenario]]
+name = "thr"
+kind = "throughput"
+batch = 32
+samples = 1
+"#;
+
+    #[test]
+    fn serving_and_throughput_scenarios_run() {
+        let suite = SuiteSpec::parse(TINY).unwrap();
+        let runs = run_suite(&suite, None).unwrap();
+        assert_eq!(runs.len(), 2);
+        let serve = &runs[0];
+        assert_eq!(serve.kind, "serving");
+        assert_eq!(serve.metric("submitted"), Some(6.0));
+        assert!(serve.metric("tokens_per_sec").unwrap() > 0.0);
+        assert!(serve.metric("completed").unwrap() > 0.0);
+        let thr = &runs[1];
+        assert_eq!(thr.kind, "throughput");
+        assert!(thr.metric("tokens_per_sec").unwrap() > 0.0);
+    }
+
+    #[test]
+    fn seed_override_is_deterministic() {
+        let suite = SuiteSpec::parse(TINY).unwrap();
+        let a = run_suite(&suite, Some(99)).unwrap();
+        let b = run_suite(&suite, Some(99)).unwrap();
+        assert_eq!(a, b);
+        let c = run_suite(&suite, Some(100)).unwrap();
+        // A different seed shifts arrivals and lengths; at least one
+        // serving metric should move.
+        assert_ne!(a[0].metrics, c[0].metrics);
+    }
+
+    #[test]
+    fn memory_overrides_shrink_the_kv_cache() {
+        let text = r#"
+[suite]
+name = "pressure"
+
+[[scenario]]
+name = "tight"
+requests = 8
+seed = 3
+max-batch = 8
+channels = 4
+kv-mib-per-channel = 48
+output-cap = 32
+rate = 6.0
+"#;
+        let suite = SuiteSpec::parse(text).unwrap();
+        let runs = run_suite(&suite, None).unwrap();
+        assert!(runs[0].metric("peak_kv_utilization").unwrap() > 0.0);
+    }
+}

@@ -1,0 +1,222 @@
+//! Grades executed scenarios against their golden expectations.
+//!
+//! The scorer never runs anything: it takes the spec (what should hold)
+//! and the runner's metric maps (what did) and produces one
+//! [`CheckResult`] per `[[scenario.expect]]` and `[[compare]]` block,
+//! classified pass / warn / fail. A missing metric (e.g. a trace-only
+//! metric under analytic pricing) is graded at the check's severity, so
+//! a misspelled metric name can never silently pass.
+
+use crate::runner::ScenarioRun;
+use crate::spec::{Bound, Severity, SuiteSpec};
+
+/// Verdict of one check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CheckStatus {
+    /// The bound holds.
+    Pass,
+    /// The bound is violated, but the check was spec'd `severity = "warn"`.
+    Warn,
+    /// The bound is violated (or the metric is missing) on a
+    /// `severity = "fail"` check.
+    Fail,
+}
+
+impl CheckStatus {
+    /// Canonical name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CheckStatus::Pass => "pass",
+            CheckStatus::Warn => "warn",
+            CheckStatus::Fail => "fail",
+        }
+    }
+}
+
+/// One graded expectation or compare.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckResult {
+    /// Which scenario the check belongs to; compare checks use their own
+    /// `[[compare]]` name and set `scenario` to `"(compare)"`.
+    pub scenario: String,
+    /// Metric key (for compares, `num/den metric` spelled out).
+    pub metric: String,
+    /// What was observed, when the metric existed.
+    pub observed: Option<f64>,
+    /// The acceptance band.
+    pub bound: Bound,
+    /// Spec'd severity.
+    pub severity: Severity,
+    /// The verdict.
+    pub status: CheckStatus,
+}
+
+impl CheckResult {
+    fn grade(
+        scenario: String,
+        metric: String,
+        observed: Option<f64>,
+        bound: Bound,
+        severity: Severity,
+    ) -> Self {
+        let ok = observed.map(|v| v.is_finite() && bound.holds(v));
+        let status = match (ok, severity) {
+            (Some(true), _) => CheckStatus::Pass,
+            (_, Severity::Warn) => CheckStatus::Warn,
+            (_, Severity::Fail) => CheckStatus::Fail,
+        };
+        CheckResult {
+            scenario,
+            metric,
+            observed,
+            bound,
+            severity,
+            status,
+        }
+    }
+}
+
+/// Grades every expectation and compare of a suite.
+///
+/// `runs` must be the runner's output for the same `suite` (matched by
+/// scenario name).
+pub fn score_suite(suite: &SuiteSpec, runs: &[ScenarioRun]) -> Vec<CheckResult> {
+    let metric_of = |scenario: &str, metric: &str| -> Option<f64> {
+        runs.iter()
+            .find(|r| r.name == scenario)
+            .and_then(|r| r.metric(metric))
+    };
+
+    let mut checks = Vec::new();
+    for scenario in &suite.scenarios {
+        for e in &scenario.expects {
+            checks.push(CheckResult::grade(
+                scenario.name.clone(),
+                e.metric.clone(),
+                metric_of(&scenario.name, &e.metric),
+                e.bound,
+                e.severity,
+            ));
+        }
+    }
+    for c in &suite.compares {
+        let num = metric_of(&c.numerator, &c.metric);
+        let den = metric_of(&c.denominator, &c.metric);
+        let ratio = match (num, den) {
+            (Some(n), Some(d)) if d.abs() > 1e-12 => Some(n / d),
+            _ => None,
+        };
+        checks.push(CheckResult::grade(
+            format!("(compare) {}", c.name),
+            format!("{}/{} {}", c.numerator, c.denominator, c.metric),
+            ratio,
+            c.bound,
+            c.severity,
+        ));
+    }
+    checks
+}
+
+/// The suite verdict: the worst individual check status (pass when there
+/// are no checks at all).
+pub fn verdict(checks: &[CheckResult]) -> CheckStatus {
+    checks
+        .iter()
+        .map(|c| c.status)
+        .max()
+        .unwrap_or(CheckStatus::Pass)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::Metrics;
+    use crate::spec::SuiteSpec;
+
+    fn runs() -> Vec<ScenarioRun> {
+        let mut fast = Metrics::new();
+        fast.insert("tokens_per_sec".into(), 200.0);
+        let mut slow = Metrics::new();
+        slow.insert("tokens_per_sec".into(), 100.0);
+        vec![
+            ScenarioRun {
+                name: "fast".into(),
+                kind: "throughput",
+                metrics: fast,
+            },
+            ScenarioRun {
+                name: "slow".into(),
+                kind: "throughput",
+                metrics: slow,
+            },
+        ]
+    }
+
+    const SUITE: &str = r#"
+[suite]
+name = "s"
+
+[[scenario]]
+name = "fast"
+kind = "throughput"
+
+[[scenario.expect]]
+metric = "tokens_per_sec"
+value = 210.0
+tol = 0.10
+
+[[scenario.expect]]
+metric = "does_not_exist"
+min = 0.0
+severity = "warn"
+
+[[scenario]]
+name = "slow"
+kind = "throughput"
+
+[[scenario.expect]]
+metric = "tokens_per_sec"
+max = 150.0
+
+[[compare]]
+name = "speedup"
+metric = "tokens_per_sec"
+numerator = "fast"
+denominator = "slow"
+min = 1.5
+"#;
+
+    #[test]
+    fn grades_expectations_and_compares() {
+        let suite = SuiteSpec::parse(SUITE).unwrap();
+        let checks = score_suite(&suite, &runs());
+        assert_eq!(checks.len(), 4);
+        // 200 within 210 ± 10%.
+        assert_eq!(checks[0].status, CheckStatus::Pass);
+        // Missing metric at warn severity.
+        assert_eq!(checks[1].status, CheckStatus::Warn);
+        assert_eq!(checks[1].observed, None);
+        assert_eq!(checks[2].status, CheckStatus::Pass);
+        // 200/100 = 2.0 >= 1.5.
+        assert_eq!(checks[3].status, CheckStatus::Pass);
+        assert_eq!(checks[3].observed, Some(2.0));
+        assert_eq!(verdict(&checks), CheckStatus::Warn);
+    }
+
+    #[test]
+    fn fail_outranks_warn() {
+        let suite = SuiteSpec::parse(SUITE).unwrap();
+        let mut bad = runs();
+        bad[0].metrics.insert("tokens_per_sec".into(), 120.0);
+        let checks = score_suite(&suite, &bad);
+        // 120 outside 210 ± 10% -> fail; ratio 1.2 < 1.5 -> fail.
+        assert_eq!(checks[0].status, CheckStatus::Fail);
+        assert_eq!(checks[3].status, CheckStatus::Fail);
+        assert_eq!(verdict(&checks), CheckStatus::Fail);
+    }
+
+    #[test]
+    fn empty_suite_passes() {
+        assert_eq!(verdict(&[]), CheckStatus::Pass);
+    }
+}

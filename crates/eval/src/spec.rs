@@ -1,0 +1,772 @@
+//! Typed scenario/suite specs, parsed from `scenarios/*.toml`.
+//!
+//! A **suite** is one TOML file: a `[suite]` header, one or more
+//! `[[scenario]]` experiments, and optional `[[compare]]` cross-scenario
+//! ratio checks. Each scenario is either
+//!
+//! * `kind = "throughput"` — warm-batch decode throughput of one backend
+//!   (the Figure 12 / Table 3 quantity), or
+//! * `kind = "serving"` — an arrival-driven serving run (single replica
+//!   or a dispatched fleet) over a declarative workload: an arrival
+//!   process from [`neupims_workload::scenario`], per-tenant length
+//!   distributions, and optional tight-memory hardware overrides.
+//!
+//! Golden expectations live in `[[scenario.expect]]` blocks (absolute
+//! value ± relative tolerance, or min/max bounds) and `[[compare]]`
+//! blocks (ratio of one scenario's metric over another's) — the checks
+//! the scorer grades into pass/warn/fail. See `docs/EVAL.md` for the
+//! full schema and `scenarios/` for the shipped suites.
+
+use std::fmt;
+
+use neupims_sched::CostModelKind;
+use neupims_types::{Cycle, LlmConfig};
+use neupims_workload::scenario::{ArrivalProcess, LengthDistribution, TenantClass, TenantMix};
+use neupims_workload::Dataset;
+
+use crate::toml::{parse as parse_toml, Table, Value};
+
+/// A spec-level failure: schema violations, unknown names, bad bounds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpecError(pub String);
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "spec error: {}", self.0)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+fn serr<T>(msg: impl Into<String>) -> Result<T, SpecError> {
+    Err(SpecError(msg.into()))
+}
+
+/// How severe a failed check is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Severity {
+    /// A violation fails the suite (non-zero exit; CI gate).
+    #[default]
+    Fail,
+    /// A violation is reported but does not fail the suite.
+    Warn,
+}
+
+impl Severity {
+    /// Canonical name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Fail => "fail",
+            Severity::Warn => "warn",
+        }
+    }
+}
+
+/// The acceptance band of one expectation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Bound {
+    /// Observed must be within `value · (1 ± tol)`.
+    Golden {
+        /// The golden value.
+        value: f64,
+        /// Relative tolerance (0.10 = ±10%).
+        tol: f64,
+    },
+    /// Observed must be at least this.
+    Min(f64),
+    /// Observed must be at most this.
+    Max(f64),
+    /// Observed must be within `[lo, hi]`.
+    Range(f64, f64),
+}
+
+impl Bound {
+    /// Whether `observed` satisfies the bound.
+    pub fn holds(&self, observed: f64) -> bool {
+        match *self {
+            Bound::Golden { value, tol } => {
+                let band = value.abs() * tol;
+                (observed - value).abs() <= band
+            }
+            Bound::Min(lo) => observed >= lo,
+            Bound::Max(hi) => observed <= hi,
+            Bound::Range(lo, hi) => observed >= lo && observed <= hi,
+        }
+    }
+
+    /// Human-readable band, for report rows.
+    pub fn describe(&self) -> String {
+        match *self {
+            Bound::Golden { value, tol } => format!("{value:.4} ±{:.0}%", tol * 100.0),
+            Bound::Min(lo) => format!(">= {lo:.4}"),
+            Bound::Max(hi) => format!("<= {hi:.4}"),
+            Bound::Range(lo, hi) => format!("[{lo:.4}, {hi:.4}]"),
+        }
+    }
+}
+
+/// One golden expectation on a scenario metric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expectation {
+    /// Metric key (a runner-produced metric name).
+    pub metric: String,
+    /// The acceptance band.
+    pub bound: Bound,
+    /// What a violation means for the suite verdict.
+    pub severity: Severity,
+}
+
+/// A cross-scenario ratio check: `numerator.metric / denominator.metric`
+/// against a bound — how Figure 12's "NeuPIMs is 1.6x over NPU+PIM"
+/// claims are spec'd.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompareSpec {
+    /// Check label (surfaced in reports).
+    pub name: String,
+    /// Metric key read from both scenarios.
+    pub metric: String,
+    /// Scenario name providing the numerator.
+    pub numerator: String,
+    /// Scenario name providing the denominator.
+    pub denominator: String,
+    /// The acceptance band on the ratio.
+    pub bound: Bound,
+    /// What a violation means for the suite verdict.
+    pub severity: Severity,
+}
+
+/// What a scenario measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScenarioKind {
+    /// Arrival-driven serving (single replica or fleet).
+    Serving,
+    /// Warm-batch decode throughput (the Figure 12 bars).
+    Throughput,
+}
+
+impl ScenarioKind {
+    /// Canonical name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ScenarioKind::Serving => "serving",
+            ScenarioKind::Throughput => "throughput",
+        }
+    }
+}
+
+/// The system-under-test half of a scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemSpec {
+    /// Backend name(s); comma-separated lists cycle over fleet replicas.
+    pub backend: String,
+    /// Scheduler name(s); comma-separated lists cycle over replicas.
+    pub scheduler: String,
+    /// Per-iteration prefill token budget of chunked schedulers.
+    pub chunk_tokens: u32,
+    /// Preemption policy name.
+    pub preemption: String,
+    /// MHA cost model.
+    pub cost_model: CostModelKind,
+    /// Serving replicas (1 = single `ServingSim`; >1 = `FleetSim`).
+    pub replicas: usize,
+    /// Fleet dispatch policy name.
+    pub dispatch: String,
+    /// Max decode batch per replica.
+    pub max_batch: usize,
+    /// Model under test.
+    pub model: LlmConfig,
+    /// Swap-link bandwidth (GB/s) for the swap preemption policy.
+    pub swap_gbps: f64,
+    /// SLO TTFT target, milliseconds.
+    pub slo_ttft_ms: f64,
+    /// SLO TPOT target, milliseconds.
+    pub slo_tpot_ms: f64,
+    /// Memory-channel count override (tight-KV pressure scenarios).
+    pub channels: Option<u32>,
+    /// Per-channel KV capacity override, MiB.
+    pub kv_mib_per_channel: Option<u64>,
+}
+
+/// The workload half of a serving scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSpec {
+    /// Total requests to generate and submit.
+    pub requests: usize,
+    /// Workload RNG seed (CLI `--seed` overrides).
+    pub seed: u64,
+    /// Arrival process.
+    pub arrival: ArrivalProcess,
+    /// Tenant mix supplying per-request lengths.
+    pub tenants: TenantMix,
+    /// Cap on sampled output lengths (keeps suites fast), if any.
+    pub output_cap: Option<u32>,
+}
+
+/// One named experiment of a suite.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// Scenario name (unique within the suite; compare blocks reference
+    /// it).
+    pub name: String,
+    /// What the scenario measures.
+    pub kind: ScenarioKind,
+    /// The system under test.
+    pub system: SystemSpec,
+    /// The workload (serving scenarios only).
+    pub workload: Option<WorkloadSpec>,
+    /// Warm-batch size (throughput scenarios).
+    pub batch: usize,
+    /// Warm batches averaged (throughput scenarios).
+    pub samples: usize,
+    /// Dataset of throughput warm batches.
+    pub dataset: Dataset,
+    /// RNG seed of throughput sampling.
+    pub seed: u64,
+    /// Golden expectations on this scenario's metrics.
+    pub expects: Vec<Expectation>,
+}
+
+/// A parsed suite: the unit `neupims-sim eval <suite>` executes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SuiteSpec {
+    /// Suite name (the file stem by convention).
+    pub name: String,
+    /// One-line description.
+    pub description: String,
+    /// The experiments, in file order.
+    pub scenarios: Vec<ScenarioSpec>,
+    /// Cross-scenario ratio checks.
+    pub compares: Vec<CompareSpec>,
+}
+
+impl SuiteSpec {
+    /// Parses a suite from TOML text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError`] on TOML syntax errors, schema violations,
+    /// unknown names, or compare blocks referencing missing scenarios.
+    pub fn parse(text: &str) -> Result<Self, SpecError> {
+        let root = parse_toml(text).map_err(|e| SpecError(e.to_string()))?;
+        let suite = table(&root, "suite")?;
+        let name = string(suite, "name")?;
+        let description = opt_string(suite, "description")?.unwrap_or_default();
+
+        let mut scenarios = Vec::new();
+        for (i, sc) in tables_of(&root, "scenario")?.iter().enumerate() {
+            scenarios.push(
+                parse_scenario(sc)
+                    .map_err(|e| SpecError(format!("scenario #{}: {}", i + 1, e.0)))?,
+            );
+        }
+        if scenarios.is_empty() {
+            return serr("a suite needs at least one [[scenario]]");
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        for s in &scenarios {
+            if !seen.insert(s.name.clone()) {
+                return serr(format!("duplicate scenario name {:?}", s.name));
+            }
+        }
+
+        let mut compares = Vec::new();
+        for (i, cmp) in tables_of(&root, "compare")?.iter().enumerate() {
+            let c = parse_compare(cmp)
+                .map_err(|e| SpecError(format!("compare #{}: {}", i + 1, e.0)))?;
+            for side in [&c.numerator, &c.denominator] {
+                if !seen.contains(side) {
+                    return serr(format!(
+                        "compare {:?} references unknown scenario {side:?}",
+                        c.name
+                    ));
+                }
+            }
+            compares.push(c);
+        }
+
+        Ok(SuiteSpec {
+            name,
+            description,
+            scenarios,
+            compares,
+        })
+    }
+}
+
+// ------------------------------------------------------------ field access
+
+fn table<'a>(t: &'a Table, key: &str) -> Result<&'a Table, SpecError> {
+    match t.get(key) {
+        Some(Value::Table(inner)) => Ok(inner),
+        Some(v) => serr(format!("[{key}] must be a table, got {}", v.type_name())),
+        None => serr(format!("missing [{key}] table")),
+    }
+}
+
+/// The `[[key]]` elements, or empty when absent.
+fn tables_of<'a>(t: &'a Table, key: &str) -> Result<Vec<&'a Table>, SpecError> {
+    match t.get(key) {
+        None => Ok(Vec::new()),
+        Some(Value::Array(items)) => items
+            .iter()
+            .map(|v| {
+                v.as_table()
+                    .ok_or_else(|| SpecError(format!("[[{key}]] elements must be tables")))
+            })
+            .collect(),
+        Some(v) => serr(format!(
+            "[[{key}]] must be an array of tables, got {}",
+            v.type_name()
+        )),
+    }
+}
+
+fn string(t: &Table, key: &str) -> Result<String, SpecError> {
+    opt_string(t, key)?.ok_or_else(|| SpecError(format!("missing key {key:?}")))
+}
+
+fn opt_string(t: &Table, key: &str) -> Result<Option<String>, SpecError> {
+    match t.get(key) {
+        None => Ok(None),
+        Some(Value::Str(s)) => Ok(Some(s.clone())),
+        Some(v) => serr(format!("{key:?} must be a string, got {}", v.type_name())),
+    }
+}
+
+fn opt_f64(t: &Table, key: &str) -> Result<Option<f64>, SpecError> {
+    match t.get(key) {
+        None => Ok(None),
+        Some(v) => v
+            .as_f64()
+            .map(Some)
+            .ok_or_else(|| SpecError(format!("{key:?} must be a number, got {}", v.type_name()))),
+    }
+}
+
+fn opt_usize(t: &Table, key: &str) -> Result<Option<usize>, SpecError> {
+    match t.get(key) {
+        None => Ok(None),
+        Some(v) => v.as_u64().map(|u| Some(u as usize)).ok_or_else(|| {
+            SpecError(format!(
+                "{key:?} must be a non-negative integer, got {}",
+                v.type_name()
+            ))
+        }),
+    }
+}
+
+// --------------------------------------------------------------- scenarios
+
+/// Parses a model name into its [`LlmConfig`] (the CLI's `--model` names).
+pub fn model_from_name(name: &str) -> Result<LlmConfig, SpecError> {
+    match name.to_ascii_lowercase().as_str() {
+        "gpt3-7b" | "7b" => Ok(LlmConfig::gpt3_7b()),
+        "gpt3-13b" | "13b" => Ok(LlmConfig::gpt3_13b()),
+        "gpt3-30b" | "30b" => Ok(LlmConfig::gpt3_30b()),
+        "gpt3-175b" | "175b" => Ok(LlmConfig::gpt3_175b()),
+        other => serr(format!("unknown model {other:?}")),
+    }
+}
+
+/// Parses a dataset name (the CLI's `--dataset` names).
+pub fn dataset_from_name(name: &str) -> Result<Dataset, SpecError> {
+    match name.to_ascii_lowercase().as_str() {
+        "sharegpt" => Ok(Dataset::ShareGpt),
+        "alpaca" => Ok(Dataset::Alpaca),
+        other => serr(format!("unknown dataset {other:?}")),
+    }
+}
+
+fn parse_scenario(t: &Table) -> Result<ScenarioSpec, SpecError> {
+    let name = string(t, "name")?;
+    let kind = match opt_string(t, "kind")?.as_deref() {
+        None | Some("serving") => ScenarioKind::Serving,
+        Some("throughput") => ScenarioKind::Throughput,
+        Some(other) => return serr(format!("unknown kind {other:?}")),
+    };
+    let dataset = match opt_string(t, "dataset")? {
+        Some(d) => dataset_from_name(&d)?,
+        None => Dataset::ShareGpt,
+    };
+    let model = match opt_string(t, "model")? {
+        Some(m) => model_from_name(&m)?,
+        None => LlmConfig::gpt3_7b(),
+    };
+    let cost_model = match opt_string(t, "cost-model")? {
+        Some(c) => CostModelKind::from_name(&c)
+            .ok_or_else(|| SpecError(format!("unknown cost model {c:?}")))?,
+        None => CostModelKind::Analytic,
+    };
+    let system = SystemSpec {
+        backend: opt_string(t, "backend")?.unwrap_or_else(|| "neupims".into()),
+        scheduler: opt_string(t, "scheduler")?.unwrap_or_else(|| "lump".into()),
+        chunk_tokens: opt_usize(t, "chunk-tokens")?.unwrap_or(256) as u32,
+        preemption: opt_string(t, "preemption")?.unwrap_or_else(|| "drop".into()),
+        cost_model,
+        replicas: opt_usize(t, "replicas")?.unwrap_or(1).max(1),
+        dispatch: opt_string(t, "dispatch")?.unwrap_or_else(|| "jsq".into()),
+        max_batch: opt_usize(t, "max-batch")?.unwrap_or(32).max(1),
+        model,
+        swap_gbps: opt_f64(t, "swap-gbps")?.unwrap_or(32.0),
+        slo_ttft_ms: opt_f64(t, "slo-ttft-ms")?.unwrap_or(50.0),
+        slo_tpot_ms: opt_f64(t, "slo-tpot-ms")?.unwrap_or(10.0),
+        channels: opt_usize(t, "channels")?.map(|c| c as u32),
+        kv_mib_per_channel: opt_usize(t, "kv-mib-per-channel")?.map(|m| m as u64),
+    };
+
+    let seed = opt_usize(t, "seed")?.unwrap_or(0xE7A1) as u64;
+    let workload = match kind {
+        ScenarioKind::Throughput => None,
+        ScenarioKind::Serving => Some(parse_workload(t, dataset, seed)?),
+    };
+
+    let mut expects = Vec::new();
+    for (i, e) in tables_of(t, "expect")?.iter().enumerate() {
+        expects.push(
+            parse_expect(e).map_err(|err| SpecError(format!("expect #{}: {}", i + 1, err.0)))?,
+        );
+    }
+
+    Ok(ScenarioSpec {
+        name,
+        kind,
+        system,
+        workload,
+        batch: opt_usize(t, "batch")?.unwrap_or(256),
+        samples: opt_usize(t, "samples")?.unwrap_or(4).max(1),
+        dataset,
+        seed,
+        expects,
+    })
+}
+
+fn parse_workload(t: &Table, dataset: Dataset, seed: u64) -> Result<WorkloadSpec, SpecError> {
+    let requests = opt_usize(t, "requests")?.unwrap_or(32).max(1);
+    let arrival = match t.get("arrival") {
+        None => ArrivalProcess::Poisson {
+            rate: opt_f64(t, "rate")?.unwrap_or(3.0),
+        },
+        Some(Value::Table(a)) => parse_arrival(a)?,
+        Some(v) => {
+            return serr(format!(
+                "[scenario.arrival] must be a table, got {}",
+                v.type_name()
+            ))
+        }
+    };
+    let tenant_tables = tables_of(t, "tenant")?;
+    let tenants = if tenant_tables.is_empty() {
+        TenantMix::single(dataset)
+    } else {
+        let mut classes = Vec::new();
+        for (i, tt) in tenant_tables.iter().enumerate() {
+            classes.push(
+                parse_tenant(tt).map_err(|e| SpecError(format!("tenant #{}: {}", i + 1, e.0)))?,
+            );
+        }
+        TenantMix::new(classes)
+    };
+    Ok(WorkloadSpec {
+        requests,
+        seed,
+        arrival,
+        tenants,
+        output_cap: opt_usize(t, "output-cap")?.map(|c| c as u32),
+    })
+}
+
+fn parse_arrival(a: &Table) -> Result<ArrivalProcess, SpecError> {
+    let rate = opt_f64(a, "rate")?.unwrap_or(3.0);
+    if rate <= 0.0 {
+        return serr("arrival rate must be positive");
+    }
+    match opt_string(a, "process")?.as_deref().unwrap_or("poisson") {
+        "poisson" => Ok(ArrivalProcess::Poisson { rate }),
+        "bursty" => Ok(ArrivalProcess::Bursty {
+            rate,
+            burst_size: opt_usize(a, "burst-size")?.unwrap_or(8).max(1),
+        }),
+        "diurnal" => {
+            let amplitude = opt_f64(a, "amplitude")?.unwrap_or(0.8);
+            if !(0.0..1.0).contains(&amplitude) {
+                return serr("diurnal amplitude must be in [0, 1)");
+            }
+            let period_mcycles = opt_f64(a, "period-mcycles")?.unwrap_or(50.0);
+            if period_mcycles <= 0.0 {
+                return serr("diurnal period-mcycles must be positive");
+            }
+            Ok(ArrivalProcess::Diurnal {
+                rate,
+                amplitude,
+                period: (period_mcycles * 1e6) as Cycle,
+            })
+        }
+        "heavy-tailed" | "pareto" => {
+            let alpha = opt_f64(a, "alpha")?.unwrap_or(1.5);
+            if alpha <= 1.0 {
+                return serr("heavy-tailed alpha must exceed 1");
+            }
+            Ok(ArrivalProcess::HeavyTailed { rate, alpha })
+        }
+        other => serr(format!("unknown arrival process {other:?}")),
+    }
+}
+
+/// Parses a compact length-distribution array:
+/// `["dataset-input", "sharegpt"]`, `["dataset-output", "alpaca"]`,
+/// `["lognormal", mean, sigma]`, `["uniform", lo, hi]`, `["fixed", n]`.
+fn parse_length(v: &Value, key: &str) -> Result<LengthDistribution, SpecError> {
+    let Some(arr) = v.as_array() else {
+        return serr(format!(
+            "{key:?} must be an array like [\"lognormal\", 80.0, 0.9]"
+        ));
+    };
+    let kind = arr
+        .first()
+        .and_then(Value::as_str)
+        .ok_or_else(|| SpecError(format!("{key:?} must start with a distribution name")))?;
+    let num = |i: usize| -> Result<f64, SpecError> {
+        arr.get(i)
+            .and_then(Value::as_f64)
+            .ok_or_else(|| SpecError(format!("{key:?}[{i}] must be a number")))
+    };
+    match kind {
+        "dataset-input" => {
+            let d = arr
+                .get(1)
+                .and_then(Value::as_str)
+                .ok_or_else(|| SpecError(format!("{key:?}[1] must be a dataset name")))?;
+            Ok(LengthDistribution::DatasetInput(dataset_from_name(d)?))
+        }
+        "dataset-output" => {
+            let d = arr
+                .get(1)
+                .and_then(Value::as_str)
+                .ok_or_else(|| SpecError(format!("{key:?}[1] must be a dataset name")))?;
+            Ok(LengthDistribution::DatasetOutput(dataset_from_name(d)?))
+        }
+        "lognormal" => Ok(LengthDistribution::LogNormal {
+            mean: num(1)?,
+            sigma: num(2)?,
+        }),
+        "uniform" => Ok(LengthDistribution::Uniform {
+            lo: num(1)? as u32,
+            hi: num(2)? as u32,
+        }),
+        "fixed" => Ok(LengthDistribution::Fixed(num(1)? as u32)),
+        other => serr(format!("unknown length distribution {other:?}")),
+    }
+}
+
+fn parse_tenant(t: &Table) -> Result<TenantClass, SpecError> {
+    let name = string(t, "name")?;
+    let weight = opt_f64(t, "weight")?.unwrap_or(1.0);
+    if weight <= 0.0 {
+        return serr(format!("tenant {name:?} weight must be positive"));
+    }
+    let input = match t.get("input") {
+        Some(v) => parse_length(v, "input")?,
+        None => return serr(format!("tenant {name:?} missing \"input\" distribution")),
+    };
+    let output = match t.get("output") {
+        Some(v) => parse_length(v, "output")?,
+        None => return serr(format!("tenant {name:?} missing \"output\" distribution")),
+    };
+    Ok(TenantClass {
+        name,
+        weight,
+        input,
+        output,
+    })
+}
+
+// -------------------------------------------------------------- bounds
+
+fn parse_severity(t: &Table) -> Result<Severity, SpecError> {
+    match opt_string(t, "severity")?.as_deref() {
+        None | Some("fail") => Ok(Severity::Fail),
+        Some("warn") => Ok(Severity::Warn),
+        Some(other) => serr(format!("unknown severity {other:?} (fail|warn)")),
+    }
+}
+
+fn parse_bound(t: &Table) -> Result<Bound, SpecError> {
+    let value = opt_f64(t, "value")?;
+    let tol = opt_f64(t, "tol")?;
+    let min = opt_f64(t, "min")?;
+    let max = opt_f64(t, "max")?;
+    match (value, min, max) {
+        (Some(v), None, None) => {
+            let tol = tol.unwrap_or(0.10);
+            if tol < 0.0 {
+                return serr("tol must be non-negative");
+            }
+            Ok(Bound::Golden { value: v, tol })
+        }
+        (None, Some(lo), Some(hi)) if lo <= hi => Ok(Bound::Range(lo, hi)),
+        (None, Some(lo), Some(hi)) => serr(format!("empty range [{lo}, {hi}]")),
+        (None, Some(lo), None) => Ok(Bound::Min(lo)),
+        (None, None, Some(hi)) => Ok(Bound::Max(hi)),
+        (Some(_), _, _) => serr("give either value(+tol) or min/max, not both"),
+        (None, None, None) => serr("an expectation needs value, min, or max"),
+    }
+}
+
+fn parse_expect(t: &Table) -> Result<Expectation, SpecError> {
+    Ok(Expectation {
+        metric: string(t, "metric")?,
+        bound: parse_bound(t)?,
+        severity: parse_severity(t)?,
+    })
+}
+
+fn parse_compare(t: &Table) -> Result<CompareSpec, SpecError> {
+    Ok(CompareSpec {
+        name: string(t, "name")?,
+        metric: opt_string(t, "metric")?.unwrap_or_else(|| "tokens_per_sec".into()),
+        numerator: string(t, "numerator")?,
+        denominator: string(t, "denominator")?,
+        bound: parse_bound(t)?,
+        severity: parse_severity(t)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SUITE: &str = r#"
+[suite]
+name = "demo"
+description = "exercises every spec feature"
+
+[[scenario]]
+name = "burst"
+kind = "serving"
+model = "gpt3-7b"
+backend = "neupims"
+scheduler = "interleaved"
+preemption = "recompute"
+max-batch = 16
+requests = 24
+seed = 11
+channels = 4
+kv-mib-per-channel = 80
+output-cap = 128
+
+[scenario.arrival]
+process = "bursty"
+rate = 2.0
+burst-size = 8
+
+[[scenario.tenant]]
+name = "chat"
+weight = 3.0
+input = ["lognormal", 80.0, 0.9]
+output = ["fixed", 200]
+
+[[scenario.tenant]]
+name = "bulk"
+input = ["uniform", 256, 512]
+output = ["dataset-output", "alpaca"]
+
+[[scenario.expect]]
+metric = "completed"
+min = 20.0
+
+[[scenario]]
+name = "thr-neupims"
+kind = "throughput"
+backend = "neupims"
+batch = 256
+samples = 2
+
+[[scenario.expect]]
+metric = "tokens_per_sec"
+value = 30000.0
+tol = 0.2
+severity = "warn"
+
+[[compare]]
+name = "ratio"
+metric = "tokens_per_sec"
+numerator = "thr-neupims"
+denominator = "burst"
+min = 0.5
+"#;
+
+    #[test]
+    fn parses_every_feature() {
+        let suite = SuiteSpec::parse(SUITE).unwrap();
+        assert_eq!(suite.name, "demo");
+        assert_eq!(suite.scenarios.len(), 2);
+        let s = &suite.scenarios[0];
+        assert_eq!(s.kind, ScenarioKind::Serving);
+        assert_eq!(s.system.channels, Some(4));
+        let w = s.workload.as_ref().unwrap();
+        assert_eq!(w.requests, 24);
+        assert_eq!(w.seed, 11);
+        assert_eq!(
+            w.arrival,
+            ArrivalProcess::Bursty {
+                rate: 2.0,
+                burst_size: 8
+            }
+        );
+        assert_eq!(w.tenants.classes().len(), 2);
+        assert_eq!(w.output_cap, Some(128));
+        assert_eq!(s.expects[0].bound, Bound::Min(20.0));
+        let t = &suite.scenarios[1];
+        assert_eq!(t.kind, ScenarioKind::Throughput);
+        assert_eq!(t.expects[0].severity, Severity::Warn);
+        assert_eq!(suite.compares.len(), 1);
+    }
+
+    #[test]
+    fn rejects_dangling_compares_and_duplicates() {
+        let bad = SUITE.replace("denominator = \"burst\"", "denominator = \"nope\"");
+        let e = SuiteSpec::parse(&bad).unwrap_err();
+        assert!(e.0.contains("unknown scenario"), "{e}");
+
+        let dup = SUITE.replace("name = \"thr-neupims\"", "name = \"burst\"");
+        let e = SuiteSpec::parse(&dup).unwrap_err();
+        assert!(e.0.contains("duplicate scenario name"), "{e}");
+    }
+
+    #[test]
+    fn bound_semantics() {
+        assert!(Bound::Golden {
+            value: 100.0,
+            tol: 0.1
+        }
+        .holds(109.0));
+        assert!(!Bound::Golden {
+            value: 100.0,
+            tol: 0.1
+        }
+        .holds(111.0));
+        assert!(Bound::Range(1.0, 2.0).holds(1.5));
+        assert!(!Bound::Range(1.0, 2.0).holds(2.5));
+        assert!(Bound::Min(5.0).holds(5.0));
+        assert!(Bound::Max(5.0).holds(5.0));
+    }
+
+    #[test]
+    fn defaults_fill_in() {
+        let minimal = "[suite]\nname = \"m\"\n[[scenario]]\nname = \"s\"\n";
+        let suite = SuiteSpec::parse(minimal).unwrap();
+        let s = &suite.scenarios[0];
+        assert_eq!(s.kind, ScenarioKind::Serving);
+        assert_eq!(s.system.backend, "neupims");
+        assert_eq!(s.system.replicas, 1);
+        let w = s.workload.as_ref().unwrap();
+        assert!(matches!(w.arrival, ArrivalProcess::Poisson { .. }));
+        assert_eq!(w.tenants.classes().len(), 1);
+    }
+
+    #[test]
+    fn expectation_shape_errors() {
+        let bad = SUITE.replace("min = 20.0", "metricless = 1.0");
+        assert!(SuiteSpec::parse(&bad).is_err());
+    }
+}

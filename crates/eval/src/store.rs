@@ -1,0 +1,122 @@
+//! Report persistence: `reports/<suite>/<rev>.json` plus a `latest.json`
+//! alias, so successive runs of the same suite accumulate a perf/quality
+//! trajectory keyed by source revision.
+
+use std::path::{Path, PathBuf};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use crate::report::EvalReport;
+
+/// The revision key a stored report is filed under.
+///
+/// Resolution order: the `NEUPIMS_EVAL_REV` environment variable (so CI
+/// and tests can pin a key), then `git rev-parse --short HEAD`, then the
+/// literal `"worktree"` when neither is available. The result is
+/// sanitized to `[A-Za-z0-9._-]` so it is always a safe file stem.
+pub fn resolve_rev() -> String {
+    let raw = std::env::var("NEUPIMS_EVAL_REV")
+        .ok()
+        .filter(|v| !v.trim().is_empty())
+        .or_else(git_short_rev)
+        .unwrap_or_else(|| "worktree".to_owned());
+    let safe: String = raw
+        .trim()
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '.' || c == '_' || c == '-' {
+                c
+            } else {
+                '-'
+            }
+        })
+        .collect();
+    if safe.is_empty() {
+        "worktree".to_owned()
+    } else {
+        safe
+    }
+}
+
+fn git_short_rev() -> Option<String> {
+    let out = std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    let rev = String::from_utf8(out.stdout).ok()?.trim().to_owned();
+    if rev.is_empty() {
+        None
+    } else {
+        Some(rev)
+    }
+}
+
+/// The current unix time in seconds (0 if the clock is before the epoch).
+pub fn unix_seconds() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+/// Writes `root/<suite>/<rev>.json` and `root/<suite>/latest.json`,
+/// creating directories as needed. Returns both paths (rev-keyed first).
+///
+/// # Errors
+///
+/// Propagates filesystem failures.
+pub fn store_report(root: &Path, report: &EvalReport) -> std::io::Result<(PathBuf, PathBuf)> {
+    let dir = root.join(&report.suite);
+    std::fs::create_dir_all(&dir)?;
+    let json = report.to_json();
+    let keyed = dir.join(format!("{}.json", report.rev));
+    std::fs::write(&keyed, &json)?;
+    let latest = dir.join("latest.json");
+    std::fs::write(&latest, &json)?;
+    Ok((keyed, latest))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("neupims-eval-store-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn stores_keyed_and_latest() {
+        let dir = tmpdir("keyed");
+        let report = EvalReport {
+            suite: "smoke".into(),
+            description: String::new(),
+            rev: "abc1234".into(),
+            unix_seconds: 0,
+            seed_override: None,
+            scenarios: Vec::new(),
+            checks: Vec::new(),
+        };
+        let (keyed, latest) = store_report(&dir, &report).unwrap();
+        assert!(keyed.ends_with("smoke/abc1234.json"));
+        assert!(latest.ends_with("smoke/latest.json"));
+        let a = std::fs::read_to_string(&keyed).unwrap();
+        let b = std::fs::read_to_string(&latest).unwrap();
+        assert_eq!(a, b);
+        assert!(a.contains("\"suite\": \"smoke\""));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rev_is_sanitized() {
+        std::env::set_var("NEUPIMS_EVAL_REV", "feat/evil rev!");
+        let rev = resolve_rev();
+        std::env::remove_var("NEUPIMS_EVAL_REV");
+        assert_eq!(rev, "feat-evil-rev-");
+    }
+}

@@ -15,14 +15,22 @@
 //!   Poisson arrivals for serving and fleet simulations;
 //! * [`pressure::kv_pressure_burst`] — KV-pressure burst traces (modest
 //!   prompts, long decode tails, bursty arrivals) that oversubscribe the
-//!   paged KV cache and exercise the preemption policies.
+//!   paged KV cache and exercise the preemption policies;
+//! * [`scenario`] — declarative scenario generators (Poisson / bursty /
+//!   diurnal / heavy-tailed arrival processes, per-tenant length
+//!   distributions) behind the eval harness's TOML suite specs.
 
 #![warn(missing_docs)]
 
 pub mod batch;
 pub mod dataset;
 pub mod pressure;
+pub mod scenario;
 
 pub use batch::{arrival_stream, poisson_arrivals, warm_batch, WarmRequest};
 pub use dataset::Dataset;
 pub use pressure::{kv_pressure_burst, PressureRequest, PressureSpec};
+pub use scenario::{
+    arrival_times, ArrivalProcess, GeneratedRequest, LengthDistribution, ScenarioWorkload,
+    TenantClass, TenantMix,
+};
