@@ -1,0 +1,44 @@
+//! Benchmarks of the event-driven fleet spine against the lockstep
+//! golden reference, at growing replica counts.
+//!
+//! The lockstep loop re-visits every replica at every dispatch point
+//! (O(replicas) per request: one no-op step plus one snapshot each);
+//! the event-driven merge queue only touches replicas with due work.
+//! The `fleet_event_*` / `fleet_lockstep_*` pairs at the same scale are
+//! that claim, measured — `bench-snapshot fleet` pins the same fixture's
+//! medians into `BENCH_fleet.json` for the checked-in trajectory.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use neupims_bench::{fleet_scale_sim, short_criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    // Per-replica load stays constant (64 requests each here, so the
+    // lockstep pair stays inside the bench window); wall-clock growth
+    // beyond ~linear in the total request count is engine overhead.
+    for replicas in [1usize, 16, 64] {
+        let requests = replicas * 64;
+        c.bench_function(&format!("fleet_event_{replicas}r"), |b| {
+            b.iter(|| black_box(fleet_scale_sim(replicas, requests).run().unwrap()))
+        });
+        c.bench_function(&format!("fleet_lockstep_{replicas}r"), |b| {
+            b.iter(|| black_box(fleet_scale_sim(replicas, requests).run_lockstep().unwrap()))
+        });
+    }
+    // The headline scale point: event-driven only — lockstep at 256
+    // replicas belongs to the one-shot snapshot, not a timed loop.
+    c.bench_function("fleet_event_256r", |b| {
+        b.iter(|| black_box(fleet_scale_sim(256, 256 * 64).run().unwrap()))
+    });
+}
+
+fn run(c: &mut Criterion) {
+    bench(c);
+}
+
+criterion_group! {
+    name = benches;
+    config = short_criterion();
+    targets = run
+}
+criterion_main!(benches);

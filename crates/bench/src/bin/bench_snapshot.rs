@@ -1,26 +1,42 @@
-//! `bench-snapshot` — a JSON perf-trajectory snapshot of the MHA cost
-//! models, measured with `std::time` (the vendored criterion shim does
-//! not time for real).
+//! `bench-snapshot` — JSON perf-trajectory snapshots, measured with
+//! `std::time` (the vendored criterion shim reports but does not persist).
 //!
-//! Prices the same ShareGPT-shaped 256-request batch as the
-//! `cost_models` criterion bench through all three paths — the
-//! Algorithm 1 analytic closed form, cold trace-driven replay (fresh
-//! memo every estimate), and warm trace-driven replay (memoized
-//! serving-loop steady state) — and writes `BENCH_cost_models.json`
-//! (or the path given as the first argument). The checked-in baseline
-//! at the repo root seeds the trajectory; regenerate it with:
+//! Two modes:
+//!
+//! * default — prices the same ShareGPT-shaped 256-request batch as the
+//!   `cost_models` criterion bench through all three paths (Algorithm 1
+//!   analytic, cold trace-driven replay, warm memoized replay) and writes
+//!   `BENCH_cost_models.json`;
+//! * `fleet` — times the event-driven `FleetSim::run` at 1 / 16 / 256 /
+//!   1000 replicas (1000 requests per replica, so the 1000-replica point
+//!   is a ~1M-request fleet) plus the lockstep golden reference on
+//!   identical workloads at 256 and 1000 replicas, and writes
+//!   `BENCH_fleet.json` with the `lockstep_over_event_256` and
+//!   `lockstep_over_event_1000` speedup ratios.
+//!
+//! When the output path already holds a snapshot, the new medians are
+//! compared against it: any timing regressing beyond 3x fails the run
+//! (exit 1) unless `--no-fail` is given (the CI setting — trajectories
+//! are advisory there, hard floors belong to local regeneration).
 //!
 //! ```text
-//! cargo run --release -p neupims-bench --bin bench-snapshot
+//! cargo run --release -p neupims-bench --bin bench-snapshot [OUT.json] [--no-fail]
+//! cargo run --release -p neupims-bench --bin bench-snapshot fleet [OUT.json] [--no-fail]
 //! ```
 
 use std::time::Instant;
 
+use neupims_bench::{fleet_scale_sim, FLEET_SCALE_REQUESTS_PER_REPLICA};
 use neupims_eval::json::Json;
 use neupims_kvcache::KvGeometry;
 use neupims_pim::calibrate;
 use neupims_sched::{MhaCostModel, MhaLatencyEstimator, TraceDrivenCostModel};
 use neupims_types::{LlmConfig, NeuPimsConfig};
+
+/// A new median beyond this multiple of the checked-in baseline is a
+/// regression (generous: CI machines vary, order-of-magnitude blowups
+/// are what the trajectory is meant to catch).
+const REGRESSION_FACTOR: f64 = 3.0;
 
 /// The cost_models bench batch: mixed short/long ShareGPT-shaped tail.
 fn batch() -> Vec<u64> {
@@ -66,11 +82,68 @@ fn median_of(j: &Json) -> f64 {
     }
 }
 
-fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_cost_models.json".to_owned());
+/// Extracts `"<label>": { ... "median_ns": N ... }` from a previous
+/// snapshot by string scan (the eval JSON module is write-only; the
+/// files are our own pretty-printed output, so this stays exact).
+fn baseline_median(snapshot: &str, label: &str) -> Option<f64> {
+    let needle = format!("\"{label}\"");
+    let at = snapshot.find(&needle)?;
+    let tail = &snapshot[at + needle.len()..];
+    let med = tail.find("\"median_ns\":")?;
+    let tail = &tail[med + "\"median_ns\":".len()..];
+    let end = tail.find([',', '\n', '}'])?;
+    tail[..end].trim().parse().ok()
+}
 
+/// Compares fresh medians against the checked-in snapshot at `out_path`
+/// (if any), printing a delta table. Returns the labels that regressed
+/// beyond [`REGRESSION_FACTOR`].
+fn compare_with_baseline(out_path: &str, timings: &[(String, Json)]) -> Vec<String> {
+    let Ok(old) = std::fs::read_to_string(out_path) else {
+        eprintln!("no baseline at {out_path}: seeding a fresh trajectory");
+        return Vec::new();
+    };
+    let mut regressed = Vec::new();
+    for (label, fresh) in timings {
+        let new_ns = median_of(fresh);
+        match baseline_median(&old, label) {
+            Some(old_ns) if old_ns > 0.0 => {
+                let ratio = new_ns / old_ns;
+                eprintln!(
+                    "  {label:<16} {:>12.0} ns vs baseline {:>12.0} ns ({ratio:.2}x)",
+                    new_ns, old_ns
+                );
+                if ratio > REGRESSION_FACTOR {
+                    regressed.push(label.clone());
+                }
+            }
+            _ => eprintln!("  {label:<16} {new_ns:>12.0} ns (no baseline entry)"),
+        }
+    }
+    regressed
+}
+
+/// Writes the document, after grading it against the previous snapshot at
+/// the same path. Exits non-zero on regression unless `no_fail`.
+fn finish(out_path: &str, timings: &[(String, Json)], doc: Json, no_fail: bool) {
+    let regressed = compare_with_baseline(out_path, timings);
+    let json = doc.pretty();
+    std::fs::write(out_path, &json).expect("write snapshot");
+    print!("{json}");
+    eprintln!("wrote {out_path}");
+    if !regressed.is_empty() {
+        eprintln!(
+            "perf regression beyond {REGRESSION_FACTOR}x: {}",
+            regressed.join(", ")
+        );
+        if !no_fail {
+            std::process::exit(1);
+        }
+        eprintln!("(--no-fail: reporting only)");
+    }
+}
+
+fn cost_models_snapshot(out_path: &str, no_fail: bool) {
     let cfg = NeuPimsConfig::table2();
     let cal = calibrate(&cfg).expect("Table 2 calibrates");
     let geo = KvGeometry::for_model(&LlmConfig::gpt3_7b(), &cfg.mem);
@@ -111,7 +184,7 @@ fn main() {
         ("bench".to_owned(), Json::str("cost_models")),
         ("batch".to_owned(), Json::int(seqs.len() as u64)),
         ("model".to_owned(), Json::str("gpt3-7b")),
-        ("timings".to_owned(), Json::Obj(timings)),
+        ("timings".to_owned(), Json::Obj(timings.clone())),
         (
             "ratios".to_owned(),
             Json::Obj(vec![
@@ -122,9 +195,116 @@ fn main() {
         // Keeps the sink live so the timed loops can't be optimized out.
         ("checksum".to_owned(), Json::Num(sink)),
     ]);
+    finish(out_path, &timings, doc, no_fail);
+}
 
-    let json = doc.pretty();
-    std::fs::write(&out_path, &json).expect("write snapshot");
-    print!("{json}");
-    eprintln!("wrote {out_path}");
+fn fleet_snapshot(out_path: &str, no_fail: bool) {
+    const SCALES: [usize; 4] = [1, 16, 256, 1000];
+    let per_replica = FLEET_SCALE_REQUESTS_PER_REPLICA;
+    let mut timings = Vec::new();
+    let mut sink = 0.0;
+    for &replicas in &SCALES {
+        let requests = replicas * per_replica;
+        // The big fleets run once — a 1M-request run is seconds, and the
+        // engine is deterministic, so repetition only buys noise floor.
+        // Construction (replica building, request submission) happens
+        // outside the clock: the snapshot times the engine, not setup.
+        let iters = if replicas >= 256 { 1 } else { 5 };
+        eprintln!("event-driven: {replicas} replicas x {requests} requests ...");
+        let mut fleets: Vec<_> = (0..iters)
+            .map(|_| fleet_scale_sim(replicas, requests))
+            .collect();
+        let (samples, s) = time(iters, || {
+            fleets
+                .pop()
+                .expect("one fleet per iter")
+                .run()
+                .unwrap()
+                .tokens as f64
+        });
+        sink += s;
+        timings.push(stats(&format!("event_{replicas}"), samples));
+    }
+
+    // The lockstep golden reference on identical workloads: its
+    // O(replicas)-per-dispatch scan (one no-op step plus one snapshot
+    // per replica per request) is the cost the event-driven spine
+    // removes, so each event/lockstep pair is the speedup claim at that
+    // scale. The 256-replica pair reuses the full trajectory workload;
+    // the 1000-replica pair trims to 200 requests per replica so the
+    // lockstep side stays bounded (the scan dominates either way).
+    let lock_requests = 256 * per_replica;
+    eprintln!("lockstep: 256 replicas x {lock_requests} requests ...");
+    let mut lock_fleet = fleet_scale_sim(256, lock_requests);
+    let (lock_samples, s) = time(1, || lock_fleet.run_lockstep().unwrap().tokens as f64);
+    sink += s;
+    timings.push(stats("lockstep_256", lock_samples));
+
+    let wide_per_replica = 200;
+    let wide_requests = 1000 * wide_per_replica;
+    eprintln!("speedup pair: 1000 replicas x {wide_requests} requests ...");
+    let mut wide_event_fleet = fleet_scale_sim(1000, wide_requests);
+    let (wide_event_samples, s) = time(1, || wide_event_fleet.run().unwrap().tokens as f64);
+    sink += s;
+    timings.push(stats("event_1000_r200", wide_event_samples));
+    let mut wide_lock_fleet = fleet_scale_sim(1000, wide_requests);
+    let (wide_lock_samples, s) = time(1, || wide_lock_fleet.run_lockstep().unwrap().tokens as f64);
+    sink += s;
+    timings.push(stats("lockstep_1000_r200", wide_lock_samples));
+
+    let event_256 = median_of(&timings[2].1);
+    let lockstep_256 = median_of(&timings[4].1);
+    let wide_event = median_of(&timings[5].1);
+    let wide_lockstep = median_of(&timings[6].1);
+    let doc = Json::Obj(vec![
+        ("bench".to_owned(), Json::str("fleet_scale")),
+        (
+            "requests_per_replica".to_owned(),
+            Json::int(per_replica as u64),
+        ),
+        ("model".to_owned(), Json::str("gpt3-7b")),
+        ("policy".to_owned(), Json::str("round-robin")),
+        ("timings".to_owned(), Json::Obj(timings.clone())),
+        (
+            "ratios".to_owned(),
+            Json::Obj(vec![
+                (
+                    "lockstep_over_event_256".to_owned(),
+                    Json::Num(lockstep_256 / event_256),
+                ),
+                (
+                    "lockstep_over_event_1000".to_owned(),
+                    Json::Num(wide_lockstep / wide_event),
+                ),
+            ]),
+        ),
+        // Keeps the sink live so the timed loops can't be optimized out.
+        ("checksum".to_owned(), Json::Num(sink)),
+    ]);
+    eprintln!(
+        "lockstep/event speedup: {:.1}x at 256 replicas, {:.1}x at 1000",
+        lockstep_256 / event_256,
+        wide_lockstep / wide_event
+    );
+    finish(out_path, &timings, doc, no_fail);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let no_fail = args.iter().any(|a| a == "--no-fail");
+    let positional: Vec<&str> = args
+        .iter()
+        .map(String::as_str)
+        .filter(|a| !a.starts_with("--"))
+        .collect();
+    match positional.first().copied() {
+        Some("fleet") => {
+            let out = positional.get(1).copied().unwrap_or("BENCH_fleet.json");
+            fleet_snapshot(out, no_fail);
+        }
+        mode => {
+            let out = mode.unwrap_or("BENCH_cost_models.json");
+            cost_models_snapshot(out, no_fail);
+        }
+    }
 }

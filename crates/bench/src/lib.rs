@@ -7,7 +7,11 @@
 use std::time::Duration;
 
 use criterion::Criterion;
+use neupims_core::backend::GpuRooflineBackend;
 use neupims_core::experiments::ExperimentContext;
+use neupims_core::fleet::{policy_from_name, FleetRequest, FleetSim};
+use neupims_core::serving::{ServingConfig, ServingSim};
+use neupims_types::LlmConfig;
 
 /// Short Criterion configuration: the sims are deterministic, so a handful
 /// of samples suffices and the whole suite stays minutes-scale.
@@ -23,4 +27,46 @@ pub fn bench_context() -> ExperimentContext {
     ExperimentContext::table2()
         .expect("Table 2 configuration calibrates")
         .with_samples(2)
+}
+
+/// Requests submitted per replica by [`fleet_scale_sim`] — the
+/// `fleet_scale` bench and the `bench-snapshot fleet` trajectory both
+/// scale the workload with the fleet so per-replica load stays constant.
+pub const FLEET_SCALE_REQUESTS_PER_REPLICA: usize = 1000;
+
+/// Builds the fleet-scale benchmark fixture: `replicas` GPU-roofline
+/// replicas behind round-robin dispatch with `requests` tiny requests at
+/// a fixed arrival cadence. Lengths and arrivals are arithmetic (no RNG),
+/// so every build is identical — the bench measures the engine, not the
+/// workload sampler. Requests are deliberately small: wall-clock is then
+/// dominated by dispatch/advancement overhead, which is exactly what the
+/// event-driven spine is supposed to remove.
+pub fn fleet_scale_sim(replicas: usize, requests: usize) -> FleetSim<GpuRooflineBackend> {
+    let model = LlmConfig::gpt3_7b();
+    let cfg = ServingConfig {
+        max_batch: 32,
+        tp: model.parallelism.tp,
+        layers: model.num_layers / model.parallelism.pp,
+        target_completions: 0,
+        slo: None,
+    };
+    let sims: Vec<ServingSim<GpuRooflineBackend>> = (0..replicas)
+        .map(|_| ServingSim::new(GpuRooflineBackend::a100(), model.clone(), cfg.clone()))
+        .collect();
+    let mut fleet = FleetSim::new(
+        sims,
+        policy_from_name("round-robin").expect("shipped policy"),
+    )
+    .expect("non-empty fleet");
+    for i in 0..requests {
+        fleet
+            .submit(FleetRequest {
+                id: i as u32,
+                input_len: 16 + (i % 5) as u32 * 8,
+                output_len: 1 + (i % 2) as u32,
+                arrival: i as u64 * 2_000,
+            })
+            .expect("unique ids");
+    }
+    fleet
 }

@@ -6,6 +6,7 @@
 //!                   [--model NAME] [--dataset NAME] [--batch N]
 //!                   [--requests N] [--max-batch N]
 //!                   [--replicas N] [--policy NAME] [--rate R] [--seed N]
+//!                   [--jobs N]
 //!                   [--scheduler NAME] [--chunk-tokens N]
 //!                   [--preemption NAME] [--swap-gbps GB]
 //!                   [--cost-model NAME] [--tolerance F]
@@ -55,6 +56,11 @@
 //! and drives both `serve` and `fleet` arrivals; --slo-ttft-ms /
 //! --slo-tpot-ms set the latency targets their SLO-attainment and
 //! goodput columns are measured against.
+//! --jobs caps how many replica streams `fleet` and `eval` advance in
+//! parallel between dispatch points (default: available parallelism).
+//! Replicas share no state between dispatch barriers, so --jobs only
+//! changes wall-clock: the same --seed yields bit-identical results for
+//! any N (pinned by tests).
 //! --seed pins the workload RNG of `serve`, `fleet`, and `eval`: two runs
 //! with the same seed (and flags) submit identical requests. Without it,
 //! serve/fleet derive a seed from --requests (legacy behavior) and eval
@@ -109,6 +115,7 @@ struct Options {
     slo_ttft_ms: f64,
     slo_tpot_ms: f64,
     seed: Option<u64>,
+    jobs: Option<usize>,
     suite: Option<String>,
     list: bool,
     reports_dir: String,
@@ -159,6 +166,7 @@ pub fn run_cli() -> ExitCode {
         slo_ttft_ms: 50.0,
         slo_tpot_ms: 10.0,
         seed: None,
+        jobs: None,
         suite: None,
         list: false,
         reports_dir: "reports".to_owned(),
@@ -305,6 +313,13 @@ pub fn run_cli() -> ExitCode {
                 Some(s) => opts.seed = Some(s),
                 None => {
                     eprintln!("--seed requires a number");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--jobs" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => opts.jobs = Some(n),
+                _ => {
+                    eprintln!("--jobs requires a positive number of worker threads");
                     return ExitCode::FAILURE;
                 }
             },
@@ -561,6 +576,9 @@ fn cmd_fleet(ctx: &ExperimentContext, opts: &Options) -> Result<(), Box<dyn std:
         .with_swap(SwapConfig {
             gb_per_sec: opts.swap_gbps,
         });
+    if let Some(jobs) = opts.jobs {
+        fleet = fleet.with_jobs(jobs);
+    }
 
     let mut rng = StdRng::seed_from_u64(opts.seed.unwrap_or(0xF1EE7 ^ opts.requests as u64));
     let arrivals = arrival_stream(&mut rng, opts.rate, opts.requests);
@@ -769,7 +787,9 @@ fn cmd_eval(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
                 neupims_eval::builtin_description(name).unwrap_or_default()
             );
         }
-        println!("\nrun one with: neupims-sim eval <suite> [--seed N] [--reports-dir DIR]");
+        println!(
+            "\nrun one with: neupims-sim eval <suite> [--seed N] [--jobs N] [--reports-dir DIR]"
+        );
         return Ok(());
     }
     let suite_name = opts.suite.as_deref().unwrap_or("smoke");
@@ -785,7 +805,7 @@ fn cmd_eval(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
             .sum::<usize>()
             + suite.compares.len()
     );
-    let report = neupims_eval::run_eval(&suite, opts.seed)?;
+    let report = neupims_eval::run_eval_with_jobs(&suite, opts.seed, opts.jobs)?;
     print!("{}", report.render());
     let (keyed, latest) =
         neupims_eval::store_report(std::path::Path::new(&opts.reports_dir), &report)?;

@@ -177,8 +177,12 @@ impl IterationResult {
 ///
 /// Implementations must be deterministic: identical inputs produce
 /// identical cycle counts (the experiment harness and the parity tests
-/// rely on it).
-pub trait Backend {
+/// rely on it). They must also be `Send + Sync`, so fleet replicas can
+/// advance on [`std::thread::scope`] workers between dispatch points —
+/// backends are pure pricing models, and shared mutable internals (e.g.
+/// trace-replay memos) must synchronize themselves (the shipped one uses
+/// a mutex).
+pub trait Backend: Send + Sync {
     /// Human-readable system label (e.g. `"NeuPIMs"`, `"GPU-only"`).
     fn label(&self) -> &str;
 

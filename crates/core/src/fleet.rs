@@ -5,9 +5,15 @@
 //! serving results — so the layer above one device matters: [`FleetSim`]
 //! runs N replicas (each its own [`ServingSim`], heterogeneous backends
 //! allowed) behind a pluggable [`DispatchPolicy`]. Arrivals are dispatched
-//! in time order; before each dispatch every replica is stepped up to the
-//! arrival instant, so policies see *live* queue depths, outstanding work,
-//! and KV pressure rather than static assignment counts.
+//! in time order; each dispatch is a barrier where exactly the replicas
+//! whose event streams trail the arrival are advanced up to it (popped
+//! from a merged [`EventQueue`], in parallel on
+//! scoped worker threads when many are due — see [`FleetSim::with_jobs`]),
+//! so policies see *live* queue depths, outstanding work, and KV pressure
+//! rather than static assignment counts. Between barriers replicas share
+//! no state, which is why the job count never changes results; the old
+//! all-replica lockstep engine survives as [`FleetSim::run_lockstep`],
+//! the golden reference the parity tests hold [`FleetSim::run`] to.
 //!
 //! Three policies ship out of the box:
 //!
@@ -61,14 +67,23 @@
 //! ```
 
 use std::collections::HashSet;
+use std::sync::Mutex;
 
 use neupims_sched::{CostModelKind, TraceSnapshot};
 use neupims_types::{Cycle, RequestId, SimError};
 
 use crate::backend::{Backend, BackendError};
 use crate::device::Device;
+use crate::event::{EventQueue, SimEvent};
 use crate::preempt::{PreemptionPolicy, SwapConfig};
 use crate::serving::{ServingOutcome, ServingSim, StepEvent};
+
+/// Below this many due replicas a dispatch barrier advances them inline.
+/// Scoped-thread fan-out (spawn + join per barrier) costs tens of
+/// microseconds, while a due replica between dispatch points typically
+/// owes a single iteration jump — so threads only pay off on wide
+/// barriers: bursty arrival fronts and the final drain.
+const PARALLEL_MIN_DUE: usize = 64;
 
 /// One request entering the fleet frontend.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -395,6 +410,9 @@ pub struct FleetSim<B: Backend = Device> {
     pending: Vec<FleetRequest>,
     seen: HashSet<RequestId>,
     submitted: u64,
+    /// Worker threads replica event streams execute on between dispatch
+    /// points (see [`Self::with_jobs`]). Never affects results.
+    jobs: usize,
 }
 
 impl<B: Backend> std::fmt::Debug for FleetSim<B> {
@@ -403,8 +421,22 @@ impl<B: Backend> std::fmt::Debug for FleetSim<B> {
             .field("replicas", &self.replicas.len())
             .field("policy", &self.policy.name())
             .field("pending", &self.pending.len())
+            .field("jobs", &self.jobs)
             .finish()
     }
+}
+
+/// The per-replica advancement primitive: steps `replica` until its local
+/// clock reaches `horizon` or its stream drains. This is exactly the
+/// lockstep dispatcher's inner loop, so running it per replica — serially
+/// or on a worker thread — reproduces lockstep behavior bit for bit.
+fn advance_to<B: Backend>(replica: &mut ServingSim<B>, horizon: Cycle) -> Result<(), SimError> {
+    while replica.now() < horizon {
+        if replica.step()? == StepEvent::Finished {
+            break;
+        }
+    }
+    Ok(())
 }
 
 impl<B: Backend> FleetSim<B> {
@@ -440,7 +472,34 @@ impl<B: Backend> FleetSim<B> {
             pending: Vec::new(),
             seen: HashSet::new(),
             submitted: 0,
+            jobs: default_jobs(),
         })
+    }
+
+    /// Sets how many worker threads replica event streams execute on
+    /// between dispatch points (`0` restores the default: the machine's
+    /// [`std::thread::available_parallelism`]). With `1`, everything runs
+    /// on the calling thread.
+    ///
+    /// The job count never changes results: between dispatch barriers
+    /// replicas share no state, each is advanced by the same sequential
+    /// per-replica loop regardless of which worker runs it, and
+    /// aggregation happens in replica order after all workers join — so
+    /// a seeded run is bit-deterministic for every `N` (pinned by the
+    /// determinism tests).
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = if jobs == 0 { default_jobs() } else { jobs };
+        self
+    }
+
+    /// Worker threads used between dispatch points.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// The replicas, in fleet index order.
+    pub fn replicas(&self) -> &[ServingSim<B>] {
+        &self.replicas
     }
 
     /// Selects the MHA cost model every replica's scheduler prices PIM
@@ -518,25 +577,41 @@ impl<B: Backend> FleetSim<B> {
         Ok(())
     }
 
+    fn snapshot_of(&self, index: usize) -> ReplicaSnapshot {
+        let r = &self.replicas[index];
+        ReplicaSnapshot {
+            index,
+            now: r.now(),
+            waiting: r.waiting_len(),
+            running: r.running_len(),
+            preempted: r.preempted_len(),
+            outstanding_tokens: r.outstanding_tokens(),
+            kv_utilization: r.kv_utilization(),
+            kv_pressure: r.kv_pressure(),
+        }
+    }
+
     fn snapshots(&self) -> Vec<ReplicaSnapshot> {
-        self.replicas
-            .iter()
-            .enumerate()
-            .map(|(index, r)| ReplicaSnapshot {
-                index,
-                now: r.now(),
-                waiting: r.waiting_len(),
-                running: r.running_len(),
-                preempted: r.preempted_len(),
-                outstanding_tokens: r.outstanding_tokens(),
-                kv_utilization: r.kv_utilization(),
-                kv_pressure: r.kv_pressure(),
-            })
+        (0..self.replicas.len())
+            .map(|i| self.snapshot_of(i))
             .collect()
     }
 
     /// Dispatches every queued request in arrival order and drains all
     /// replicas, reporting the aggregated outcome.
+    ///
+    /// This is the event-driven engine: replica event streams are merged
+    /// on an [`EventQueue`] keyed by each replica's local clock, and a
+    /// dispatch at time `t` services only the replicas whose streams
+    /// trail `t` — popped from the merge, advanced (in parallel on
+    /// [`std::thread::scope`] workers when many are due, see
+    /// [`Self::with_jobs`]), and re-queued at their new clocks. Replicas
+    /// synchronize with the global clock only at these dispatch points,
+    /// where the policy reads its [`ReplicaSnapshot`]s; a drained (idle)
+    /// replica leaves the merge and is never re-stepped until a dispatch
+    /// hands it new work. Results are bit-identical to
+    /// [`Self::run_lockstep`] — the parity suite pins it across every
+    /// scheduler × preemption × dispatch combination.
     ///
     /// Statistics are cumulative over the fleet's lifetime: a later
     /// `submit` + `run` round adds to the same counters, so
@@ -547,13 +622,114 @@ impl<B: Backend> FleetSim<B> {
     ///
     /// # Errors
     ///
-    /// Propagates replica simulation errors.
+    /// Propagates replica simulation errors. Requests not yet dispatched
+    /// when an error surfaces are re-stashed as pending; which replicas
+    /// have already advanced past the failed barrier is unspecified.
     pub fn run(&mut self) -> Result<FleetOutcome, SimError> {
         let mut pending = std::mem::take(&mut self.pending);
         pending.sort_by_key(|r| (r.arrival, r.id));
 
+        // The merged per-replica event streams: each non-idle replica
+        // appears once, keyed by its local clock (= how far its stream
+        // has been serviced). Snapshots are cached and refreshed only
+        // for replicas that stepped or received work — a dispatch is
+        // O(due replicas), not O(fleet).
+        let mut merge: EventQueue<SimEvent> = EventQueue::new();
+        for (i, r) in self.replicas.iter().enumerate() {
+            if !r.is_idle() {
+                merge.push(r.now(), SimEvent::ReplicaIdle(i));
+            }
+        }
+        let mut snaps = self.snapshots();
+
+        let mut due: Vec<usize> = Vec::new();
+        for (k, &req) in pending.iter().enumerate() {
+            // Dispatch barrier: advance exactly the replicas whose
+            // streams trail the arrival, so the policy sees live queues.
+            // Idle replicas are not in the merge and stay where they are
+            // (their snapshot is empty anyway).
+            due.clear();
+            while let Some((at, _)) = merge.peek() {
+                if at >= req.arrival {
+                    break;
+                }
+                let (_, ev) = merge.pop().expect("peeked");
+                let SimEvent::ReplicaIdle(i) = ev else {
+                    unreachable!("the fleet merge holds only replica entries");
+                };
+                due.push(i);
+            }
+            due.sort_unstable();
+            if let Err(e) = self.advance_many(&due, req.arrival) {
+                // Re-stash what hasn't been dispatched so the fleet's
+                // conservation accounting survives a failed round.
+                self.pending.extend_from_slice(&pending[k..]);
+                return Err(e);
+            }
+            for &i in &due {
+                if !self.replicas[i].is_idle() {
+                    merge.push(self.replicas[i].now(), SimEvent::ReplicaIdle(i));
+                }
+                snaps[i] = self.snapshot_of(i);
+            }
+
+            let choice = self.policy.choose(&snaps, &req);
+            if choice >= self.replicas.len() {
+                self.pending.extend_from_slice(&pending[k..]);
+                return Err(SimError::Scheduling(format!(
+                    "dispatch policy {:?} chose replica {choice}, but the fleet has {}",
+                    self.policy.name(),
+                    self.replicas.len()
+                )));
+            }
+            let was_idle = self.replicas[choice].is_idle();
+            if let Err(e) =
+                self.replicas[choice].submit(req.id, req.input_len, req.output_len, req.arrival)
+            {
+                self.pending.extend_from_slice(&pending[k..]);
+                return Err(e);
+            }
+            snaps[choice] = self.snapshot_of(choice);
+            if was_idle {
+                // The dispatch re-activates a drained replica: back into
+                // the merge at its (possibly stale) local clock.
+                merge.push(self.replicas[choice].now(), SimEvent::ReplicaIdle(choice));
+            }
+        }
+
+        // Drain phase: no more dispatch barriers, so every remaining
+        // stream runs to completion — fully parallel.
+        let mut active: Vec<usize> = Vec::new();
+        while let Some((_, ev)) = merge.pop() {
+            let SimEvent::ReplicaIdle(i) = ev else {
+                unreachable!("the fleet merge holds only replica entries");
+            };
+            active.push(i);
+        }
+        active.sort_unstable();
+        self.advance_many(&active, Cycle::MAX)?;
+
+        let outcomes = self.replicas.iter().map(ServingSim::outcome).collect();
+        Ok(FleetOutcome::aggregate(self.submitted, outcomes))
+    }
+
+    /// The lockstep reference engine: before each dispatch, every replica
+    /// is stepped up to the arrival instant, one after another, and all
+    /// snapshots are rebuilt from scratch. `O(replicas)` per arrival —
+    /// kept verbatim as the golden semantics [`Self::run`] must reproduce
+    /// bit for bit (the parity tests run both and compare
+    /// [`FleetOutcome`]s), and as the baseline the `fleet_scale` bench
+    /// measures speedup against. Not for production-scale fleets.
+    ///
+    /// # Errors
+    ///
+    /// Propagates replica simulation errors.
+    pub fn run_lockstep(&mut self) -> Result<FleetOutcome, SimError> {
+        let mut pending = std::mem::take(&mut self.pending);
+        pending.sort_by_key(|r| (r.arrival, r.id));
+
         for (i, &req) in pending.iter().enumerate() {
-            if let Err(e) = self.dispatch_one(req) {
+            if let Err(e) = self.dispatch_one_lockstep(req) {
                 // Re-stash what hasn't been dispatched so the fleet's
                 // conservation accounting survives a failed round.
                 self.pending.extend_from_slice(&pending[i..]);
@@ -568,16 +744,12 @@ impl<B: Backend> FleetSim<B> {
         Ok(FleetOutcome::aggregate(self.submitted, outcomes))
     }
 
-    fn dispatch_one(&mut self, req: FleetRequest) -> Result<(), SimError> {
+    fn dispatch_one_lockstep(&mut self, req: FleetRequest) -> Result<(), SimError> {
         // Bring every replica's local clock up to the arrival so the
         // policy sees live queues, not stale ones. Idle replicas stay
         // where they are (their snapshot is empty anyway).
         for replica in &mut self.replicas {
-            while replica.now() < req.arrival {
-                if replica.step()? == StepEvent::Finished {
-                    break;
-                }
-            }
+            advance_to(replica, req.arrival)?;
         }
         let snaps = self.snapshots();
         let choice = self.policy.choose(&snaps, &req);
@@ -590,6 +762,70 @@ impl<B: Backend> FleetSim<B> {
         }
         self.replicas[choice].submit(req.id, req.input_len, req.output_len, req.arrival)
     }
+
+    /// Advances the replicas named by `due` (sorted, distinct indices) to
+    /// `horizon`, fanning out over up to [`Self::jobs`] scoped worker
+    /// threads when the due set is large enough to pay for it. Replicas
+    /// share no state between dispatch barriers, so per-replica results
+    /// are identical however the work is divided; on error the
+    /// lowest-indexed failing replica's error is returned regardless of
+    /// worker interleaving.
+    fn advance_many(&mut self, due: &[usize], horizon: Cycle) -> Result<(), SimError> {
+        if self.jobs <= 1 || due.len() < PARALLEL_MIN_DUE {
+            for &i in due {
+                advance_to(&mut self.replicas[i], horizon)?;
+            }
+            return Ok(());
+        }
+
+        // Split the replica slice into disjoint &mut handles for the due
+        // indices (O(due), relying on `due` being sorted and distinct).
+        let mut handles: Vec<&mut ServingSim<B>> = Vec::with_capacity(due.len());
+        let mut rest: &mut [ServingSim<B>] = &mut self.replicas;
+        let mut offset = 0;
+        for &i in due {
+            let (_, tail) = rest.split_at_mut(i - offset);
+            let (r, tail) = tail.split_first_mut().expect("due indices are in range");
+            handles.push(r);
+            rest = tail;
+            offset = i + 1;
+        }
+
+        let chunk = handles.len().div_ceil(self.jobs).max(1);
+        let first_err: Mutex<Option<(usize, SimError)>> = Mutex::new(None);
+        std::thread::scope(|s| {
+            for (ci, chunk_refs) in handles.chunks_mut(chunk).enumerate() {
+                let first_err = &first_err;
+                s.spawn(move || {
+                    for (j, replica) in chunk_refs.iter_mut().enumerate() {
+                        if let Err(e) = advance_to(replica, horizon) {
+                            let index = due[ci * chunk + j];
+                            let mut slot = first_err.lock().expect("no worker panics");
+                            if slot.as_ref().is_none_or(|(lowest, _)| index < *lowest) {
+                                *slot = Some((index, e));
+                            }
+                            // Keep the rest of the chunk untouched: the
+                            // erroring replica's successors advance on
+                            // the next (re-run) barrier instead.
+                            break;
+                        }
+                    }
+                });
+            }
+        });
+        match first_err.into_inner().expect("no worker panics") {
+            Some((_, e)) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+/// One worker per available core by default (the dispatcher thread mostly
+/// waits at barriers).
+fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
 }
 
 #[cfg(test)]

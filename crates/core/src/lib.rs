@@ -22,6 +22,10 @@
 //!   token dataflow) for Figure 15;
 //! * [`cluster`] — tensor/pipeline-parallel multi-device throughput
 //!   (Section 7, Figure 14), generic over any backend;
+//! * [`event`] — the discrete-event spine: a global-clock [`EventQueue`]
+//!   of typed [`SimEvent`]s (arrival, iteration-complete,
+//!   restore-complete, replica-idle) that lets the serving loop jump its
+//!   clock and the fleet merge per-replica event streams;
 //! * [`scheduler`] — iteration-level serving schedulers behind one
 //!   [`SchedulerPolicy`] trait: lump prefill (standalone-NPU delegation),
 //!   Orca/vLLM-style chunked prefill, and NeuPIMs-style NPU/PIM sub-batch
@@ -69,6 +73,7 @@
 pub mod backend;
 pub mod cluster;
 pub mod device;
+pub mod event;
 pub mod experiments;
 pub mod fleet;
 pub mod gpu;
@@ -87,6 +92,7 @@ pub use backend::{
 };
 pub use cluster::{cluster_throughput, ClusterSpec};
 pub use device::{Device, DeviceMode, SbiPolicy};
+pub use event::{EventQueue, SimEvent};
 pub use experiments::ExperimentContext;
 pub use fleet::{
     policy_from_name, DispatchPolicy, FleetOutcome, FleetRequest, FleetSim, JoinShortestQueue,

@@ -140,8 +140,9 @@ pub struct VictimCandidate {
 /// cache runs out of pages, and how evicted state is rebuilt.
 ///
 /// Implementations must be deterministic (identical candidates produce
-/// identical victims) — the parity and regression tests rely on it.
-pub trait PreemptionPolicy: std::fmt::Debug {
+/// identical victims) — the parity and regression tests rely on it — and
+/// `Send`, so replicas carrying them can advance on fleet worker threads.
+pub trait PreemptionPolicy: std::fmt::Debug + Send {
     /// Policy name as accepted by [`preemption_from_name`] and printed by
     /// the CLI.
     fn name(&self) -> &'static str;

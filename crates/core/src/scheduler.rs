@@ -197,8 +197,9 @@ pub struct IterationOccupancy {
 /// and what one iteration costs.
 ///
 /// Implementations must be deterministic (identical demand produces
-/// identical plans) — the parity and regression tests rely on it.
-pub trait SchedulerPolicy: std::fmt::Debug {
+/// identical plans) — the parity and regression tests rely on it — and
+/// `Send`, so replicas carrying them can advance on fleet worker threads.
+pub trait SchedulerPolicy: std::fmt::Debug + Send {
     /// Policy name as accepted by [`scheduler_from_name`] and printed by
     /// the CLI.
     fn name(&self) -> &'static str;

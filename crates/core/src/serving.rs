@@ -98,6 +98,7 @@ use neupims_types::{ChannelId, Cycle, LlmConfig, Request, RequestId, SimError};
 
 use crate::backend::Backend;
 use crate::device::Device;
+use crate::event::{EventQueue, SimEvent};
 use crate::metrics::IterationBreakdown;
 use crate::preempt::{DropOnly, PreemptionPolicy, RestoreMode, SwapConfig, VictimCandidate};
 use crate::scheduler::{
@@ -455,6 +456,22 @@ pub struct ServingSim<B: Backend = Device> {
     restore_events: u64,
     stall_cycles: Cycle,
     restore_overhead: Cycle,
+    /// The discrete-event spine: every future-timed transition (arrival,
+    /// lump-prefill completion, restore completion) is scheduled here,
+    /// so an idle step jumps straight to the next event instead of
+    /// scanning per-request state. Past entries are discarded lazily.
+    events: EventQueue<SimEvent>,
+    /// `step()` invocations over the run's lifetime (diagnostic; the
+    /// fleet's never-re-step regression test observes it).
+    steps: u64,
+    /// KV pages the waiting queue's prompts will demand at admission
+    /// (incremental mirror of the sum [`Self::kv_pressure`] reports, so
+    /// dispatch snapshots stay O(1)).
+    queued_pages: u64,
+    /// KV pages parked (preempted) contexts will re-reserve at restore.
+    parked_pages: u64,
+    /// Tokens still owed by parked requests.
+    parked_remaining: u64,
 }
 
 impl<B: Backend> ServingSim<B> {
@@ -515,6 +532,11 @@ impl<B: Backend> ServingSim<B> {
             restore_events: 0,
             stall_cycles: 0,
             restore_overhead: 0,
+            events: EventQueue::new(),
+            steps: 0,
+            queued_pages: 0,
+            parked_pages: 0,
+            parked_remaining: 0,
             backend,
             model,
             cfg,
@@ -594,6 +616,21 @@ impl<B: Backend> ServingSim<B> {
         self.now
     }
 
+    /// How many times [`Self::step`] has been called over the run's
+    /// lifetime (including `Waited` clock jumps and terminal `Finished`
+    /// probes).
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Whether the replica's event stream has drained: nothing waiting,
+    /// running, or parked. An idle simulation's [`Self::step`] returns
+    /// [`StepEvent::Finished`] without mutating any state, so callers
+    /// (the fleet's event-driven merge) can skip stepping it entirely.
+    pub fn is_idle(&self) -> bool {
+        self.pool.waiting_len() == 0 && self.pool.running().is_empty() && self.parked.is_empty()
+    }
+
     /// Requests waiting for admission.
     pub fn waiting_len(&self) -> usize {
         self.pool.waiting_len()
@@ -613,12 +650,7 @@ impl<B: Backend> ServingSim<B> {
     /// (preempted) requests — parked work is still owed, so it must stay
     /// visible to dispatchers.
     pub fn outstanding_tokens(&self) -> u64 {
-        self.pool.outstanding_tokens()
-            + self
-                .parked
-                .iter()
-                .map(|p| p.req.remaining() as u64)
-                .sum::<u64>()
+        self.pool.outstanding_tokens() + self.parked_remaining
     }
 
     /// Current KV-cache pool utilization, `[0, 1]`.
@@ -639,17 +671,23 @@ impl<B: Backend> ServingSim<B> {
         if total == 0 {
             return 0.0;
         }
-        let queued: u64 = self
-            .pool
-            .waiting()
-            .map(|r| self.kv.pages_for(r.input_len as u64))
-            .sum();
-        let parked: u64 = self
-            .parked
-            .iter()
-            .map(|p| self.kv.pages_for(p.req.seq_len() as u64))
-            .sum();
-        (self.kv.used_pages() + queued + parked) as f64 / total as f64
+        debug_assert_eq!(
+            self.queued_pages,
+            self.pool
+                .waiting()
+                .map(|r| self.kv.pages_for(r.input_len as u64))
+                .sum::<u64>(),
+            "queued-page mirror drifted from the waiting queue"
+        );
+        debug_assert_eq!(
+            self.parked_pages,
+            self.parked
+                .iter()
+                .map(|p| self.kv.pages_for(p.req.seq_len() as u64))
+                .sum::<u64>(),
+            "parked-page mirror drifted from the parked set"
+        );
+        (self.kv.used_pages() + self.queued_pages + self.parked_pages) as f64 / total as f64
     }
 
     /// Submits one request (prompt `input_len`, target `output_len`,
@@ -680,6 +718,8 @@ impl<B: Backend> ServingSim<B> {
         }
         let req = Request::new(id, input_len, output_len, arrival);
         self.arrivals.insert(req.id, arrival);
+        self.events.push(arrival, SimEvent::Arrival(req.id));
+        self.queued_pages += self.kv.pages_for(input_len as u64);
         self.submitted += 1;
         self.pool.submit(req);
         Ok(())
@@ -740,6 +780,8 @@ impl<B: Backend> ServingSim<B> {
         self.last_decoded.remove(&id);
         *self.preempt_counts.entry(id).or_insert(0) += 1;
         self.preempt_events += 1;
+        self.parked_pages += self.kv.pages_for(req.seq_len() as u64);
+        self.parked_remaining += req.remaining() as u64;
         self.parked.push_back(Parked {
             req,
             at: self.now,
@@ -776,14 +818,16 @@ impl<B: Backend> ServingSim<B> {
     /// saved bytes. A parked head whose grown context can no longer fit
     /// even an empty channel is dropped (`Some(Dropped)`).
     fn restore_parked(&mut self) -> Result<Option<StepEvent>, SimError> {
-        while let Some((id, seq)) = self
+        while let Some((id, seq, remaining)) = self
             .parked
             .front()
-            .map(|p| (p.req.id, p.req.seq_len() as u64))
+            .map(|p| (p.req.id, p.req.seq_len() as u64, p.req.remaining() as u64))
         {
             let pages = self.kv.pages_for(seq);
             if pages > self.kv.pages_per_channel() {
                 self.parked.pop_front().expect("peeked");
+                self.parked_pages -= pages;
+                self.parked_remaining -= remaining;
                 self.arrivals.remove(&id);
                 self.first_token.remove(&id);
                 self.admit_seq.remove(&id);
@@ -799,6 +843,8 @@ impl<B: Backend> ServingSim<B> {
                 break; // head-of-line: wait for completions to free pages
             }
             let p = self.parked.pop_front().expect("peeked");
+            self.parked_pages -= pages;
+            self.parked_remaining -= remaining;
             self.kv.restore(id, ch, seq)?;
             self.home_channel.insert(id, ch);
             self.stall_cycles += self.now.saturating_sub(p.at);
@@ -823,6 +869,8 @@ impl<B: Backend> ServingSim<B> {
                     match charge {
                         PrefillCharge::Delay(d) => {
                             self.ready_at.insert(id, self.now + d);
+                            self.events
+                                .push(self.now + d, SimEvent::RestoreComplete(id));
                             self.restore_overhead += d;
                         }
                         PrefillCharge::Chunked => {
@@ -843,6 +891,8 @@ impl<B: Backend> ServingSim<B> {
                 RestoreMode::Swap => {
                     let d = self.swap.transfer_cycles(p.bytes);
                     self.ready_at.insert(id, self.now + d);
+                    self.events
+                        .push(self.now + d, SimEvent::RestoreComplete(id));
                     self.restore_overhead += d;
                 }
             }
@@ -864,6 +914,7 @@ impl<B: Backend> ServingSim<B> {
     /// handled by deferring (or, when hopeless, dropping) the request, not
     /// by failing the run.
     pub fn step(&mut self) -> Result<StepEvent, SimError> {
+        self.steps += 1;
         if self.cfg.target_completions > 0 && self.pool.completed() >= self.cfg.target_completions {
             return Ok(StepEvent::Finished);
         }
@@ -891,6 +942,8 @@ impl<B: Backend> ServingSim<B> {
             let ready_at = &mut self.ready_at;
             let prefill_left = &mut self.prefill_left;
             let prefill_order = &mut self.prefill_order;
+            let events = &mut self.events;
+            let queued_pages = &mut self.queued_pages;
             let scheduler = &self.scheduler;
             let backend: &dyn Backend = &self.backend;
             let model = &self.model;
@@ -909,12 +962,17 @@ impl<B: Backend> ServingSim<B> {
                                 match charge {
                                     PrefillCharge::Delay(prefill) => {
                                         ready_at.insert(req.id, now + prefill);
+                                        events.push(
+                                            now + prefill,
+                                            SimEvent::IterationComplete(req.id),
+                                        );
                                     }
                                     PrefillCharge::Chunked => {
                                         prefill_left.insert(req.id, (0, prompt, 0));
                                         prefill_order.push(req.id);
                                     }
                                 }
+                                *queued_pages -= kv.pages_for(req.input_len as u64);
                                 true
                             }
                             Err(e) => {
@@ -1017,29 +1075,21 @@ impl<B: Backend> ServingSim<B> {
             .collect();
 
         if ready.is_empty() && prefilling.is_empty() {
-            let next_arrival = self
-                .arrivals
-                .values()
-                .copied()
-                .filter(|&a| a > self.now)
-                .min();
+            // The event queue holds every future arrival, lump-prefill
+            // completion, and restore completion; entries at or before
+            // `now` were already actionable and are discarded lazily.
+            // Every *future*-timed entry corresponds to live state
+            // (requests are only dropped, shed, or preempted once they
+            // are due), so the queue head IS the next transition — no
+            // per-request scan.
+            let next_event = self.events.next_time_after(self.now);
             if !self.pool.running().is_empty() {
                 // Everything admitted is still prefilling: jump to the
                 // earliest prefill completion — or to the next arrival if
                 // it lands first, so newcomers are admitted (and start
                 // their own prefill) while earlier prompts are encoding.
-                let next_ready = self
-                    .pool
-                    .running()
-                    .iter()
-                    .filter_map(|r| self.ready_at.get(&r.id).copied())
-                    .filter(|&t| t > self.now)
-                    .min()
-                    .expect("non-ready running request must have a future ready time");
-                self.now = match next_arrival {
-                    Some(a) => next_ready.min(a),
-                    None => next_ready,
-                };
+                self.now =
+                    next_event.expect("non-ready running request must have a future ready time");
                 return Ok(StepEvent::Waited);
             }
             if self.pool.waiting_len() == 0 {
@@ -1071,11 +1121,14 @@ impl<B: Backend> ServingSim<B> {
                     .drop_head_waiting()
                     .expect("non-empty waiting queue");
                 self.arrivals.remove(&req.id);
+                self.queued_pages -= self.kv.pages_for(req.input_len as u64);
                 self.dropped += 1;
                 return Ok(StepEvent::Dropped(req.id));
             }
-            // The head hasn't arrived yet: jump to the next arrival.
-            let t = next_arrival.expect("future waiting head implies a future arrival");
+            // The head hasn't arrived yet: jump to the next arrival
+            // (with nothing running, the only future events are
+            // arrivals).
+            let t = next_event.expect("future waiting head implies a future arrival");
             self.now = t;
             return Ok(StepEvent::Waited);
         }

@@ -98,10 +98,31 @@ pub fn run_suite(
     suite: &SuiteSpec,
     seed_override: Option<u64>,
 ) -> Result<Vec<ScenarioRun>, EvalError> {
+    run_suite_with_jobs(suite, seed_override, None)
+}
+
+/// [`run_suite`] with an explicit worker count for serving scenarios
+/// (the CLI's `--jobs`).
+///
+/// `jobs` bounds how many replica streams each scenario's [`FleetSim`]
+/// advances concurrently between dispatch points; `None` keeps the
+/// fleet's default ([`std::thread::available_parallelism`]). Results are
+/// bit-identical for every worker count — replicas share no state
+/// between dispatch barriers — so `--seed` + `--jobs` determinism holds
+/// regardless of `N`.
+///
+/// # Errors
+///
+/// See [`run_suite`].
+pub fn run_suite_with_jobs(
+    suite: &SuiteSpec,
+    seed_override: Option<u64>,
+    jobs: Option<usize>,
+) -> Result<Vec<ScenarioRun>, EvalError> {
     suite
         .scenarios
         .iter()
-        .map(|s| run_scenario(s, seed_override))
+        .map(|s| run_scenario_with_jobs(s, seed_override, jobs))
         .collect()
 }
 
@@ -114,11 +135,25 @@ pub fn run_scenario(
     spec: &ScenarioSpec,
     seed_override: Option<u64>,
 ) -> Result<ScenarioRun, EvalError> {
+    run_scenario_with_jobs(spec, seed_override, None)
+}
+
+/// [`run_scenario`] with an explicit serving worker count (see
+/// [`run_suite_with_jobs`]).
+///
+/// # Errors
+///
+/// See [`run_suite`].
+pub fn run_scenario_with_jobs(
+    spec: &ScenarioSpec,
+    seed_override: Option<u64>,
+    jobs: Option<usize>,
+) -> Result<ScenarioRun, EvalError> {
     let ctx = context_for(&spec.system)?;
     let seed = seed_override.unwrap_or(spec.seed);
     let metrics = match spec.kind {
         ScenarioKind::Throughput => run_throughput(&ctx, spec, seed)?,
-        ScenarioKind::Serving => run_serving(&ctx, spec, seed)?,
+        ScenarioKind::Serving => run_serving(&ctx, spec, seed, jobs)?,
     };
     Ok(ScenarioRun {
         name: spec.name.clone(),
@@ -179,6 +214,7 @@ fn run_serving(
     ctx: &ExperimentContext,
     spec: &ScenarioSpec,
     seed: u64,
+    jobs: Option<usize>,
 ) -> Result<Metrics, EvalError> {
     let system = &spec.system;
     let workload = spec
@@ -224,6 +260,9 @@ fn run_serving(
     .with_swap(SwapConfig {
         gb_per_sec: system.swap_gbps,
     });
+    if let Some(jobs) = jobs {
+        fleet = fleet.with_jobs(jobs);
+    }
 
     let mut rng = StdRng::seed_from_u64(seed);
     let generated = neupims_workload::ScenarioWorkload {
@@ -347,6 +386,16 @@ samples = 1
         // A different seed shifts arrivals and lengths; at least one
         // serving metric should move.
         assert_ne!(a[0].metrics, c[0].metrics);
+    }
+
+    #[test]
+    fn jobs_count_never_changes_results() {
+        let suite = SuiteSpec::parse(TINY).unwrap();
+        let serial = run_suite_with_jobs(&suite, Some(42), Some(1)).unwrap();
+        for jobs in [2, 4, 16] {
+            let parallel = run_suite_with_jobs(&suite, Some(42), Some(jobs)).unwrap();
+            assert_eq!(serial, parallel, "--jobs {jobs} changed eval results");
+        }
     }
 
     #[test]

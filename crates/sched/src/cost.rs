@@ -117,8 +117,9 @@ impl TraceSnapshot {
 /// phases are paced by it, and the serving loop's NPU/PIM overlap credit
 /// derives from it. Implementations must be deterministic — identical
 /// inputs produce identical estimates (memoization and the parity tests
-/// rely on it).
-pub trait MhaCostModel: std::fmt::Debug {
+/// rely on it) — and `Send`, so serving replicas carrying them can
+/// advance on fleet worker threads.
+pub trait MhaCostModel: std::fmt::Debug + Send {
     /// Model name (`"analytic"` / `"trace"`), as printed by the CLI.
     fn name(&self) -> &'static str;
 
