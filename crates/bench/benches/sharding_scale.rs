@@ -1,0 +1,40 @@
+//! Benchmarks of the multi-chip sharding layer: pricing one GPT3-30B
+//! decode beat at growing TP degrees over the default PCIe fabric.
+//!
+//! Each point walks the full subtract-and-reprice path — inner-backend
+//! iteration, ring all-reduce repricing, beat assembly — so wall-clock
+//! growth with TP is wrapper overhead, not model cost. `bench-snapshot
+//! sharding` pins the same fixture's medians into `BENCH_sharding.json`
+//! for the checked-in trajectory.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use neupims_bench::{sharded_deployment, sharding_scale_batch, short_criterion};
+use neupims_types::LlmConfig;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let model = LlmConfig::gpt3_30b();
+    let seqs = sharding_scale_batch();
+    for tp in [1u32, 2, 4, 8] {
+        let sharded = sharded_deployment(tp);
+        c.bench_function(&format!("sharding_price_tp{tp}"), |b| {
+            b.iter(|| black_box(sharded.cluster_tokens_per_sec(&model, &seqs).unwrap()))
+        });
+    }
+    // A pipelined deployment exercises the stage-hop and bubble terms.
+    let pp = neupims_bench::sharded_deployment_pp(4, 2);
+    c.bench_function("sharding_price_tp4pp2", |b| {
+        b.iter(|| black_box(pp.cluster_tokens_per_sec(&model, &seqs).unwrap()))
+    });
+}
+
+fn run(c: &mut Criterion) {
+    bench(c);
+}
+
+criterion_group! {
+    name = benches;
+    config = short_criterion();
+    targets = run
+}
+criterion_main!(benches);

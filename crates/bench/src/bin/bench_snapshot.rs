@@ -1,7 +1,7 @@
 //! `bench-snapshot` — JSON perf-trajectory snapshots, measured with
 //! `std::time` (the vendored criterion shim reports but does not persist).
 //!
-//! Two modes:
+//! Three modes:
 //!
 //! * default — prices the same ShareGPT-shaped 256-request batch as the
 //!   `cost_models` criterion bench through all three paths (Algorithm 1
@@ -12,7 +12,12 @@
 //!   is a ~1M-request fleet) plus the lockstep golden reference on
 //!   identical workloads at 256 and 1000 replicas, and writes
 //!   `BENCH_fleet.json` with the `lockstep_over_event_256` and
-//!   `lockstep_over_event_1000` speedup ratios.
+//!   `lockstep_over_event_1000` speedup ratios;
+//! * `sharding` — times the sharded-deployment pricing of the
+//!   `sharding_scale` criterion bench (one GPT3-30B decode beat at
+//!   TP 1 / 2 / 4 / 8 over the default PCIe fabric) and writes
+//!   `BENCH_sharding.json`, recording each point's tokens/s alongside
+//!   its pricing wall-time.
 //!
 //! When the output path already holds a snapshot, the new medians are
 //! compared against it: any timing regressing beyond 3x fails the run
@@ -22,11 +27,14 @@
 //! ```text
 //! cargo run --release -p neupims-bench --bin bench-snapshot [OUT.json] [--no-fail]
 //! cargo run --release -p neupims-bench --bin bench-snapshot fleet [OUT.json] [--no-fail]
+//! cargo run --release -p neupims-bench --bin bench-snapshot sharding [OUT.json] [--no-fail]
 //! ```
 
 use std::time::Instant;
 
-use neupims_bench::{fleet_scale_sim, FLEET_SCALE_REQUESTS_PER_REPLICA};
+use neupims_bench::{
+    fleet_scale_sim, sharded_deployment, sharding_scale_batch, FLEET_SCALE_REQUESTS_PER_REPLICA,
+};
 use neupims_eval::json::Json;
 use neupims_kvcache::KvGeometry;
 use neupims_pim::calibrate;
@@ -289,6 +297,61 @@ fn fleet_snapshot(out_path: &str, no_fail: bool) {
     finish(out_path, &timings, doc, no_fail);
 }
 
+fn sharding_snapshot(out_path: &str, no_fail: bool) {
+    const TPS: [u32; 4] = [1, 2, 4, 8];
+    const ITERS: usize = 50;
+    let model = LlmConfig::gpt3_30b();
+    let seqs = sharding_scale_batch();
+
+    let mut timings = Vec::new();
+    let mut throughputs = Vec::new();
+    let mut sink = 0.0;
+    for &tp in &TPS {
+        eprintln!(
+            "pricing tp{tp}: one {}-request GPT3-30B beat ...",
+            seqs.len()
+        );
+        let sharded = sharded_deployment(tp);
+        let (samples, s) = time(ITERS, || {
+            sharded.cluster_tokens_per_sec(&model, &seqs).unwrap()
+        });
+        sink += s;
+        throughputs.push((format!("tp{tp}"), Json::Num(s / ITERS as f64)));
+        timings.push(stats(&format!("tp{tp}"), samples));
+    }
+
+    let tp1_tps = match throughputs[0].1 {
+        Json::Num(n) => n,
+        _ => f64::NAN,
+    };
+    let tp8_tps = match throughputs[3].1 {
+        Json::Num(n) => n,
+        _ => f64::NAN,
+    };
+    let doc = Json::Obj(vec![
+        ("bench".to_owned(), Json::str("sharding_scale")),
+        ("batch".to_owned(), Json::int(seqs.len() as u64)),
+        ("model".to_owned(), Json::str("gpt3-30b")),
+        ("interconnect".to_owned(), Json::str("pcie")),
+        ("timings".to_owned(), Json::Obj(timings.clone())),
+        ("tokens_per_sec".to_owned(), Json::Obj(throughputs)),
+        (
+            "ratios".to_owned(),
+            Json::Obj(vec![(
+                "speedup_tp8_over_tp1".to_owned(),
+                Json::Num(tp8_tps / tp1_tps),
+            )]),
+        ),
+        // Keeps the sink live so the timed loops can't be optimized out.
+        ("checksum".to_owned(), Json::Num(sink)),
+    ]);
+    eprintln!(
+        "PCIe-fabric TP8 speedup over TP1: {:.2}x",
+        tp8_tps / tp1_tps
+    );
+    finish(out_path, &timings, doc, no_fail);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let no_fail = args.iter().any(|a| a == "--no-fail");
@@ -301,6 +364,10 @@ fn main() {
         Some("fleet") => {
             let out = positional.get(1).copied().unwrap_or("BENCH_fleet.json");
             fleet_snapshot(out, no_fail);
+        }
+        Some("sharding") => {
+            let out = positional.get(1).copied().unwrap_or("BENCH_sharding.json");
+            sharding_snapshot(out, no_fail);
         }
         mode => {
             let out = mode.unwrap_or("BENCH_cost_models.json");

@@ -7,10 +7,13 @@
 use std::time::Duration;
 
 use criterion::Criterion;
-use neupims_core::backend::GpuRooflineBackend;
+use neupims_core::backend::{GpuRooflineBackend, NeuPimsBackend};
+use neupims_core::cluster::ClusterSpec;
 use neupims_core::experiments::ExperimentContext;
 use neupims_core::fleet::{policy_from_name, FleetRequest, FleetSim};
+use neupims_core::interconnect::PcieLink;
 use neupims_core::serving::{ServingConfig, ServingSim};
+use neupims_core::sharding::ShardedBackend;
 use neupims_types::LlmConfig;
 
 /// Short Criterion configuration: the sims are deterministic, so a handful
@@ -33,6 +36,31 @@ pub fn bench_context() -> ExperimentContext {
 /// `fleet_scale` bench and the `bench-snapshot fleet` trajectory both
 /// scale the workload with the fleet so per-replica load stays constant.
 pub const FLEET_SCALE_REQUESTS_PER_REPLICA: usize = 1000;
+
+/// The warm batch priced by the `sharding_scale` bench and the
+/// `bench-snapshot sharding` trajectory: 64 decode requests deep into a
+/// ShareGPT-scale context, matching the `scaling` eval suite's shape.
+pub fn sharding_scale_batch() -> Vec<u64> {
+    vec![376; 64]
+}
+
+/// Builds the sharded-deployment benchmark fixture: Table 2 NeuPIMs
+/// chips at `tp`-way tensor parallelism over the default PCIe fabric
+/// (the `--interconnect pcie` CLI deployment).
+pub fn sharded_deployment(tp: u32) -> ShardedBackend<NeuPimsBackend> {
+    sharded_deployment_pp(tp, 1)
+}
+
+/// [`sharded_deployment`] with an explicit pipeline degree, for the
+/// stage-hop and bubble pricing paths.
+pub fn sharded_deployment_pp(tp: u32, pp: u32) -> ShardedBackend<NeuPimsBackend> {
+    ShardedBackend::new(
+        NeuPimsBackend::table2().expect("Table 2 configuration calibrates"),
+        ClusterSpec::new(tp, pp),
+        Box::new(PcieLink::default()),
+    )
+    .expect("valid deployment shape")
+}
 
 /// Builds the fleet-scale benchmark fixture: `replicas` GPU-roofline
 /// replicas behind round-robin dispatch with `requests` tiny requests at

@@ -11,6 +11,8 @@
 //!                   [--preemption NAME] [--swap-gbps GB]
 //!                   [--cost-model NAME] [--tolerance F]
 //!                   [--slo-ttft-ms MS] [--slo-tpot-ms MS]
+//!                   [--tp N] [--pp N] [--interconnect NAME]
+//!                   [--link-gbps GB]
 //!                   [--list] [--reports-dir DIR]
 //!
 //! commands:
@@ -52,6 +54,13 @@
 //!   command streams through the cycle-level DRAM model, memoized per
 //!   context-length bucket); `drift --tolerance F` reports where the two
 //!   disagree by more than F (relative, default 0.10)
+//! multi-chip sharding (on sweep/serve/fleet): --tp N splits attention
+//! heads and FFN columns across N chips, --pp N pipelines the decoder
+//! stack over N stages; the per-layer collectives and stage hops are
+//! priced by --interconnect (pcie | unified | noc | ideal, default
+//! pcie) whose per-link bandwidth --link-gbps GB overrides. With
+//! neither --tp nor --pp the backend runs unsharded, exactly as before;
+//! fleet gives every replica its own sharded chip group.
 //! --rate is in requests per million cycles (= kilo-requests/s at 1 GHz)
 //! and drives both `serve` and `fleet` arrivals; --slo-ttft-ms /
 //! --slo-tpot-ms set the latency targets their SLO-attainment and
@@ -74,15 +83,19 @@
 
 use std::process::ExitCode;
 
+use neupims_core::backend::Backend;
+use neupims_core::cluster::ClusterSpec;
 use neupims_core::experiments::{
     area_overhead, fig12_throughput, fig13_ablation, fig14_parallelism, fig15_transpim,
     fig4_roofline, fig5_gpu_util, fig6_layer_util, table4_utilization, table5_power,
     ExperimentContext,
 };
 use neupims_core::fleet::{policy_from_name, FleetRequest, FleetSim, POLICY_NAMES};
+use neupims_core::interconnect::{interconnect_from_name, INTERCONNECT_NAMES};
 use neupims_core::preempt::{preemption_from_name, SwapConfig, PREEMPTION_NAMES};
 use neupims_core::scheduler::{scheduler_from_name, SCHEDULER_NAMES};
 use neupims_core::serving::{ServingConfig, ServingSim, SloTargets};
+use neupims_core::sharding::ShardedBackend;
 use neupims_core::BACKEND_NAMES;
 use neupims_kvcache::KvGeometry;
 use neupims_sched::{
@@ -116,9 +129,35 @@ struct Options {
     slo_tpot_ms: f64,
     seed: Option<u64>,
     jobs: Option<usize>,
+    tp: Option<u32>,
+    pp: Option<u32>,
+    interconnect: String,
+    link_gbps: Option<f64>,
     suite: Option<String>,
     list: bool,
     reports_dir: String,
+}
+
+impl Options {
+    /// True when `--tp` or `--pp` asked for a multi-chip deployment.
+    fn sharding_requested(&self) -> bool {
+        self.tp.is_some() || self.pp.is_some()
+    }
+
+    /// Wraps `backend` in a [`ShardedBackend`] when `--tp`/`--pp` ask for
+    /// a multi-chip deployment (collectives and stage hops priced by
+    /// `--interconnect` / `--link-gbps`); otherwise returns it unchanged.
+    fn maybe_sharded(
+        &self,
+        backend: Box<dyn Backend>,
+    ) -> Result<Box<dyn Backend>, Box<dyn std::error::Error>> {
+        if !self.sharding_requested() {
+            return Ok(backend);
+        }
+        let spec = ClusterSpec::new(self.tp.unwrap_or(1), self.pp.unwrap_or(1));
+        let fabric = interconnect_from_name(&self.interconnect, self.link_gbps)?;
+        Ok(Box::new(ShardedBackend::new(backend, spec, fabric)?))
+    }
 }
 
 fn parse_model(name: &str) -> Option<LlmConfig> {
@@ -167,6 +206,10 @@ pub fn run_cli() -> ExitCode {
         slo_tpot_ms: 10.0,
         seed: None,
         jobs: None,
+        tp: None,
+        pp: None,
+        interconnect: "pcie".to_owned(),
+        link_gbps: None,
         suite: None,
         list: false,
         reports_dir: "reports".to_owned(),
@@ -323,6 +366,37 @@ pub fn run_cli() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--tp" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => opts.tp = Some(n),
+                _ => {
+                    eprintln!("--tp requires a positive tensor-parallel degree");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--pp" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => opts.pp = Some(n),
+                _ => {
+                    eprintln!("--pp requires a positive pipeline-parallel degree");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--interconnect" => match it.next() {
+                Some(name) => opts.interconnect = name.clone(),
+                None => {
+                    eprintln!(
+                        "--interconnect requires a name ({})",
+                        INTERCONNECT_NAMES.join("|")
+                    );
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--link-gbps" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(g) if g > 0.0 => opts.link_gbps = Some(g),
+                _ => {
+                    eprintln!("--link-gbps requires a positive bandwidth (GB/s)");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--reports-dir" => match it.next() {
                 Some(dir) => opts.reports_dir = dir.clone(),
                 None => {
@@ -416,6 +490,10 @@ fn cmd_sweep(ctx: &ExperimentContext, opts: &Options) -> Result<(), Box<dyn std:
         None if opts.quick => vec![64, 256],
         None => vec![64, 128, 256, 384, 512],
     };
+    if opts.sharding_requested() {
+        // Reject a bad fabric name or bandwidth before any table output.
+        interconnect_from_name(&opts.interconnect, opts.link_gbps)?;
+    }
     println!(
         "\n## Sweep — {} / {} / {} ({} cost model; tokens/s, mean of {} warm batches)\n",
         opts.backend,
@@ -424,26 +502,41 @@ fn cmd_sweep(ctx: &ExperimentContext, opts: &Options) -> Result<(), Box<dyn std:
         opts.cost_model,
         ctx.samples
     );
+    if opts.sharding_requested() {
+        println!(
+            "sharded over tp{} x pp{} chips on the {} fabric\n",
+            opts.tp.unwrap_or(1),
+            opts.pp.unwrap_or(1),
+            opts.interconnect
+        );
+    }
     println!("| batch | tokens/s |");
     println!("|---:|---:|");
     for &batch in &batches {
-        let sim = ctx
+        let backend = opts.maybe_sharded(ctx.backend_with_cost(&opts.backend, opts.cost_model)?)?;
+        let mut builder = ctx
             .simulation()
             .model(opts.model.clone())
-            .backend(ctx.backend_with_cost(&opts.backend, opts.cost_model)?)
+            .backend(backend)
             .dataset(opts.dataset)
-            .batch(batch)
-            .build()?;
+            .batch(batch);
+        if opts.sharding_requested() {
+            // The wrapper supplies the parallelism: run the full layer
+            // stack with device-internal TP 1 underneath it.
+            builder = builder.tp(1).layers(opts.model.num_layers);
+        }
+        let sim = builder.build()?;
         println!("| {} | {:.0} |", batch, sim.throughput()?);
     }
     Ok(())
 }
 
 fn cmd_serve(ctx: &ExperimentContext, opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
-    let sim = ctx
+    let backend = opts.maybe_sharded(ctx.backend_with_cost(&opts.backend, opts.cost_model)?)?;
+    let mut builder = ctx
         .simulation()
         .model(opts.model.clone())
-        .backend(ctx.backend_with_cost(&opts.backend, opts.cost_model)?)
+        .backend(backend)
         .dataset(opts.dataset)
         .batch(opts.max_batch.max(1))
         .scheduler(scheduler_from_name(&opts.scheduler, opts.chunk_tokens)?)
@@ -451,8 +544,13 @@ fn cmd_serve(ctx: &ExperimentContext, opts: &Options) -> Result<(), Box<dyn std:
         .swap(SwapConfig {
             gb_per_sec: opts.swap_gbps,
         })
-        .cost_model(opts.cost_model)
-        .build()?;
+        .cost_model(opts.cost_model);
+    if opts.sharding_requested() {
+        // The wrapper supplies the parallelism: run the full layer stack
+        // with device-internal TP 1 underneath it.
+        builder = builder.tp(1).layers(opts.model.num_layers);
+    }
+    let sim = builder.build()?;
     println!(
         "\n## Serve — {} requests ({}) through {} serving {} ({} scheduler, {} preemption, {} cost model)\n",
         opts.requests,
@@ -551,16 +649,28 @@ fn cmd_fleet(ctx: &ExperimentContext, opts: &Options) -> Result<(), Box<dyn std:
         ttft: (opts.slo_ttft_ms * 1e6) as u64,
         tpot: opts.slo_tpot_ms * 1e6,
     };
+    // With --tp/--pp each replica is its own sharded chip group: the
+    // wrapper supplies the parallelism, so the serving config runs the
+    // full layer stack with device-internal TP 1 underneath it.
     let cfg = ServingConfig {
         max_batch: opts.max_batch.max(1),
-        tp: opts.model.parallelism.tp,
-        layers: opts.model.num_layers / opts.model.parallelism.pp,
+        tp: if opts.sharding_requested() {
+            1
+        } else {
+            opts.model.parallelism.tp
+        },
+        layers: if opts.sharding_requested() {
+            opts.model.num_layers
+        } else {
+            opts.model.num_layers / opts.model.parallelism.pp
+        },
         target_completions: 0,
         slo: Some(slo),
     };
     let mut replicas = Vec::new();
     for i in 0..opts.replicas {
-        let backend = ctx.backend_with_cost(names[i % names.len()], opts.cost_model)?;
+        let backend =
+            opts.maybe_sharded(ctx.backend_with_cost(names[i % names.len()], opts.cost_model)?)?;
         let scheduler = scheduler_from_name(sched_names[i % sched_names.len()], opts.chunk_tokens)?;
         replicas.push(
             ServingSim::with_scheduler(backend, opts.model.clone(), cfg.clone(), scheduler)

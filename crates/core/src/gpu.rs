@@ -93,6 +93,7 @@ pub(crate) fn decode_impl(
         bus_bytes: (weight_bytes + kv_bytes) * layers as u64,
         tokens: seq_lens.len() as u64,
         pim_busy: Vec::new(),
+        allreduce_cycles: allreduce * layers as u64,
         ..Default::default()
     })
 }

@@ -22,6 +22,16 @@
 //!   token dataflow) for Figure 15;
 //! * [`cluster`] — tensor/pipeline-parallel multi-device throughput
 //!   (Section 7, Figure 14), generic over any backend;
+//! * [`interconnect`] — the [`Interconnect`] trait pricing chip-to-chip
+//!   collectives (ring all-reduce/all-gather, point-to-point hops) with
+//!   PCIe/CXL-style links, IANUS-style unified-memory fabrics, and
+//!   LEAP-style 2D-mesh NoCs as shipped implementations;
+//! * [`sharding`] — first-class multi-chip model parallelism:
+//!   [`ShardedBackend`] wraps any backend, splitting attention heads and
+//!   FFN columns across a TP group and pipelining layer stages with
+//!   explicit bubble accounting, re-pricing every collective on an
+//!   [`Interconnect`]; [`KvShardPlan`] spans the KV cache across the
+//!   deployment's devices;
 //! * [`event`] — the discrete-event spine: a global-clock [`EventQueue`]
 //!   of typed [`SimEvent`]s (arrival, iteration-complete,
 //!   restore-complete, replica-idle) that lets the serving loop jump its
@@ -77,10 +87,12 @@ pub mod event;
 pub mod experiments;
 pub mod fleet;
 pub mod gpu;
+pub mod interconnect;
 pub mod metrics;
 pub mod preempt;
 pub mod scheduler;
 pub mod serving;
+pub mod sharding;
 pub mod simulation;
 #[cfg(test)]
 pub(crate) mod testsupport;
@@ -100,6 +112,10 @@ pub use fleet::{
 };
 #[allow(deprecated)]
 pub use gpu::gpu_decode_iteration;
+pub use interconnect::{
+    interconnect_from_name, IdealLink, Interconnect, NocLink, PcieLink, UnifiedMemoryLink,
+    INTERCONNECT_NAMES,
+};
 pub use metrics::{IterationBreakdown, Utilization};
 pub use preempt::{
     preemption_from_name, DropOnly, PreemptionPolicy, RecomputeLastAdmitted, RestoreMode,
@@ -111,6 +127,10 @@ pub use scheduler::{
 };
 pub use serving::{
     RequestMetrics, ServingConfig, ServingOutcome, ServingSim, SloTargets, StepEvent,
+};
+pub use sharding::{
+    pipeline_schedule, split_evenly, KvShardPlan, PipelineTiming, ShardPlan, ShardedBackend,
+    ShardedIteration,
 };
 pub use simulation::{Simulation, SimulationBuilder};
 #[allow(deprecated)]

@@ -1,0 +1,560 @@
+//! First-class multi-chip sharding: tensor-parallel head/column splits,
+//! pipeline stages with explicit bubble accounting, and collectives
+//! priced by a pluggable [`Interconnect`].
+//!
+//! [`ShardedBackend`] wraps any [`Backend`] and deploys it as a
+//! `(TP, PP)` [`ClusterSpec`]:
+//!
+//! * **Tensor parallelism** — attention heads and FFN columns split
+//!   across `tp` chips ([`ShardPlan`]). The wrapped backend prices the
+//!   per-chip compute; the two per-layer all-reduces are lifted out of
+//!   the inner breakdown (`allreduce_cycles`) and re-priced on the
+//!   configured fabric, so swapping `--interconnect` changes exactly the
+//!   collective term and nothing else.
+//! * **Pipeline parallelism** — layers split into `pp` stages; the batch
+//!   flows through as micro-batches. Steady-state throughput comes from
+//!   the pipeline beat (slowest stage vs. inter-stage activation hop),
+//!   and [`pipeline_schedule`] exposes the fill/drain bubble, which is
+//!   `(stages - 1) * microbatch_cost` under uniform stages.
+//!
+//! In the [`IdealLink`](crate::interconnect::IdealLink) limit the sharded
+//! numbers collapse onto the legacy divide-and-ceil
+//! [`cluster_throughput`](crate::cluster::cluster_throughput) bit-for-bit
+//! — that golden parity (and the PCIe-fabric parity against the
+//! device-internal ring) is pinned by `tests/parity_sharding.rs`.
+
+use neupims_types::{Cycle, LlmConfig, SimError};
+
+pub use neupims_kvcache::shard::{split_evenly, KvShardPlan};
+
+use crate::backend::{Backend, BackendCaps, BackendError, IterationResult};
+use crate::cluster::ClusterSpec;
+use crate::interconnect::{Interconnect, ALLREDUCES_PER_LAYER};
+
+/// Timing of one fill-run-drain pass of a pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineTiming {
+    /// The pipeline beat: the slowest stage's cost.
+    pub beat: Cycle,
+    /// Makespan of pushing all micro-batches through every stage.
+    pub total_cycles: Cycle,
+    /// Cycles the pipeline spends filling and draining rather than
+    /// streaming: `total - microbatches * beat`. Equals
+    /// `(stages - 1) * cost` when every stage costs the same.
+    pub bubble_cycles: Cycle,
+}
+
+/// Prices a pipeline of `stage_costs` processing `microbatches`
+/// micro-batches: the first micro-batch walks every stage (fill), then
+/// one completes per beat.
+pub fn pipeline_schedule(stage_costs: &[Cycle], microbatches: u64) -> PipelineTiming {
+    if stage_costs.is_empty() || microbatches == 0 {
+        return PipelineTiming {
+            beat: 0,
+            total_cycles: 0,
+            bubble_cycles: 0,
+        };
+    }
+    let beat = stage_costs.iter().copied().max().unwrap_or(0);
+    let fill: Cycle = stage_costs.iter().sum();
+    let total = fill + (microbatches - 1) * beat;
+    PipelineTiming {
+        beat,
+        total_cycles: total,
+        bubble_cycles: total - microbatches * beat,
+    }
+}
+
+/// How one model's weights split across the chips of a [`ClusterSpec`]:
+/// attention heads and FFN columns over the TP ranks, layers over the PP
+/// stages. Splits are balanced within one unit and conserve totals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    /// Attention heads held by each tensor-parallel rank.
+    pub heads_per_chip: Vec<u32>,
+    /// FFN columns (the `4 * d_model` expansion) held by each rank.
+    pub ffn_cols_per_chip: Vec<u32>,
+    /// Decoder layers held by each pipeline stage.
+    pub layers_per_stage: Vec<u32>,
+}
+
+impl ShardPlan {
+    /// Plans `model` over `spec`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for zero degrees, `tp` above
+    /// the head count, or `pp` above the layer count.
+    pub fn new(model: &LlmConfig, spec: ClusterSpec) -> Result<Self, SimError> {
+        if spec.tp == 0 || spec.pp == 0 {
+            return Err(SimError::InvalidConfig("zero parallel degree".into()));
+        }
+        if spec.tp > model.num_heads {
+            return Err(SimError::InvalidConfig(format!(
+                "TP={} exceeds {} attention heads",
+                spec.tp, model.num_heads
+            )));
+        }
+        if spec.pp > model.num_layers {
+            return Err(SimError::InvalidConfig(format!(
+                "PP={} exceeds {} layers",
+                spec.pp, model.num_layers
+            )));
+        }
+        Ok(Self {
+            heads_per_chip: split_evenly(model.num_heads, spec.tp),
+            ffn_cols_per_chip: split_evenly(4 * model.d_model, spec.tp),
+            layers_per_stage: split_evenly(model.num_layers, spec.pp),
+        })
+    }
+}
+
+/// The priced anatomy of one sharded decode beat — what
+/// [`ShardedBackend::decode_detail`] reports and the scaling analyses
+/// plot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardedIteration {
+    /// Per-stage compute cycles with the inner backend's own collective
+    /// pricing removed.
+    pub stage_compute_cycles: Cycle,
+    /// Re-priced tensor-parallel collective cycles per stage (two
+    /// all-reduces per resident layer on the configured fabric).
+    pub collective_cycles: Cycle,
+    /// Inter-stage activation transfer per beat (zero when `pp == 1`).
+    pub pp_transfer_cycles: Cycle,
+    /// The pipeline beat: `max(stage compute + collectives, transfer)`.
+    pub beat: Cycle,
+    /// Fill/drain bubble of one pipeline round: `(pp - 1) * beat`.
+    pub bubble_cycles: Cycle,
+    /// Tokens the full batch produces per pipeline round.
+    pub tokens: u64,
+}
+
+impl ShardedIteration {
+    /// Fraction of a steady-state beat spent in collectives and
+    /// transfers rather than compute.
+    pub fn communication_fraction(&self) -> f64 {
+        if self.beat == 0 {
+            return 0.0;
+        }
+        let comm = self.collective_cycles + self.pp_transfer_cycles.min(self.beat);
+        (comm.min(self.beat)) as f64 / self.beat as f64
+    }
+}
+
+/// Any [`Backend`] deployed across `tp * pp` chips joined by a priced
+/// [`Interconnect`].
+///
+/// The wrapper composes with the caller's own `tp` argument (the inner
+/// device-level TP times the sharding-layer TP), divides the resident
+/// layers into `pp` stages, and exposes the resulting steady-state
+/// pipeline round as one [`IterationResult`] — so everything generic
+/// over `Backend` ([`Simulation`](crate::simulation::Simulation),
+/// [`ServingSim`](crate::serving::ServingSim),
+/// [`FleetSim`](crate::fleet::FleetSim)) runs sharded unchanged.
+#[derive(Debug)]
+pub struct ShardedBackend<B> {
+    inner: B,
+    spec: ClusterSpec,
+    interconnect: Box<dyn Interconnect>,
+    label: String,
+}
+
+impl<B: Clone> Clone for ShardedBackend<B> {
+    fn clone(&self) -> Self {
+        Self {
+            inner: self.inner.clone(),
+            spec: self.spec,
+            interconnect: self.interconnect.clone(),
+            label: self.label.clone(),
+        }
+    }
+}
+
+impl<B: Backend> ShardedBackend<B> {
+    /// Deploys `inner` as `spec` over `interconnect`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for zero parallel degrees.
+    pub fn new(
+        inner: B,
+        spec: ClusterSpec,
+        interconnect: Box<dyn Interconnect>,
+    ) -> Result<Self, SimError> {
+        if spec.tp == 0 || spec.pp == 0 {
+            return Err(SimError::InvalidConfig("zero parallel degree".into()));
+        }
+        let label = format!(
+            "{} x{} (tp{} pp{}, {})",
+            inner.label(),
+            spec.devices(),
+            spec.tp,
+            spec.pp,
+            interconnect.name()
+        );
+        Ok(Self {
+            inner,
+            spec,
+            interconnect,
+            label,
+        })
+    }
+
+    /// The wrapped single-chip backend.
+    pub fn inner(&self) -> &B {
+        &self.inner
+    }
+
+    /// The deployment shape.
+    pub fn spec(&self) -> ClusterSpec {
+        self.spec
+    }
+
+    /// The fabric pricing the collectives.
+    pub fn fabric(&self) -> &dyn Interconnect {
+        &*self.interconnect
+    }
+
+    /// The weight split this deployment implies for `model`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ShardPlan::new`] validation.
+    pub fn plan(&self, model: &LlmConfig) -> Result<ShardPlan, SimError> {
+        ShardPlan::new(model, self.spec)
+    }
+
+    /// Prices one sharded decode beat in full detail: per-stage compute,
+    /// re-priced collectives, the inter-stage hop, and the bubble.
+    ///
+    /// `tp` and `layers` are the *caller's* view (device-internal TP and
+    /// total resident layers); the sharding spec composes on top.
+    ///
+    /// # Errors
+    ///
+    /// Rejects empty batches and layer counts not divisible by `pp`;
+    /// propagates inner backend errors.
+    pub fn decode_detail(
+        &self,
+        model: &LlmConfig,
+        tp: u32,
+        layers: u32,
+        seq_lens: &[u64],
+    ) -> Result<(ShardedIteration, IterationResult), BackendError> {
+        let pp = self.spec.pp;
+        if layers == 0 || !layers.is_multiple_of(pp) {
+            return Err(BackendError::sim(
+                &self.label,
+                SimError::InvalidConfig(format!("{layers} layers not divisible by PP={pp}")),
+            ));
+        }
+        if seq_lens.is_empty() {
+            return Err(BackendError::sim(
+                &self.label,
+                SimError::InvalidShape("empty batch".into()),
+            ));
+        }
+        let inner_tp = tp.max(1).saturating_mul(self.spec.tp);
+        let layers_per_stage = layers / pp;
+        let micro = seq_lens.len().div_ceil(pp as usize).max(1);
+        let mb = &seq_lens[..micro.min(seq_lens.len())];
+        let inner = self
+            .inner
+            .decode_iteration(model, inner_tp, layers_per_stage, mb)?;
+
+        // Lift the inner backend's own collective pricing out and re-price
+        // the two per-layer all-reduces on this deployment's fabric. When
+        // the sharding layer adds no TP of its own (spec.tp == 1) the
+        // inner pricing stands untouched.
+        let es = model.dtype.size_bytes();
+        let msg_bytes = mb.len() as u64 * model.d_model as u64 * es;
+        let inner_allreduce = inner.breakdown.allreduce_cycles.min(inner.total_cycles());
+        let stage_compute = inner.total_cycles() - inner_allreduce;
+        let collectives = if self.spec.tp > 1 {
+            self.interconnect.all_reduce_cycles(msg_bytes, inner_tp)
+                * ALLREDUCES_PER_LAYER
+                * layers_per_stage as u64
+        } else {
+            inner_allreduce
+        };
+
+        // Inter-stage activation hop: the micro-batch's hidden states,
+        // already sharded 1/tp by the column split.
+        let act_bytes = mb.len() as u64 * model.d_model as u64 * es / inner_tp.max(1) as u64;
+        let pp_transfer = if pp > 1 {
+            self.interconnect.point_to_point_cycles(act_bytes)
+        } else {
+            0
+        };
+
+        let beat = (stage_compute + collectives).max(pp_transfer).max(1);
+        let det = ShardedIteration {
+            stage_compute_cycles: stage_compute,
+            collective_cycles: collectives,
+            pp_transfer_cycles: pp_transfer,
+            beat,
+            bubble_cycles: (pp as u64 - 1) * beat,
+            tokens: seq_lens.len() as u64,
+        };
+        Ok((det, inner))
+    }
+
+    /// System tokens-per-second of this deployment on one warm batch —
+    /// the same quantity (and the exact same arithmetic) as the legacy
+    /// [`cluster_throughput`](crate::cluster::cluster_throughput), so the
+    /// ideal-fabric limit matches it bit-for-bit.
+    ///
+    /// # Errors
+    ///
+    /// Mirrors the legacy validation: rejects request counts below `pp`;
+    /// propagates pricing errors.
+    pub fn cluster_tokens_per_sec(
+        &self,
+        model: &LlmConfig,
+        seq_lens: &[u64],
+    ) -> Result<f64, SimError> {
+        if seq_lens.len() < self.spec.pp as usize {
+            return Err(SimError::InvalidConfig(format!(
+                "{} requests cannot fill PP={} micro-batches",
+                seq_lens.len(),
+                self.spec.pp
+            )));
+        }
+        let (det, _) = self
+            .decode_detail(model, 1, model.num_layers, seq_lens)
+            .map_err(SimError::from)?;
+        let beat_secs = neupims_types::units::cycles_to_secs(det.beat);
+        Ok(seq_lens.len() as f64 / self.spec.pp as f64 / beat_secs)
+    }
+}
+
+impl<B: Backend> Backend for ShardedBackend<B> {
+    fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn caps(&self) -> BackendCaps {
+        self.inner.caps()
+    }
+
+    fn peak_compute(&self) -> f64 {
+        // Aggregate peak of the whole deployment.
+        self.inner.peak_compute() * self.spec.devices() as f64
+    }
+
+    fn mem_config(&self) -> neupims_types::MemConfig {
+        self.inner.mem_config()
+    }
+
+    fn interconnect(&self) -> neupims_types::config::InterconnectConfig {
+        self.inner.interconnect()
+    }
+
+    fn preferred_cost_model(&self) -> neupims_sched::CostModelKind {
+        self.inner.preferred_cost_model()
+    }
+
+    fn mha_cost_model(
+        &self,
+        model: &LlmConfig,
+        tp: u32,
+        kind: neupims_sched::CostModelKind,
+    ) -> Option<Box<dyn neupims_sched::MhaCostModel>> {
+        self.inner
+            .mha_cost_model(model, tp.max(1).saturating_mul(self.spec.tp), kind)
+    }
+
+    fn prefill_cycles(
+        &self,
+        model: &LlmConfig,
+        tp: u32,
+        layers: u32,
+        prompt_lens: &[u64],
+    ) -> Result<Cycle, BackendError> {
+        let pp = self.spec.pp;
+        if layers == 0 || !layers.is_multiple_of(pp) {
+            return Err(BackendError::sim(
+                &self.label,
+                SimError::InvalidConfig(format!("{layers} layers not divisible by PP={pp}")),
+            ));
+        }
+        let inner_tp = tp.max(1).saturating_mul(self.spec.tp);
+        let stage = self
+            .inner
+            .prefill_cycles(model, inner_tp, layers / pp, prompt_lens)?;
+        // Prefill is a single pass: the prompt activations walk every
+        // stage in sequence, paying one inter-stage hop per boundary.
+        // (The inner backend's own collective pricing stands — prefill
+        // exposes no collective term to lift.)
+        let tokens: u64 = prompt_lens.iter().sum();
+        let act_bytes =
+            tokens * model.d_model as u64 * model.dtype.size_bytes() / inner_tp.max(1) as u64;
+        let hops = (pp as u64 - 1) * self.interconnect.point_to_point_cycles(act_bytes);
+        Ok(stage * pp as u64 + hops)
+    }
+
+    fn decode_iteration(
+        &self,
+        model: &LlmConfig,
+        tp: u32,
+        layers: u32,
+        seq_lens: &[u64],
+    ) -> Result<IterationResult, BackendError> {
+        let (det, inner) = self.decode_detail(model, tp, layers, seq_lens)?;
+        // One steady-state pipeline round: every stage advances `pp`
+        // beats, delivering the full batch's tokens. Resource counters
+        // stay the per-chip, per-stage-visit view of the inner backend;
+        // the makespan and the collective term are the sharded ones.
+        let mut b = inner.into_breakdown();
+        b.total_cycles = det.beat * self.spec.pp as u64;
+        b.allreduce_cycles = det.collective_cycles;
+        b.tokens = det.tokens;
+        Ok(IterationResult::new(&self.label, b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::NeuPimsBackend;
+    use crate::interconnect::{IdealLink, NocLink, PcieLink, UnifiedMemoryLink};
+
+    fn backend() -> NeuPimsBackend {
+        NeuPimsBackend::table2().unwrap()
+    }
+
+    #[test]
+    fn pipeline_bubble_closed_form() {
+        // Uniform stages: bubble = (stages - 1) * cost.
+        for (stages, cost, mb) in [(4u64, 100u64, 8u64), (1, 50, 4), (6, 7, 1)] {
+            let t = pipeline_schedule(&vec![cost; stages as usize], mb);
+            assert_eq!(t.beat, cost);
+            assert_eq!(t.bubble_cycles, (stages - 1) * cost, "{stages} stages");
+            assert_eq!(t.total_cycles, stages * cost + (mb - 1) * cost);
+        }
+        // Non-uniform: the slowest stage sets the beat; faster stages
+        // contribute their shortfall to the bubble.
+        let t = pipeline_schedule(&[10, 30, 20], 5);
+        assert_eq!(t.beat, 30);
+        assert_eq!(t.total_cycles, 60 + 4 * 30);
+        assert_eq!(t.bubble_cycles, 60 + 4 * 30 - 5 * 30);
+        // Degenerate inputs are all-zero, not panics.
+        assert_eq!(pipeline_schedule(&[], 3).total_cycles, 0);
+        assert_eq!(pipeline_schedule(&[5], 0).total_cycles, 0);
+    }
+
+    #[test]
+    fn shard_plan_conserves_and_balances() {
+        let model = LlmConfig::gpt3_30b(); // 56 heads, 48 layers
+        let plan = ShardPlan::new(&model, ClusterSpec::new(8, 4)).unwrap();
+        assert_eq!(plan.heads_per_chip.iter().sum::<u32>(), model.num_heads);
+        assert_eq!(
+            plan.ffn_cols_per_chip.iter().sum::<u32>(),
+            4 * model.d_model
+        );
+        assert_eq!(plan.layers_per_stage.iter().sum::<u32>(), model.num_layers);
+        assert!(ShardPlan::new(&model, ClusterSpec::new(0, 1)).is_err());
+        assert!(ShardPlan::new(&model, ClusterSpec::new(57, 1)).is_err());
+    }
+
+    #[test]
+    fn ideal_fabric_collapses_to_inner_pricing() {
+        let b = backend();
+        let model = LlmConfig::gpt3_7b();
+        let sharded = ShardedBackend::new(&b, ClusterSpec::new(1, 1), Box::new(IdealLink)).unwrap();
+        let inner = b
+            .decode_iteration(&model, 4, model.num_layers, &[300; 64])
+            .unwrap();
+        let outer = sharded
+            .decode_iteration(&model, 4, model.num_layers, &[300; 64])
+            .unwrap();
+        assert_eq!(outer.total_cycles(), inner.total_cycles());
+        assert_eq!(outer.tokens(), inner.tokens());
+    }
+
+    #[test]
+    fn slower_fabrics_never_price_less() {
+        let b = backend();
+        let model = LlmConfig::gpt3_30b();
+        let seqs = vec![300u64; 64];
+        let spec = ClusterSpec::new(8, 1);
+        let price = |ic: Box<dyn Interconnect>| {
+            ShardedBackend::new(&b, spec, ic)
+                .unwrap()
+                .decode_iteration(&model, 1, model.num_layers, &seqs)
+                .unwrap()
+                .total_cycles()
+        };
+        let ideal = price(Box::new(IdealLink));
+        let fast = price(Box::new(PcieLink::from_gbps(512.0)));
+        let slow = price(Box::new(PcieLink::from_gbps(8.0)));
+        assert!(ideal <= fast && fast <= slow, "{ideal} <= {fast} <= {slow}");
+        // The other fabrics price something too.
+        assert!(price(Box::<UnifiedMemoryLink>::default()) >= ideal);
+        assert!(price(Box::<NocLink>::default()) >= ideal);
+    }
+
+    #[test]
+    fn detail_accounts_every_term() {
+        let b = backend();
+        let model = LlmConfig::gpt3_30b();
+        let sharded =
+            ShardedBackend::new(&b, ClusterSpec::new(4, 2), Box::new(PcieLink::default())).unwrap();
+        let (det, _) = sharded
+            .decode_detail(&model, 1, model.num_layers, &[300; 64])
+            .unwrap();
+        assert!(det.collective_cycles > 0);
+        assert!(det.pp_transfer_cycles > 0);
+        assert_eq!(
+            det.beat,
+            (det.stage_compute_cycles + det.collective_cycles).max(det.pp_transfer_cycles)
+        );
+        assert_eq!(det.bubble_cycles, det.beat); // (pp-1) * beat with pp=2
+        assert!(det.communication_fraction() > 0.0 && det.communication_fraction() <= 1.0);
+        assert_eq!(det.tokens, 64);
+    }
+
+    #[test]
+    fn validation_mirrors_legacy_cluster() {
+        let b = backend();
+        let model = LlmConfig::gpt3_7b(); // 32 layers
+        let mk = |tp, pp| ShardedBackend::new(&b, ClusterSpec::new(tp, pp), Box::new(IdealLink));
+        assert!(mk(0, 1).is_err());
+        assert!(mk(1, 0).is_err());
+        let s = mk(4, 5).unwrap();
+        assert!(s
+            .decode_iteration(&model, 1, model.num_layers, &[100; 16])
+            .is_err());
+        let s = mk(4, 2).unwrap();
+        assert!(s.cluster_tokens_per_sec(&model, &[100; 1]).is_err());
+        assert!(s
+            .decode_iteration(&model, 1, model.num_layers, &[])
+            .is_err());
+    }
+
+    #[test]
+    fn serving_config_view_prices_small_batches() {
+        // Serving calls decode with whatever batch is resident — below
+        // `pp` the pipeline runs underfilled but must still price.
+        let b = backend();
+        let model = LlmConfig::gpt3_7b();
+        let s =
+            ShardedBackend::new(&b, ClusterSpec::new(2, 4), Box::new(PcieLink::default())).unwrap();
+        let r = s
+            .decode_iteration(&model, 1, model.num_layers, &[64; 2])
+            .unwrap();
+        assert!(r.total_cycles() > 0);
+        assert_eq!(r.tokens(), 2);
+    }
+
+    #[test]
+    fn label_names_the_deployment() {
+        let b = backend();
+        let s = ShardedBackend::new(&b, ClusterSpec::new(4, 2), Box::new(IdealLink)).unwrap();
+        assert!(s.label().contains("tp4 pp2"), "{}", s.label());
+        assert!(s.label().contains("NeuPIMs"), "{}", s.label());
+        assert_eq!(s.spec().devices(), 8);
+        assert_eq!(s.fabric().name(), "ideal");
+    }
+}

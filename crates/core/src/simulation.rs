@@ -41,6 +41,7 @@ use crate::cluster::{cluster_throughput, ClusterSpec};
 use crate::preempt::{DropOnly, PreemptionPolicy, SwapConfig};
 use crate::scheduler::{LumpPrefill, SchedulerPolicy};
 use crate::serving::{ServingConfig, ServingSim, SloTargets};
+use crate::sharding::ShardedBackend;
 
 /// Default RNG seed of the experiment harness (kept from the seed repo so
 /// regenerated tables stay comparable across versions).
@@ -354,6 +355,29 @@ impl<B: Backend> Simulation<B> {
         let mut rng = StdRng::seed_from_u64(self.seed ^ 0x14);
         let seqs = self.sample_seq_lens(&mut rng);
         cluster_throughput(&self.backend, &self.model, spec, &seqs)
+            .map_err(|e| BackendError::sim(self.backend.label(), e))
+    }
+
+    /// Like [`Self::cluster_throughput`], but deployed through a
+    /// [`ShardedBackend`] whose collectives are priced by `interconnect`
+    /// (same warm-batch sampling, so the
+    /// [`IdealLink`](crate::interconnect::IdealLink) limit reproduces the
+    /// legacy divide-and-ceil number bit-for-bit).
+    ///
+    /// # Errors
+    ///
+    /// Propagates sharding validation and backend errors.
+    pub fn sharded_cluster_throughput(
+        &self,
+        spec: ClusterSpec,
+        interconnect: Box<dyn crate::interconnect::Interconnect>,
+    ) -> Result<f64, BackendError> {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x14);
+        let seqs = self.sample_seq_lens(&mut rng);
+        let sharded = ShardedBackend::new(&self.backend, spec, interconnect)
+            .map_err(|e| BackendError::sim(self.backend.label(), e))?;
+        sharded
+            .cluster_tokens_per_sec(&self.model, &seqs)
             .map_err(|e| BackendError::sim(self.backend.label(), e))
     }
 

@@ -11,11 +11,15 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
+use neupims_core::backend::Backend;
+use neupims_core::cluster::ClusterSpec;
 use neupims_core::experiments::ExperimentContext;
 use neupims_core::fleet::{policy_from_name, FleetOutcome, FleetRequest, FleetSim};
+use neupims_core::interconnect::interconnect_from_name;
 use neupims_core::preempt::{preemption_from_name, SwapConfig};
 use neupims_core::scheduler::scheduler_from_name;
 use neupims_core::serving::{ServingConfig, ServingSim, SloTargets};
+use neupims_core::sharding::ShardedBackend;
 use neupims_pim::calibrate;
 use neupims_types::NeuPimsConfig;
 use rand::rngs::StdRng;
@@ -185,28 +189,59 @@ fn context_for(system: &SystemSpec) -> Result<ExperimentContext, EvalError> {
     })
 }
 
+/// Wraps `backend` in a [`ShardedBackend`] when the scenario's `tp`/`pp`
+/// keys ask for a multi-chip deployment; otherwise returns it unchanged.
+fn maybe_sharded(
+    system: &SystemSpec,
+    backend: Box<dyn Backend>,
+) -> Result<Box<dyn Backend>, EvalError> {
+    if !system.sharding_requested() {
+        return Ok(backend);
+    }
+    let spec = ClusterSpec::new(system.tp.unwrap_or(1), system.pp.unwrap_or(1));
+    let fabric = interconnect_from_name(
+        system.interconnect.as_deref().unwrap_or("pcie"),
+        system.link_gbps,
+    )
+    .map_err(sim_err)?;
+    Ok(Box::new(
+        ShardedBackend::new(backend, spec, fabric).map_err(sim_err)?,
+    ))
+}
+
 fn run_throughput(
     ctx: &ExperimentContext,
     spec: &ScenarioSpec,
     seed: u64,
 ) -> Result<Metrics, EvalError> {
-    let sim = ctx
+    let system = &spec.system;
+    let backend = maybe_sharded(
+        system,
+        ctx.backend_with_cost(&system.backend, system.cost_model)
+            .map_err(sim_err)?,
+    )?;
+    let mut builder = ctx
         .simulation()
-        .model(spec.system.model.clone())
-        .backend(
-            ctx.backend_with_cost(&spec.system.backend, spec.system.cost_model)
-                .map_err(sim_err)?,
-        )
+        .model(system.model.clone())
+        .backend(backend)
         .dataset(spec.dataset)
         .batch(spec.batch)
         .seed(seed)
-        .samples(spec.samples)
-        .build()
-        .map_err(sim_err)?;
+        .samples(spec.samples);
+    if system.sharding_requested() {
+        // The sharding wrapper supplies the parallelism: run the full
+        // layer stack with device-internal TP 1 underneath it.
+        builder = builder.tp(1).layers(system.model.num_layers);
+    }
+    let sim = builder.build().map_err(sim_err)?;
     let tokens_per_sec = sim.throughput().map_err(sim_err)?;
     let mut metrics = Metrics::new();
     metrics.insert("tokens_per_sec".into(), tokens_per_sec);
     metrics.insert("batch".into(), spec.batch as f64);
+    if system.sharding_requested() {
+        let devices = system.tp.unwrap_or(1) as u64 * system.pp.unwrap_or(1) as u64;
+        metrics.insert("devices".into(), devices as f64);
+    }
     Ok(metrics)
 }
 
@@ -226,10 +261,21 @@ fn run_serving(
         ttft: (system.slo_ttft_ms * 1e6) as u64,
         tpot: system.slo_tpot_ms * 1e6,
     };
+    // With `tp`/`pp` each replica is its own sharded chip group: the
+    // wrapper supplies the parallelism, so the serving config runs the
+    // full layer stack with device-internal TP 1 underneath it.
     let cfg = ServingConfig {
         max_batch: system.max_batch,
-        tp: system.model.parallelism.tp,
-        layers: system.model.num_layers / system.model.parallelism.pp,
+        tp: if system.sharding_requested() {
+            1
+        } else {
+            system.model.parallelism.tp
+        },
+        layers: if system.sharding_requested() {
+            system.model.num_layers
+        } else {
+            system.model.num_layers / system.model.parallelism.pp
+        },
         target_completions: 0,
         slo: Some(slo),
     };
@@ -240,9 +286,11 @@ fn run_serving(
     let sched_names: Vec<&str> = system.scheduler.split(',').map(str::trim).collect();
     let mut replicas = Vec::new();
     for i in 0..system.replicas {
-        let backend = ctx
-            .backend_with_cost(backend_names[i % backend_names.len()], system.cost_model)
-            .map_err(sim_err)?;
+        let backend = maybe_sharded(
+            system,
+            ctx.backend_with_cost(backend_names[i % backend_names.len()], system.cost_model)
+                .map_err(sim_err)?,
+        )?;
         let scheduler =
             scheduler_from_name(sched_names[i % sched_names.len()], system.chunk_tokens)
                 .map_err(sim_err)?;

@@ -185,6 +185,23 @@ pub struct SystemSpec {
     pub channels: Option<u32>,
     /// Per-channel KV capacity override, MiB.
     pub kv_mib_per_channel: Option<u64>,
+    /// Multi-chip tensor-parallel degree: wraps the backend in a
+    /// sharded deployment when set (alone or with `pp`).
+    pub tp: Option<u32>,
+    /// Multi-chip pipeline-parallel degree.
+    pub pp: Option<u32>,
+    /// Interconnect fabric pricing the sharded collectives
+    /// (`pcie` | `unified` | `noc` | `ideal`; default `pcie`).
+    pub interconnect: Option<String>,
+    /// Per-link bandwidth override for the fabric, GB/s.
+    pub link_gbps: Option<f64>,
+}
+
+impl SystemSpec {
+    /// True when `tp`/`pp` ask for a multi-chip sharded deployment.
+    pub fn sharding_requested(&self) -> bool {
+        self.tp.is_some() || self.pp.is_some()
+    }
 }
 
 /// The workload half of a serving scenario.
@@ -412,6 +429,10 @@ fn parse_scenario(t: &Table) -> Result<ScenarioSpec, SpecError> {
         slo_tpot_ms: opt_f64(t, "slo-tpot-ms")?.unwrap_or(10.0),
         channels: opt_usize(t, "channels")?.map(|c| c as u32),
         kv_mib_per_channel: opt_usize(t, "kv-mib-per-channel")?.map(|m| m as u64),
+        tp: opt_usize(t, "tp")?.map(|v| v as u32),
+        pp: opt_usize(t, "pp")?.map(|v| v as u32),
+        interconnect: opt_string(t, "interconnect")?,
+        link_gbps: opt_f64(t, "link-gbps")?,
     };
 
     let seed = opt_usize(t, "seed")?.unwrap_or(0xE7A1) as u64;

@@ -5,7 +5,7 @@ use crate::runner::EvalError;
 use crate::spec::{SpecError, SuiteSpec};
 
 /// Names of the shipped suites, in documentation order.
-pub const SUITE_NAMES: &[&str] = &["smoke", "fig12", "table3", "pressure"];
+pub const SUITE_NAMES: &[&str] = &["smoke", "fig12", "table3", "pressure", "scaling"];
 
 /// The embedded TOML text of a shipped suite, if `name` is one.
 pub fn builtin_suite(name: &str) -> Option<&'static str> {
@@ -14,6 +14,7 @@ pub fn builtin_suite(name: &str) -> Option<&'static str> {
         "fig12" => Some(include_str!("../../../scenarios/fig12.toml")),
         "table3" => Some(include_str!("../../../scenarios/table3.toml")),
         "pressure" => Some(include_str!("../../../scenarios/pressure.toml")),
+        "scaling" => Some(include_str!("../../../scenarios/scaling.toml")),
         _ => None,
     }
 }
