@@ -1,11 +1,12 @@
 //! `bench-snapshot` — JSON perf-trajectory snapshots, measured with
 //! `std::time` (the vendored criterion shim reports but does not persist).
 //!
-//! Three modes:
+//! Four modes:
 //!
 //! * default — prices the same ShareGPT-shaped 256-request batch as the
-//!   `cost_models` criterion bench through all three paths (Algorithm 1
-//!   analytic, cold trace-driven replay, warm memoized replay) and writes
+//!   `cost_models` criterion bench through four paths (Algorithm 1
+//!   analytic, cold trace-driven replay, warm memoized replay, and two
+//!   models pricing concurrently over one shared memo) and writes
 //!   `BENCH_cost_models.json`;
 //! * `fleet` — times the event-driven `FleetSim::run` at 1 / 16 / 256 /
 //!   1000 replicas (1000 requests per replica, so the 1000-replica point
@@ -17,7 +18,13 @@
 //!   `sharding_scale` criterion bench (one GPT3-30B decode beat at
 //!   TP 1 / 2 / 4 / 8 over the default PCIe fabric) and writes
 //!   `BENCH_sharding.json`, recording each point's tokens/s alongside
-//!   its pricing wall-time.
+//!   its pricing wall-time;
+//! * `trace-fleet` — times a 256-replica trace-priced fleet four ways
+//!   (analytic twin, cold per-replica memos, one fleet-shared memo with
+//!   parallel warm replay, and a fleet restored from a persistent replay
+//!   cache) and writes `BENCH_trace_fleet.json` with the
+//!   `trace_shared_over_analytic` ratio the shared-memo path is held to
+//!   (target: within ~2x of the analytic twin).
 //!
 //! When the output path already holds a snapshot, the new medians are
 //! compared against it: any timing regressing beyond 3x fails the run
@@ -28,17 +35,21 @@
 //! cargo run --release -p neupims-bench --bin bench-snapshot [OUT.json] [--no-fail]
 //! cargo run --release -p neupims-bench --bin bench-snapshot fleet [OUT.json] [--no-fail]
 //! cargo run --release -p neupims-bench --bin bench-snapshot sharding [OUT.json] [--no-fail]
+//! cargo run --release -p neupims-bench --bin bench-snapshot trace-fleet [OUT.json] [--no-fail]
 //! ```
 
 use std::time::Instant;
 
 use neupims_bench::{
-    fleet_scale_sim, sharded_deployment, sharding_scale_batch, FLEET_SCALE_REQUESTS_PER_REPLICA,
+    fleet_scale_sim, sharded_deployment, sharding_scale_batch, trace_fleet_sim,
+    FLEET_SCALE_REQUESTS_PER_REPLICA, TRACE_FLEET_REQUESTS_PER_REPLICA,
 };
 use neupims_eval::json::Json;
 use neupims_kvcache::KvGeometry;
 use neupims_pim::calibrate;
-use neupims_sched::{MhaCostModel, MhaLatencyEstimator, TraceDrivenCostModel};
+use neupims_sched::{
+    CostModelKind, MhaCostModel, MhaLatencyEstimator, TraceDrivenCostModel, TraceMemo,
+};
 use neupims_types::{LlmConfig, NeuPimsConfig};
 
 /// A new median beyond this multiple of the checked-in baseline is a
@@ -180,14 +191,50 @@ fn cost_models_snapshot(out_path: &str, no_fail: bool) {
     let (warm_samples, s) = time(200, || MhaCostModel::estimate_sum(&warm, &seqs));
     sink += s;
 
+    // Warm shared: two models pricing the batch concurrently over one
+    // fleet-shared memo — the multi-replica steady state. Read-side
+    // contention on the sharded memo is the only cost above `trace_warm`,
+    // so the per-pass median is held within ~2x of the private-memo warm
+    // path. Each thread prices the batch `PASSES` times so the scoped
+    // spawn/join overhead amortizes out of the per-pass figure; samples
+    // are normalized to one estimate_sum pass, directly comparable to
+    // `trace_warm`.
+    const PASSES: usize = 8;
+    let shared = TraceMemo::new();
+    let left = TraceDrivenCostModel::with_memo(&cfg, geo, true, shared.clone());
+    let right = TraceDrivenCostModel::with_memo(&cfg, geo, true, shared);
+    MhaCostModel::estimate_sum(&left, &seqs);
+    let (raw_samples, s) = time(100, || {
+        std::thread::scope(|scope| {
+            let a = scope.spawn(|| {
+                (0..PASSES)
+                    .map(|_| MhaCostModel::estimate_sum(&left, &seqs))
+                    .sum::<f64>()
+            });
+            let b = scope.spawn(|| {
+                (0..PASSES)
+                    .map(|_| MhaCostModel::estimate_sum(&right, &seqs))
+                    .sum::<f64>()
+            });
+            a.join().expect("left pricer") + b.join().expect("right pricer")
+        })
+    });
+    let warm_shared_samples: Vec<f64> = raw_samples
+        .iter()
+        .map(|ns| ns / (2 * PASSES) as f64)
+        .collect();
+    sink += s;
+
     let timings = vec![
         stats("analytic", analytic_samples),
         stats("trace_cold", cold_samples),
         stats("trace_warm", warm_samples),
+        stats("trace_warm_shared", warm_shared_samples),
     ];
     let a = median_of(&timings[0].1);
     let c = median_of(&timings[1].1);
     let w = median_of(&timings[2].1);
+    let ws = median_of(&timings[3].1);
     let doc = Json::Obj(vec![
         ("bench".to_owned(), Json::str("cost_models")),
         ("batch".to_owned(), Json::int(seqs.len() as u64)),
@@ -198,6 +245,7 @@ fn cost_models_snapshot(out_path: &str, no_fail: bool) {
             Json::Obj(vec![
                 ("warm_over_analytic".to_owned(), Json::Num(w / a)),
                 ("cold_over_warm".to_owned(), Json::Num(c / w)),
+                ("warm_shared_over_warm".to_owned(), Json::Num(ws / w)),
             ]),
         ),
         // Keeps the sink live so the timed loops can't be optimized out.
@@ -352,6 +400,140 @@ fn sharding_snapshot(out_path: &str, no_fail: bool) {
     finish(out_path, &timings, doc, no_fail);
 }
 
+fn trace_fleet_snapshot(out_path: &str, no_fail: bool) {
+    const REPLICAS: usize = 256;
+    let requests = REPLICAS * TRACE_FLEET_REQUESTS_PER_REPLICA;
+    let mut timings = Vec::new();
+    let mut sink = 0.0;
+
+    // The analytic twin: the same fleet priced by the Algorithm 1 closed
+    // form — the reference the shared-memo trace path is held to (~2x).
+    // Construction happens outside the clock, as in `fleet_snapshot`.
+    eprintln!("analytic: {REPLICAS} replicas x {requests} requests ...");
+    let mut fleets: Vec<_> = (0..5)
+        .map(|_| trace_fleet_sim(REPLICAS, requests, CostModelKind::Analytic))
+        .collect();
+    let (samples, s) = time(5, || {
+        fleets
+            .pop()
+            .expect("one fleet per iter")
+            .run()
+            .unwrap()
+            .tokens as f64
+    });
+    sink += s;
+    timings.push(stats("analytic_256", samples));
+
+    // Cold, private memos: every replica replays its reachable context
+    // buckets through the cycle model on its own — the pre-sharing cost.
+    eprintln!("trace cold (per-replica memos): {REPLICAS} replicas ...");
+    let mut fleets: Vec<_> = (0..2)
+        .map(|_| trace_fleet_sim(REPLICAS, requests, CostModelKind::TraceDriven))
+        .collect();
+    let (samples, s) = time(2, || {
+        fleets
+            .pop()
+            .expect("one fleet per iter")
+            .run()
+            .unwrap()
+            .tokens as f64
+    });
+    sink += s;
+    timings.push(stats("trace_cold_256", samples));
+
+    // Shared memo + parallel warm replay: one memo across all replicas,
+    // distinct buckets cold-replayed once on scoped threads before the
+    // fleet serves. Memo creation, attachment, and warmup all run inside
+    // the clock — this is the end-to-end cost a user pays.
+    eprintln!("trace shared (one memo, warm replay): {REPLICAS} replicas ...");
+    let mut fleets: Vec<_> = (0..5)
+        .map(|_| trace_fleet_sim(REPLICAS, requests, CostModelKind::TraceDriven))
+        .collect();
+    let (samples, s) = time(5, || {
+        let mut fleet = fleets
+            .pop()
+            .expect("one fleet per iter")
+            .with_shared_trace_memo(&TraceMemo::new());
+        fleet.warm_replay();
+        fleet.run().unwrap().tokens as f64
+    });
+    sink += s;
+    timings.push(stats("trace_shared_256", samples));
+
+    // Persistent cache: populate a scratch dir once (untimed), then time
+    // fleets whose fresh memos restore every bucket from disk — the
+    // rerun/sweep steady state where nothing replays at all.
+    let scratch =
+        std::env::temp_dir().join(format!("neupims-bench-trace-fleet-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    eprintln!(
+        "trace disk: populating replay cache at {} ...",
+        scratch.display()
+    );
+    {
+        let seed_memo = TraceMemo::with_cache_dir(&scratch).expect("scratch cache dir");
+        let mut fleet = trace_fleet_sim(REPLICAS, requests, CostModelKind::TraceDriven)
+            .with_shared_trace_memo(&seed_memo);
+        fleet.warm_replay();
+        sink += fleet.run().unwrap().tokens as f64;
+    }
+    eprintln!("trace disk (restored memo): {REPLICAS} replicas ...");
+    let mut fleets: Vec<_> = (0..5)
+        .map(|_| trace_fleet_sim(REPLICAS, requests, CostModelKind::TraceDriven))
+        .collect();
+    let (samples, s) = time(5, || {
+        let memo = TraceMemo::with_cache_dir(&scratch).expect("scratch cache dir");
+        let mut fleet = fleets
+            .pop()
+            .expect("one fleet per iter")
+            .with_shared_trace_memo(&memo);
+        fleet.warm_replay();
+        fleet.run().unwrap().tokens as f64
+    });
+    sink += s;
+    timings.push(stats("trace_disk_256", samples));
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    let analytic = median_of(&timings[0].1);
+    let cold = median_of(&timings[1].1);
+    let shared = median_of(&timings[2].1);
+    let disk = median_of(&timings[3].1);
+    let doc = Json::Obj(vec![
+        ("bench".to_owned(), Json::str("trace_fleet")),
+        ("replicas".to_owned(), Json::int(REPLICAS as u64)),
+        (
+            "requests_per_replica".to_owned(),
+            Json::int(TRACE_FLEET_REQUESTS_PER_REPLICA as u64),
+        ),
+        ("model".to_owned(), Json::str("gpt3-7b")),
+        ("policy".to_owned(), Json::str("round-robin")),
+        ("timings".to_owned(), Json::Obj(timings.clone())),
+        (
+            "ratios".to_owned(),
+            Json::Obj(vec![
+                (
+                    "trace_shared_over_analytic".to_owned(),
+                    Json::Num(shared / analytic),
+                ),
+                (
+                    "trace_disk_over_analytic".to_owned(),
+                    Json::Num(disk / analytic),
+                ),
+                ("cold_over_shared".to_owned(), Json::Num(cold / shared)),
+            ]),
+        ),
+        // Keeps the sink live so the timed loops can't be optimized out.
+        ("checksum".to_owned(), Json::Num(sink)),
+    ]);
+    eprintln!(
+        "trace shared/analytic: {:.2}x, disk/analytic: {:.2}x, cold/shared: {:.1}x",
+        shared / analytic,
+        disk / analytic,
+        cold / shared
+    );
+    finish(out_path, &timings, doc, no_fail);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let no_fail = args.iter().any(|a| a == "--no-fail");
@@ -368,6 +550,13 @@ fn main() {
         Some("sharding") => {
             let out = positional.get(1).copied().unwrap_or("BENCH_sharding.json");
             sharding_snapshot(out, no_fail);
+        }
+        Some("trace-fleet") => {
+            let out = positional
+                .get(1)
+                .copied()
+                .unwrap_or("BENCH_trace_fleet.json");
+            trace_fleet_snapshot(out, no_fail);
         }
         mode => {
             let out = mode.unwrap_or("BENCH_cost_models.json");

@@ -9,12 +9,15 @@ use std::time::Duration;
 use criterion::Criterion;
 use neupims_core::backend::{GpuRooflineBackend, NeuPimsBackend};
 use neupims_core::cluster::ClusterSpec;
+use neupims_core::device::{Device, DeviceMode};
 use neupims_core::experiments::ExperimentContext;
 use neupims_core::fleet::{policy_from_name, FleetRequest, FleetSim};
 use neupims_core::interconnect::PcieLink;
+use neupims_core::scheduler::scheduler_from_name;
 use neupims_core::serving::{ServingConfig, ServingSim};
 use neupims_core::sharding::ShardedBackend;
-use neupims_types::LlmConfig;
+use neupims_pim::calibrate;
+use neupims_types::{LlmConfig, NeuPimsConfig};
 
 /// Short Criterion configuration: the sims are deterministic, so a handful
 /// of samples suffices and the whole suite stays minutes-scale.
@@ -60,6 +63,65 @@ pub fn sharded_deployment_pp(tp: u32, pp: u32) -> ShardedBackend<NeuPimsBackend>
         Box::new(PcieLink::default()),
     )
     .expect("valid deployment shape")
+}
+
+/// Requests submitted per replica by [`trace_fleet_sim`] — small enough
+/// that a cold per-replica-memo build stays seconds-scale at 256
+/// replicas, large enough that pricing dominates dispatch overhead.
+pub const TRACE_FLEET_REQUESTS_PER_REPLICA: usize = 25;
+
+/// Builds the trace-pricing fleet fixture: `replicas` Table 2 NeuPIMs
+/// devices under the NPU/PIM-interleaved scheduler (the path that prices
+/// MHA sub-batches through the cost model every overlapped iteration)
+/// behind round-robin dispatch, priced by `kind`. Request lengths spread
+/// over a dozen context-bucket octaves (arithmetic, no RNG) so a
+/// trace-priced build replays a meaningful but bounded bucket set;
+/// outputs are long enough that decode batches persist while later
+/// prompts prefill, keeping the overlap pricing hot. The
+/// `bench-snapshot trace-fleet` trajectory prices this fixture cold,
+/// with one fleet-shared memo, and from a persistent replay cache.
+pub fn trace_fleet_sim(
+    replicas: usize,
+    requests: usize,
+    kind: neupims_sched::CostModelKind,
+) -> FleetSim<Device> {
+    let hw = NeuPimsConfig::table2();
+    let cal = calibrate(&hw).expect("Table 2 configuration calibrates");
+    let model = LlmConfig::gpt3_7b();
+    let cfg = ServingConfig {
+        max_batch: 32,
+        tp: model.parallelism.tp,
+        layers: model.num_layers / model.parallelism.pp,
+        target_completions: 0,
+        slo: None,
+    };
+    let sims: Vec<ServingSim<Device>> = (0..replicas)
+        .map(|_| {
+            ServingSim::with_scheduler(
+                Device::new(hw, cal, DeviceMode::neupims()),
+                model.clone(),
+                cfg.clone(),
+                scheduler_from_name("interleaved", 128).expect("shipped scheduler"),
+            )
+            .with_cost_model(kind)
+        })
+        .collect();
+    let mut fleet = FleetSim::new(
+        sims,
+        policy_from_name("round-robin").expect("shipped policy"),
+    )
+    .expect("non-empty fleet");
+    for i in 0..requests {
+        fleet
+            .submit(FleetRequest {
+                id: i as u32,
+                input_len: 64 + (i % 13) as u32 * 113,
+                output_len: 8 + (i % 5) as u32 * 4,
+                arrival: i as u64 * 2_000,
+            })
+            .expect("unique ids");
+    }
+    fleet
 }
 
 /// Builds the fleet-scale benchmark fixture: `replicas` GPU-roofline

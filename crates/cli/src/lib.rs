@@ -10,6 +10,7 @@
 //!                   [--scheduler NAME] [--chunk-tokens N]
 //!                   [--preemption NAME] [--swap-gbps GB]
 //!                   [--cost-model NAME] [--tolerance F]
+//!                   [--memo-cache DIR]
 //!                   [--slo-ttft-ms MS] [--slo-tpot-ms MS]
 //!                   [--tp N] [--pp N] [--interconnect NAME]
 //!                   [--link-gbps GB]
@@ -54,6 +55,12 @@
 //!   command streams through the cycle-level DRAM model, memoized per
 //!   context-length bucket); `drift --tolerance F` reports where the two
 //!   disagree by more than F (relative, default 0.10)
+//! --memo-cache DIR (on serve/fleet/eval, with --cost-model trace)
+//!   persists the replay memo to DIR: a rerun over the same hardware
+//!   config loads every priced bucket from disk instead of replaying it
+//!   (corrupt or version-mismatched entries are ignored with a warning);
+//!   `fleet` additionally shares one memo across all replicas and
+//!   pre-replays cold buckets in parallel before serving starts
 //! multi-chip sharding (on sweep/serve/fleet): --tp N splits attention
 //! heads and FFN columns across N chips, --pp N pipelines the decoder
 //! stack over N stages; the per-layer collectives and stage hops are
@@ -99,8 +106,8 @@ use neupims_core::sharding::ShardedBackend;
 use neupims_core::BACKEND_NAMES;
 use neupims_kvcache::KvGeometry;
 use neupims_sched::{
-    calibration_drift, CostModelKind, MhaLatencyEstimator, TraceDrivenCostModel, TraceSnapshot,
-    COST_MODEL_NAMES, DEFAULT_DRIFT_TOLERANCE,
+    calibration_drift, CostModelKind, MhaLatencyEstimator, TraceDrivenCostModel, TraceMemo,
+    TraceSnapshot, COST_MODEL_NAMES, DEFAULT_DRIFT_TOLERANCE,
 };
 use neupims_types::{LlmConfig, Phase};
 use neupims_workload::{arrival_stream, Dataset};
@@ -123,6 +130,8 @@ struct Options {
     preemption: String,
     swap_gbps: f64,
     cost_model: CostModelKind,
+    cost_model_set: bool,
+    memo_cache: Option<String>,
     tolerance: f64,
     rate: f64,
     slo_ttft_ms: f64,
@@ -157,6 +166,25 @@ impl Options {
         let spec = ClusterSpec::new(self.tp.unwrap_or(1), self.pp.unwrap_or(1));
         let fabric = interconnect_from_name(&self.interconnect, self.link_gbps)?;
         Ok(Box::new(ShardedBackend::new(backend, spec, fabric)?))
+    }
+
+    /// The replay memo a trace-priced run shares: disk-backed when
+    /// `--memo-cache` names a directory, a fresh in-memory one when
+    /// `always_under_trace` (fleet pools replays across replicas even
+    /// without persistence), `None` otherwise — and always `None` under
+    /// analytic pricing, where there is nothing to memoize.
+    fn replay_memo(
+        &self,
+        always_under_trace: bool,
+    ) -> Result<Option<TraceMemo>, Box<dyn std::error::Error>> {
+        if self.cost_model != CostModelKind::TraceDriven {
+            return Ok(None);
+        }
+        match &self.memo_cache {
+            Some(dir) => Ok(Some(TraceMemo::with_cache_dir(dir)?)),
+            None if always_under_trace => Ok(Some(TraceMemo::new())),
+            None => Ok(None),
+        }
     }
 }
 
@@ -200,6 +228,8 @@ pub fn run_cli() -> ExitCode {
         preemption: "drop".to_owned(),
         swap_gbps: 32.0,
         cost_model: CostModelKind::Analytic,
+        cost_model_set: false,
+        memo_cache: None,
         tolerance: DEFAULT_DRIFT_TOLERANCE,
         rate: 3.0,
         slo_ttft_ms: 50.0,
@@ -294,12 +324,22 @@ pub fn run_cli() -> ExitCode {
                 }
             },
             "--cost-model" => match it.next().and_then(|v| CostModelKind::from_name(v)) {
-                Some(kind) => opts.cost_model = kind,
+                Some(kind) => {
+                    opts.cost_model = kind;
+                    opts.cost_model_set = true;
+                }
                 None => {
                     eprintln!(
                         "--cost-model requires a name ({})",
                         COST_MODEL_NAMES.join("|")
                     );
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--memo-cache" => match it.next() {
+                Some(dir) => opts.memo_cache = Some(dir.clone()),
+                None => {
+                    eprintln!("--memo-cache requires a directory");
                     return ExitCode::FAILURE;
                 }
             },
@@ -545,6 +585,9 @@ fn cmd_serve(ctx: &ExperimentContext, opts: &Options) -> Result<(), Box<dyn std:
             gb_per_sec: opts.swap_gbps,
         })
         .cost_model(opts.cost_model);
+    if let Some(memo) = opts.replay_memo(false)? {
+        builder = builder.trace_memo(memo);
+    }
     if opts.sharding_requested() {
         // The wrapper supplies the parallelism: run the full layer stack
         // with device-internal TP 1 underneath it.
@@ -686,6 +729,12 @@ fn cmd_fleet(ctx: &ExperimentContext, opts: &Options) -> Result<(), Box<dyn std:
         .with_swap(SwapConfig {
             gb_per_sec: opts.swap_gbps,
         });
+    // Under trace pricing the whole fleet shares one replay memo (disk-
+    // backed with --memo-cache), so each context bucket simulates once.
+    let memo = opts.replay_memo(true)?;
+    if let Some(memo) = &memo {
+        fleet = fleet.with_shared_trace_memo(memo);
+    }
     if let Some(jobs) = opts.jobs {
         fleet = fleet.with_jobs(jobs);
     }
@@ -710,6 +759,10 @@ fn cmd_fleet(ctx: &ExperimentContext, opts: &Options) -> Result<(), Box<dyn std:
         opts.model.name,
         fleet.policy_name(),
     );
+    if memo.is_some() {
+        let warmed = fleet.warm_replay();
+        eprintln!("warm replay primed {warmed} cold context buckets before serving");
+    }
     let out = fleet.run()?;
     println!("| metric | value |");
     println!("|---|---:|");
@@ -821,6 +874,13 @@ fn print_trace_rows(trace: Option<&TraceSnapshot>) {
         t.memo_hits,
         t.memo_hit_rate() * 100.0
     );
+    if t.disk_hits > 0 {
+        println!(
+            "| PIM trace: replay-cache disk hits | {} ({:.1}% of first touches) |",
+            t.disk_hits,
+            t.disk_hit_rate() * 100.0
+        );
+    }
 }
 
 fn cmd_drift(ctx: &ExperimentContext, opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
@@ -915,8 +975,21 @@ fn cmd_eval(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
             .sum::<usize>()
             + suite.compares.len()
     );
-    let report = neupims_eval::run_eval_with_jobs(&suite, opts.seed, opts.jobs)?;
+    let overrides = neupims_eval::EvalOverrides {
+        seed: opts.seed,
+        jobs: opts.jobs,
+        cost_model: opts.cost_model_set.then_some(opts.cost_model),
+        memo_cache: opts.memo_cache.as_ref().map(std::path::PathBuf::from),
+    };
+    let report = neupims_eval::run_eval_with_opts(&suite, &overrides)?;
     print!("{}", report.render());
+    // The persistent-cache CI smoke job greps these lines: a rerun over
+    // a populated --memo-cache must report a 100.0% disk hit rate.
+    for run in &report.scenarios {
+        if let Some(rate) = run.metrics.get("disk_hit_rate") {
+            println!("{}: disk hit rate: {:.1}%", run.name, rate * 100.0);
+        }
+    }
     let (keyed, latest) =
         neupims_eval::store_report(std::path::Path::new(&opts.reports_dir), &report)?;
     println!("\nstored: {} (alias {})", keyed.display(), latest.display());

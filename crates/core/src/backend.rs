@@ -35,7 +35,9 @@
 //! ```
 
 use neupims_pim::{calibrate, PimCalibration};
-use neupims_sched::{AnalyticCostModel, CostModelKind, MhaCostModel, MhaLatencyEstimator};
+use neupims_sched::{
+    AnalyticCostModel, CostModelKind, MhaCostModel, MhaLatencyEstimator, TraceMemo,
+};
 use neupims_types::{
     config::InterconnectConfig, Cycle, GpuSpec, LlmConfig, MemConfig, NeuPimsConfig, SimError,
 };
@@ -250,6 +252,22 @@ pub trait Backend: Send + Sync {
             .map(|e| Box::new(AnalyticCostModel::new(e)) as Box<dyn MhaCostModel>)
     }
 
+    /// Replaces this backend's trace-replay memo with a shared one, so
+    /// every [`TraceDrivenCostModel`](neupims_sched::TraceDrivenCostModel)
+    /// it hands out afterwards amortizes the same set of simulated command
+    /// streams — the fleet-wide sharing hook
+    /// ([`FleetSim::with_shared_trace_memo`](crate::fleet::FleetSim::with_shared_trace_memo)
+    /// threads one memo through every replica). Memo keys carry the
+    /// hardware fingerprint, so sharing across heterogeneous backends is
+    /// sound: models never serve another configuration's cycles.
+    ///
+    /// Returns whether the memo was accepted. The default declines —
+    /// backends without a cycle-level PIM (and immutable borrows, which
+    /// cannot re-seat a memo) have nothing to share.
+    fn attach_trace_memo(&mut self, _memo: &TraceMemo) -> bool {
+        false
+    }
+
     /// Prices the summarization (prefill) phase for a batch of prompts over
     /// `layers` decoder blocks at tensor parallelism `tp`.
     ///
@@ -380,6 +398,10 @@ impl<B: Backend + ?Sized> Backend for Box<B> {
         (**self).mha_cost_model(model, tp, kind)
     }
 
+    fn attach_trace_memo(&mut self, memo: &TraceMemo) -> bool {
+        (**self).attach_trace_memo(memo)
+    }
+
     fn prefill_cycles(
         &self,
         model: &LlmConfig,
@@ -447,6 +469,10 @@ impl Backend for Device {
         kind: CostModelKind,
     ) -> Option<Box<dyn MhaCostModel>> {
         Device::cost_model(self, model, tp, kind)
+    }
+
+    fn attach_trace_memo(&mut self, memo: &TraceMemo) -> bool {
+        Device::attach_trace_memo(self, memo)
     }
 
     fn prefill_cycles(
@@ -568,6 +594,10 @@ impl Backend for NeuPimsBackend {
         kind: CostModelKind,
     ) -> Option<Box<dyn MhaCostModel>> {
         Backend::mha_cost_model(&self.device, model, tp, kind)
+    }
+
+    fn attach_trace_memo(&mut self, memo: &TraceMemo) -> bool {
+        Device::attach_trace_memo(&mut self.device, memo)
     }
 
     fn prefill_cycles(

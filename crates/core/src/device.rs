@@ -227,6 +227,25 @@ impl Device {
         self.cost
     }
 
+    /// Replaces this device's replay memo with a shared one, so the
+    /// trace-driven cost models it hands out afterwards amortize command
+    /// streams with every other device on the same memo (memo keys carry
+    /// the hardware fingerprint, so heterogeneous devices never collide).
+    /// Returns `false` — and leaves the device untouched — for modes
+    /// without a PIM, which never replay anything.
+    pub fn attach_trace_memo(&mut self, memo: &TraceMemo) -> bool {
+        if !self.mode.uses_pim() {
+            return false;
+        }
+        self.trace_memo = memo.clone();
+        true
+    }
+
+    /// The replay memo trace-driven cost models of this device share.
+    pub fn trace_memo(&self) -> &TraceMemo {
+        &self.trace_memo
+    }
+
     /// Hardware configuration.
     pub fn config(&self) -> &NeuPimsConfig {
         &self.cfg

@@ -69,7 +69,7 @@
 use std::collections::HashSet;
 use std::sync::Mutex;
 
-use neupims_sched::{CostModelKind, TraceSnapshot};
+use neupims_sched::{CostModelKind, TraceMemo, TraceSnapshot};
 use neupims_types::{Cycle, RequestId, SimError};
 
 use crate::backend::{Backend, BackendError};
@@ -307,21 +307,31 @@ impl FleetOutcome {
         // Replicas built from clones of one backend share a replay memo,
         // so their snapshots are views of the same cumulative counters:
         // keep the most complete snapshot per memo, then sum distinct
-        // memos.
+        // memos. A `memo_id` of 0 marks an already-aggregated snapshot
+        // (e.g. a nested fleet's merge) — those are sums over disjoint
+        // memos, never duplicate views, so each one contributes in full.
         let mut per_memo: std::collections::HashMap<u64, TraceSnapshot> =
             std::collections::HashMap::new();
+        let mut aggregates: Vec<&TraceSnapshot> = Vec::new();
         for t in replicas.iter().filter_map(|r| r.pim_trace.as_ref()) {
+            if t.memo_id == 0 {
+                aggregates.push(t);
+                continue;
+            }
             let entry = per_memo.entry(t.memo_id).or_insert(*t);
-            if t.replays + t.memo_hits > entry.replays + entry.memo_hits {
+            if t.replays + t.memo_hits + t.disk_hits
+                > entry.replays + entry.memo_hits + entry.disk_hits
+            {
                 *entry = *t;
             }
         }
-        if !per_memo.is_empty() {
+        if !per_memo.is_empty() || !aggregates.is_empty() {
             let mut merged = TraceSnapshot::default();
-            for t in per_memo.values() {
+            for t in per_memo.values().chain(aggregates) {
                 merged.stats.merge(&t.stats);
                 merged.replays += t.replays;
                 merged.memo_hits += t.memo_hits;
+                merged.disk_hits += t.disk_hits;
             }
             out.pim_trace = Some(merged);
         }
@@ -528,6 +538,50 @@ impl<B: Backend> FleetSim<B> {
             .map(|r| r.with_preemption(policy.clone()))
             .collect();
         self
+    }
+
+    /// Shares one [`TraceMemo`] across every replica's trace-driven cost
+    /// model (see [`ServingSim::with_trace_memo`]): each context-length
+    /// bucket is replayed once fleet-wide instead of once per replica.
+    /// The memo key includes the backend's hardware fingerprint, so one
+    /// memo is sound across a heterogeneous fleet. Replicas whose
+    /// backends have no PIM are unaffected; replicas added later keep
+    /// their own memos.
+    pub fn with_shared_trace_memo(mut self, memo: &TraceMemo) -> Self {
+        self.replicas = self
+            .replicas
+            .into_iter()
+            .map(|r| r.with_trace_memo(memo))
+            .collect();
+        self
+    }
+
+    /// Pre-populates replica replay memos for every context-length bucket
+    /// the currently pending requests can reach, replaying cold buckets
+    /// in parallel on up to [`Self::jobs`] threads before serving starts
+    /// (see [`MhaCostModel::warm_replay`](neupims_sched::MhaCostModel::warm_replay)).
+    /// Each pending request covers the span from its prompt length to its
+    /// final context length. Returns the number of buckets replayed
+    /// across the fleet; with a shared memo every bucket is replayed at
+    /// most once, so later replicas find the lattice already warm.
+    pub fn warm_replay(&self) -> u64 {
+        let mut spans: Vec<(u64, u64)> = self
+            .pending
+            .iter()
+            .map(|req| {
+                let lo = u64::from(req.input_len).max(1);
+                (lo, lo + u64::from(req.output_len) - 1)
+            })
+            .collect();
+        spans.sort_unstable();
+        spans.dedup();
+        if spans.is_empty() {
+            return 0;
+        }
+        self.replicas
+            .iter()
+            .map(|r| r.warm_cost_model(&spans, self.jobs))
+            .sum()
     }
 
     /// Sets every replica's swap-link parameters (see
@@ -933,6 +987,48 @@ mod tests {
                 )
             })
             .collect()
+    }
+
+    /// Regression: a snapshot with `memo_id == 0` is an already-merged
+    /// aggregate (e.g. a nested fleet's outcome) — distinct id-0
+    /// aggregates must be *summed*, never deduped against each other,
+    /// while duplicate views of one live memo (same nonzero id) still
+    /// collapse to the most complete snapshot.
+    #[test]
+    fn aggregation_sums_id_zero_aggregates_without_collapsing_them() {
+        let trace = |memo_id: u64, replays: u64, memo_hits: u64, disk_hits: u64| {
+            let mut t = TraceSnapshot {
+                memo_id,
+                replays,
+                memo_hits,
+                disk_hits,
+                ..Default::default()
+            };
+            t.stats.acts = replays;
+            t
+        };
+        let outcome = |t: TraceSnapshot| ServingOutcome {
+            pim_trace: Some(t),
+            ..Default::default()
+        };
+        let replicas = vec![
+            // Two distinct pre-merged aggregates: both must contribute.
+            outcome(trace(0, 10, 100, 1)),
+            outcome(trace(0, 7, 50, 2)),
+            // Two views of one shared memo: keep the most complete only.
+            outcome(trace(42, 3, 30, 0)),
+            outcome(trace(42, 5, 60, 4)),
+        ];
+        let out = FleetOutcome::aggregate(4, replicas);
+        let merged = out.pim_trace.expect("trace snapshots must merge");
+        assert_eq!(
+            merged.memo_id, 0,
+            "a merged snapshot is itself an aggregate"
+        );
+        assert_eq!(merged.replays, 10 + 7 + 5);
+        assert_eq!(merged.memo_hits, 100 + 50 + 60);
+        assert_eq!(merged.disk_hits, 1 + 2 + 4);
+        assert_eq!(merged.stats.acts, 10 + 7 + 5);
     }
 
     #[test]

@@ -93,7 +93,7 @@
 use std::collections::{HashMap, HashSet, VecDeque};
 
 use neupims_kvcache::{KvGeometry, PagedKvCache};
-use neupims_sched::{CostModelKind, MhaCostModel, RequestPool, TraceSnapshot};
+use neupims_sched::{CostModelKind, MhaCostModel, RequestPool, TraceMemo, TraceSnapshot};
 use neupims_types::{ChannelId, Cycle, LlmConfig, Request, RequestId, SimError};
 
 use crate::backend::Backend;
@@ -599,6 +599,33 @@ impl<B: Backend> ServingSim<B> {
         self.cost_kind = kind;
         self.cost_model = self.backend.mha_cost_model(&self.model, self.cfg.tp, kind);
         self
+    }
+
+    /// Shares a [`TraceMemo`] with this replica's trace-driven cost model
+    /// so replay results are pooled across simulations (the memo key
+    /// includes the hardware fingerprint, so sharing one memo across a
+    /// heterogeneous fleet is sound). No-op on backends without a PIM
+    /// ([`Backend::attach_trace_memo`] returns `false`); when the backend
+    /// accepts, the cost model is rebuilt so it prices through the shared
+    /// memo.
+    pub fn with_trace_memo(mut self, memo: &TraceMemo) -> Self {
+        if self.backend.attach_trace_memo(memo) {
+            self.cost_model = self
+                .backend
+                .mha_cost_model(&self.model, self.cfg.tp, self.cost_kind);
+        }
+        self
+    }
+
+    /// Pre-populates the cost model's replay memo for every context-length
+    /// bucket intersecting the given `(lo, hi)` sequence-length spans,
+    /// replaying cold buckets on up to `jobs` threads (see
+    /// [`MhaCostModel::warm_replay`]). Returns the number of buckets
+    /// replayed; 0 when the cost model has no memo (analytic pricing).
+    pub fn warm_cost_model(&self, spans: &[(u64, u64)], jobs: usize) -> u64 {
+        self.cost_model
+            .as_ref()
+            .map_or(0, |m| m.warm_replay(spans, jobs))
     }
 
     /// The MHA cost-model kind in effect.

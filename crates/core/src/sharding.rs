@@ -365,6 +365,10 @@ impl<B: Backend> Backend for ShardedBackend<B> {
             .mha_cost_model(model, tp.max(1).saturating_mul(self.spec.tp), kind)
     }
 
+    fn attach_trace_memo(&mut self, memo: &neupims_sched::TraceMemo) -> bool {
+        self.inner.attach_trace_memo(memo)
+    }
+
     fn prefill_cycles(
         &self,
         model: &LlmConfig,

@@ -32,7 +32,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use neupims_sched::CostModelKind;
+use neupims_sched::{CostModelKind, TraceMemo};
 use neupims_types::{Cycle, LlmConfig};
 use neupims_workload::{warm_batch, Dataset};
 
@@ -83,6 +83,7 @@ pub struct SimulationBuilder<B = NoBackend> {
     cost_model: Option<CostModelKind>,
     preemption: Box<dyn PreemptionPolicy>,
     swap: SwapConfig,
+    trace_memo: Option<TraceMemo>,
 }
 
 /// Type-state marker: no backend selected yet.
@@ -111,6 +112,7 @@ impl Simulation<Box<dyn Backend>> {
             cost_model: None,
             preemption: Box::new(DropOnly),
             swap: SwapConfig::default(),
+            trace_memo: None,
         }
     }
 }
@@ -131,6 +133,7 @@ impl<T> SimulationBuilder<T> {
             cost_model: self.cost_model,
             preemption: self.preemption,
             swap: self.swap,
+            trace_memo: self.trace_memo,
         }
     }
 
@@ -176,6 +179,18 @@ impl<T> SimulationBuilder<T> {
     /// [`NeuPimsBackend::with_cost_model`]: crate::backend::NeuPimsBackend::with_cost_model
     pub fn cost_model(mut self, kind: CostModelKind) -> Self {
         self.cost_model = Some(kind);
+        self
+    }
+
+    /// Shares a [`TraceMemo`] with the backend's trace-driven cost model
+    /// at [`build`](SimulationBuilder::build) time (see
+    /// [`Backend::attach_trace_memo`]): replay results are pooled with
+    /// every other simulation pricing through the same memo — including
+    /// a disk-backed one built with
+    /// [`TraceMemo::with_cache_dir`](neupims_sched::TraceMemo::with_cache_dir).
+    /// Backends without a PIM ignore the memo.
+    pub fn trace_memo(mut self, memo: TraceMemo) -> Self {
+        self.trace_memo = Some(memo);
         self
     }
 
@@ -252,8 +267,12 @@ impl<B: Backend> SimulationBuilder<B> {
                 "zero tensor-parallel degree or layer count".into(),
             ));
         }
+        let mut backend = self.backend;
+        if let Some(memo) = &self.trace_memo {
+            backend.attach_trace_memo(memo);
+        }
         Ok(Simulation {
-            backend: self.backend,
+            backend,
             model,
             dataset: self.dataset,
             batch: self.batch,

@@ -10,6 +10,7 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::path::PathBuf;
 
 use neupims_core::backend::Backend;
 use neupims_core::cluster::ClusterSpec;
@@ -21,6 +22,7 @@ use neupims_core::scheduler::scheduler_from_name;
 use neupims_core::serving::{ServingConfig, ServingSim, SloTargets};
 use neupims_core::sharding::ShardedBackend;
 use neupims_pim::calibrate;
+use neupims_sched::{CostModelKind, TraceMemo};
 use neupims_types::NeuPimsConfig;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -68,6 +70,48 @@ fn sim_err(e: impl fmt::Display) -> EvalError {
 
 /// Flat metric map of one executed scenario.
 pub type Metrics = BTreeMap<String, f64>;
+
+/// Cross-cutting run overrides the CLI threads into a suite run, applied
+/// uniformly to every scenario on top of its spec'd configuration.
+#[derive(Debug, Clone, Default)]
+pub struct EvalOverrides {
+    /// Replaces each scenario's workload/sampling seed (the CLI's
+    /// `--seed`); two runs with the same override are bit-identical.
+    pub seed: Option<u64>,
+    /// Worker count for serving scenarios (the CLI's `--jobs`); never
+    /// changes results, only wall-clock.
+    pub jobs: Option<usize>,
+    /// Replaces each scenario's MHA cost model (the CLI's
+    /// `--cost-model`), e.g. to trace-price a suite authored for
+    /// analytic pricing.
+    pub cost_model: Option<CostModelKind>,
+    /// Directory of the persistent replay cache (the CLI's
+    /// `--memo-cache`): trace-priced scenarios share one on-disk memo,
+    /// so a rerun skips every cold replay and reports a 100% disk hit
+    /// rate. Only consulted under trace pricing.
+    pub memo_cache: Option<PathBuf>,
+}
+
+impl EvalOverrides {
+    /// The cost model a scenario actually runs with: the override when
+    /// set, else the spec's own.
+    fn cost_model_for(&self, system: &SystemSpec) -> CostModelKind {
+        self.cost_model.unwrap_or(system.cost_model)
+    }
+
+    /// A shared replay memo for one trace-priced scenario: disk-backed
+    /// when `memo_cache` names a directory, in-memory otherwise. `None`
+    /// under analytic pricing (nothing to memoize).
+    fn memo_for(&self, kind: CostModelKind) -> Result<Option<TraceMemo>, EvalError> {
+        if kind != CostModelKind::TraceDriven {
+            return Ok(None);
+        }
+        match &self.memo_cache {
+            Some(dir) => TraceMemo::with_cache_dir(dir).map(Some).map_err(sim_err),
+            None => Ok(Some(TraceMemo::new())),
+        }
+    }
+}
 
 /// One executed scenario: its name plus every metric the run produced.
 #[derive(Debug, Clone, PartialEq)]
@@ -123,10 +167,30 @@ pub fn run_suite_with_jobs(
     seed_override: Option<u64>,
     jobs: Option<usize>,
 ) -> Result<Vec<ScenarioRun>, EvalError> {
+    run_suite_with_opts(
+        suite,
+        &EvalOverrides {
+            seed: seed_override,
+            jobs,
+            ..Default::default()
+        },
+    )
+}
+
+/// [`run_suite`] with the full set of [`EvalOverrides`] (seed, worker
+/// count, cost model, persistent replay cache).
+///
+/// # Errors
+///
+/// See [`run_suite`].
+pub fn run_suite_with_opts(
+    suite: &SuiteSpec,
+    opts: &EvalOverrides,
+) -> Result<Vec<ScenarioRun>, EvalError> {
     suite
         .scenarios
         .iter()
-        .map(|s| run_scenario_with_jobs(s, seed_override, jobs))
+        .map(|s| run_scenario_with_opts(s, opts))
         .collect()
 }
 
@@ -153,11 +217,34 @@ pub fn run_scenario_with_jobs(
     seed_override: Option<u64>,
     jobs: Option<usize>,
 ) -> Result<ScenarioRun, EvalError> {
+    run_scenario_with_opts(
+        spec,
+        &EvalOverrides {
+            seed: seed_override,
+            jobs,
+            ..Default::default()
+        },
+    )
+}
+
+/// [`run_scenario`] with the full set of [`EvalOverrides`].
+///
+/// # Errors
+///
+/// See [`run_suite`].
+pub fn run_scenario_with_opts(
+    spec: &ScenarioSpec,
+    opts: &EvalOverrides,
+) -> Result<ScenarioRun, EvalError> {
     let ctx = context_for(&spec.system)?;
-    let seed = seed_override.unwrap_or(spec.seed);
+    let seed = opts.seed.unwrap_or(spec.seed);
+    let cost_model = opts.cost_model_for(&spec.system);
+    let memo = opts.memo_for(cost_model)?;
     let metrics = match spec.kind {
-        ScenarioKind::Throughput => run_throughput(&ctx, spec, seed)?,
-        ScenarioKind::Serving => run_serving(&ctx, spec, seed, jobs)?,
+        ScenarioKind::Throughput => run_throughput(&ctx, spec, seed, cost_model, memo.as_ref())?,
+        ScenarioKind::Serving => {
+            run_serving(&ctx, spec, seed, opts.jobs, cost_model, memo.as_ref())?
+        }
     };
     Ok(ScenarioRun {
         name: spec.name.clone(),
@@ -213,11 +300,13 @@ fn run_throughput(
     ctx: &ExperimentContext,
     spec: &ScenarioSpec,
     seed: u64,
+    cost_model: CostModelKind,
+    memo: Option<&TraceMemo>,
 ) -> Result<Metrics, EvalError> {
     let system = &spec.system;
     let backend = maybe_sharded(
         system,
-        ctx.backend_with_cost(&system.backend, system.cost_model)
+        ctx.backend_with_cost(&system.backend, cost_model)
             .map_err(sim_err)?,
     )?;
     let mut builder = ctx
@@ -228,6 +317,9 @@ fn run_throughput(
         .batch(spec.batch)
         .seed(seed)
         .samples(spec.samples);
+    if let Some(memo) = memo {
+        builder = builder.trace_memo(memo.clone());
+    }
     if system.sharding_requested() {
         // The sharding wrapper supplies the parallelism: run the full
         // layer stack with device-internal TP 1 underneath it.
@@ -250,6 +342,8 @@ fn run_serving(
     spec: &ScenarioSpec,
     seed: u64,
     jobs: Option<usize>,
+    cost_model: CostModelKind,
+    memo: Option<&TraceMemo>,
 ) -> Result<Metrics, EvalError> {
     let system = &spec.system;
     let workload = spec
@@ -288,7 +382,7 @@ fn run_serving(
     for i in 0..system.replicas {
         let backend = maybe_sharded(
             system,
-            ctx.backend_with_cost(backend_names[i % backend_names.len()], system.cost_model)
+            ctx.backend_with_cost(backend_names[i % backend_names.len()], cost_model)
                 .map_err(sim_err)?,
         )?;
         let scheduler =
@@ -296,7 +390,7 @@ fn run_serving(
                 .map_err(sim_err)?;
         replicas.push(
             ServingSim::with_scheduler(backend, system.model.clone(), cfg.clone(), scheduler)
-                .with_cost_model(system.cost_model),
+                .with_cost_model(cost_model),
         );
     }
     let mut fleet = FleetSim::new(
@@ -308,6 +402,9 @@ fn run_serving(
     .with_swap(SwapConfig {
         gb_per_sec: system.swap_gbps,
     });
+    if let Some(memo) = memo {
+        fleet = fleet.with_shared_trace_memo(memo);
+    }
     if let Some(jobs) = jobs {
         fleet = fleet.with_jobs(jobs);
     }
@@ -334,6 +431,12 @@ fn run_serving(
             .map_err(sim_err)?;
     }
 
+    // Replay every reachable cold bucket in parallel before serving
+    // starts (a no-op on warm or disk-restored memos; never changes
+    // results — pinned by the trace parity tests).
+    if memo.is_some() {
+        fleet.warm_replay();
+    }
     let out = fleet.run().map_err(sim_err)?;
     Ok(serving_metrics(&out))
 }
@@ -381,6 +484,7 @@ fn serving_metrics(out: &FleetOutcome) -> Metrics {
     if let Some(trace) = &out.pim_trace {
         m.insert("row_buffer_hit_rate".into(), trace.stats.hit_rate());
         m.insert("memo_hit_rate".into(), trace.memo_hit_rate());
+        m.insert("disk_hit_rate".into(), trace.disk_hit_rate());
     }
     m
 }
@@ -444,6 +548,61 @@ samples = 1
             let parallel = run_suite_with_jobs(&suite, Some(42), Some(jobs)).unwrap();
             assert_eq!(serial, parallel, "--jobs {jobs} changed eval results");
         }
+    }
+
+    /// The cost-model override trace-prices a suite authored for
+    /// analytic pricing, and a `--memo-cache` rerun serves every first
+    /// bucket touch from disk (the CI smoke job greps for the resulting
+    /// 100% disk hit rate).
+    #[test]
+    fn memo_cache_rerun_reports_full_disk_hits() {
+        let dir = std::env::temp_dir().join(format!("neupims-eval-memo-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = |cache: bool| EvalOverrides {
+            seed: Some(7),
+            cost_model: Some(CostModelKind::TraceDriven),
+            memo_cache: cache.then(|| dir.clone()),
+            ..Default::default()
+        };
+        let suite = SuiteSpec::parse(TINY).unwrap();
+
+        let cold = run_suite_with_opts(&suite, &opts(true)).unwrap();
+        let serve = &cold[0];
+        assert!(
+            serve.metric("memo_hit_rate").is_some(),
+            "trace override must surface the replay-memo metrics"
+        );
+        assert_eq!(
+            serve.metric("disk_hit_rate"),
+            Some(0.0),
+            "first run is cold"
+        );
+
+        let warm = run_suite_with_opts(&suite, &opts(true)).unwrap();
+        assert_eq!(
+            warm[0].metric("disk_hit_rate"),
+            Some(1.0),
+            "a rerun over the populated cache must never replay"
+        );
+
+        // Persistence is pure performance: every *serving* metric is
+        // bit-identical to an uncached trace-priced run. The memo
+        // counter metrics legitimately differ (a disk-restored memo
+        // replays nothing and only pays disk hits for buckets serving
+        // actually touches, while a cold warmup replays the whole
+        // reachable lattice), so they are excluded from the comparison.
+        let strip = |m: &Metrics| {
+            let mut m = m.clone();
+            m.remove("disk_hit_rate");
+            m.remove("memo_hit_rate");
+            m.remove("row_buffer_hit_rate");
+            m
+        };
+        let uncached = run_suite_with_opts(&suite, &opts(false)).unwrap();
+        for (a, b) in warm.iter().zip(&uncached) {
+            assert_eq!(strip(&a.metrics), strip(&b.metrics), "{}", a.name);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -26,7 +26,10 @@
 
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use std::sync::{Arc, Mutex};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 
 use neupims_dram::{ChannelStats, DramChannel};
 use neupims_kvcache::KvGeometry;
@@ -89,6 +92,11 @@ pub struct TraceSnapshot {
     pub replays: u64,
     /// Estimates served from the memo without simulation.
     pub memo_hits: u64,
+    /// Distinct command streams whose cycles came from the on-disk replay
+    /// cache (see [`TraceMemo::with_cache_dir`]) instead of simulation —
+    /// the cross-process analogue of `replays`. Only the *first* touch of
+    /// a disk-loaded entry counts here; repeats count as `memo_hits`.
+    pub disk_hits: u64,
     /// Identity of the underlying replay memo (derived from its shared
     /// allocation). Several cost-model clones — e.g. serving replicas
     /// built from clones of one device — snapshot the *same* cumulative
@@ -100,11 +108,23 @@ pub struct TraceSnapshot {
 impl TraceSnapshot {
     /// Fraction of estimates served from the memo, in `[0, 1]`.
     pub fn memo_hit_rate(&self) -> f64 {
-        let total = self.replays + self.memo_hits;
+        let total = self.replays + self.memo_hits + self.disk_hits;
         if total == 0 {
             0.0
         } else {
             self.memo_hits as f64 / total as f64
+        }
+    }
+
+    /// Fraction of *distinct* command streams served from the on-disk
+    /// replay cache instead of simulated, in `[0, 1]`. A fully-warm rerun
+    /// over a populated cache directory reports `1.0`.
+    pub fn disk_hit_rate(&self) -> f64 {
+        let total = self.replays + self.disk_hits;
+        if total == 0 {
+            0.0
+        } else {
+            self.disk_hits as f64 / total as f64
         }
     }
 }
@@ -140,6 +160,17 @@ pub trait MhaCostModel: std::fmt::Debug + Send {
     /// real command streams (`None` for closed-form models).
     fn trace_snapshot(&self) -> Option<TraceSnapshot> {
         None
+    }
+
+    /// Pre-simulates the command streams a workload will touch, before the
+    /// serving loop starts paying for them one miss at a time. Each
+    /// `(lo, hi)` span covers the context lengths `lo..=hi` one request
+    /// sweeps while decoding. Trace-driven models collapse the spans to
+    /// their distinct memo buckets and cold-replay the missing ones in
+    /// parallel on up to `jobs` scoped threads; closed-form models have
+    /// nothing to warm. Returns the number of streams simulated.
+    fn warm_replay(&self, _spans: &[(u64, u64)], _jobs: usize) -> u64 {
+        0
     }
 
     /// Clones the model behind a box (serving sims and fleets replicate
@@ -217,26 +248,392 @@ impl MhaCostModel for AnalyticCostModel {
 /// across different configs never serve each other's cycles.
 type TraceKey = (u64, u64, u64, u64, bool, u64, u64);
 
+/// Shards the key space of one [`TraceMemo`]. 16 shards keep warm lookups
+/// from parallel fleet workers on disjoint reader-writer locks for any
+/// realistic worker count, at negligible memory cost.
+const MEMO_SHARDS: usize = 16;
+
+/// Version tag of the on-disk replay-cache format. Bump it whenever the
+/// cycle model or the memo-key layout changes meaning: files carrying any
+/// other tag are ignored (with a warning), never misread.
+const MEMO_CACHE_VERSION: &str = "neupims-trace-memo-v1";
+
+/// One memoized command stream, or the promise of one.
+#[derive(Debug)]
+enum MemoEntry {
+    /// Replayed (or disk-loaded) cycles. `from_disk` flags a disk-loaded
+    /// entry whose first touch has not yet been counted as a disk hit.
+    Ready { cycles: f64, from_disk: bool },
+    /// A replay in flight on some thread. Waiters block on the flight's
+    /// condvar instead of redundantly simulating the same stream.
+    InFlight(Arc<Flight>),
+}
+
+/// Single-flight rendezvous: the replaying thread publishes the cycles
+/// and wakes every waiter.
 #[derive(Debug, Default)]
-struct TraceMemoInner {
-    cache: HashMap<TraceKey, f64>,
-    stats: ChannelStats,
-    replays: u64,
-    memo_hits: u64,
+struct Flight {
+    cycles: Mutex<Option<f64>>,
+    done: Condvar,
+}
+
+impl Flight {
+    fn publish(&self, cycles: f64) {
+        *self.cycles.lock().expect("flight poisoned") = Some(cycles);
+        self.done.notify_all();
+    }
+
+    fn wait(&self) -> f64 {
+        let mut slot = self.cycles.lock().expect("flight poisoned");
+        loop {
+            if let Some(cycles) = *slot {
+                return cycles;
+            }
+            slot = self.done.wait(slot).expect("flight poisoned");
+        }
+    }
+}
+
+/// Opt-in persistence: a directory of append-only replay-cache files, one
+/// per hardware fingerprint.
+#[derive(Debug)]
+struct MemoPersist {
+    dir: PathBuf,
+}
+
+#[derive(Debug)]
+struct TraceMemoShared {
+    shards: [RwLock<HashMap<TraceKey, MemoEntry>>; MEMO_SHARDS],
+    /// Merged channel activity of every replayed stream. Touched only on
+    /// cold replays, so it never contends with warm lookups.
+    stats: Mutex<ChannelStats>,
+    replays: AtomicU64,
+    memo_hits: AtomicU64,
+    disk_hits: AtomicU64,
+    /// `Some` when the memo is backed by an on-disk cache directory; the
+    /// mutex serializes appends.
+    persist: Mutex<Option<MemoPersist>>,
+}
+
+impl Default for TraceMemoShared {
+    fn default() -> Self {
+        Self {
+            shards: std::array::from_fn(|_| RwLock::new(HashMap::new())),
+            stats: Mutex::new(ChannelStats::default()),
+            replays: AtomicU64::new(0),
+            memo_hits: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
+            persist: Mutex::new(None),
+        }
+    }
 }
 
 /// Shared replay memo of [`TraceDrivenCostModel`]s. Cloning shares the
 /// underlying cache, so every model handed out by one device (across
-/// serving iterations, scheduler calls, and device clones) amortizes the
-/// same set of simulated command streams.
+/// serving iterations, scheduler calls, device clones, and — via
+/// fleet-level sharing — whole replica fleets) amortizes the same set of
+/// simulated command streams.
+///
+/// The memo is safe and cheap to hit from many threads at once: the key
+/// space is split over 16 reader-writer-locked shards (warm lookups
+/// from parallel fleet workers take non-exclusive read locks on —
+/// usually — different shards), counters are atomics, and cold misses
+/// are **single-flight**: the first thread to miss a bucket replays it
+/// while later arrivals for the same bucket wait on its in-flight
+/// marker and reuse the result, so a stream is never simulated twice. Since every
+/// estimate is the deterministic replay of its key, the counters are
+/// timing-independent: `replays` equals the number of distinct keys
+/// touched no matter how many threads race.
+///
+/// [`Self::with_cache_dir`] adds cross-process persistence: replays are
+/// appended to versioned per-fingerprint files and loaded back on
+/// construction, so reruns skip cold replay entirely (tracked by
+/// [`TraceSnapshot::disk_hits`]).
 #[derive(Debug, Clone, Default)]
-pub struct TraceMemo(Arc<Mutex<TraceMemoInner>>);
+pub struct TraceMemo(Arc<TraceMemoShared>);
 
 impl TraceMemo {
     /// An empty memo.
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// A memo backed by an on-disk replay cache at `dir` (created if
+    /// missing). Every cache file already present is loaded — entries are
+    /// keyed by hardware fingerprint and bucket, so a directory can be
+    /// shared across heterogeneous configurations — and every future cold
+    /// replay is appended, making reruns (eval suites, sweeps, repeated
+    /// CLI invocations) skip simulation entirely.
+    ///
+    /// Files with an unknown version tag and corrupt lines are skipped
+    /// with a warning on stderr, never misread; delete the directory (or
+    /// a single `memo-<fingerprint>.txt`) to invalidate.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error when the directory cannot be created or
+    /// listed. Unreadable individual files are warnings, not errors.
+    pub fn with_cache_dir(dir: impl AsRef<Path>) -> std::io::Result<Self> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let memo = Self::new();
+        for entry in std::fs::read_dir(dir)? {
+            let path = entry?.path();
+            let is_cache_file = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("memo-") && n.ends_with(".txt"));
+            if is_cache_file {
+                memo.load_cache_file(&path);
+            }
+        }
+        *memo.0.persist.lock().expect("memo persist poisoned") = Some(MemoPersist {
+            dir: dir.to_path_buf(),
+        });
+        Ok(memo)
+    }
+
+    /// The cache directory backing this memo, when persistence is on.
+    pub fn cache_dir(&self) -> Option<PathBuf> {
+        self.0
+            .persist
+            .lock()
+            .expect("memo persist poisoned")
+            .as_ref()
+            .map(|p| p.dir.clone())
+    }
+
+    /// Memoized command streams currently held (ready entries only).
+    pub fn entries(&self) -> usize {
+        self.0
+            .shards
+            .iter()
+            .map(|s| {
+                s.read()
+                    .expect("memo shard poisoned")
+                    .values()
+                    .filter(|e| matches!(e, MemoEntry::Ready { .. }))
+                    .count()
+            })
+            .sum()
+    }
+
+    /// Counters accumulated so far, across every model sharing this memo.
+    pub fn snapshot(&self) -> TraceSnapshot {
+        TraceSnapshot {
+            stats: *self.0.stats.lock().expect("memo stats poisoned"),
+            replays: self.0.replays.load(Ordering::Relaxed),
+            memo_hits: self.0.memo_hits.load(Ordering::Relaxed),
+            disk_hits: self.0.disk_hits.load(Ordering::Relaxed),
+            memo_id: Arc::as_ptr(&self.0) as usize as u64,
+        }
+    }
+
+    fn shard(&self, key: &TraceKey) -> &RwLock<HashMap<TraceKey, MemoEntry>> {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        &self.0.shards[h.finish() as usize % MEMO_SHARDS]
+    }
+
+    /// Whether a key is already memoized (or being replayed right now) —
+    /// the warmup pass skips these.
+    fn contains(&self, key: &TraceKey) -> bool {
+        self.shard(key)
+            .read()
+            .expect("memo shard poisoned")
+            .contains_key(key)
+    }
+
+    /// The warm path: the key's cycles if ready, counting the hit. Never
+    /// blocks on in-flight replays (callers fall through to
+    /// [`Self::lookup_or_lead`]).
+    fn lookup_fast(&self, key: &TraceKey) -> Option<f64> {
+        let guard = self.shard(key).read().expect("memo shard poisoned");
+        match guard.get(key) {
+            Some(MemoEntry::Ready {
+                cycles,
+                from_disk: false,
+            }) => {
+                self.0.memo_hits.fetch_add(1, Ordering::Relaxed);
+                Some(*cycles)
+            }
+            _ => None,
+        }
+    }
+
+    /// The slow path: resolves a key to ready cycles, an in-flight replay
+    /// to wait on, or leadership of a fresh flight (the caller must
+    /// replay and [`Self::complete`]).
+    fn lookup_or_lead(&self, key: TraceKey) -> MemoLookup {
+        let mut guard = self.shard(&key).write().expect("memo shard poisoned");
+        match guard.get_mut(&key) {
+            Some(MemoEntry::Ready { cycles, from_disk }) => {
+                if *from_disk {
+                    *from_disk = false;
+                    self.0.disk_hits.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    self.0.memo_hits.fetch_add(1, Ordering::Relaxed);
+                }
+                MemoLookup::Ready(*cycles)
+            }
+            Some(MemoEntry::InFlight(flight)) => MemoLookup::Wait(Arc::clone(flight)),
+            None => {
+                let flight = Arc::new(Flight::default());
+                guard.insert(key, MemoEntry::InFlight(Arc::clone(&flight)));
+                MemoLookup::Lead(flight)
+            }
+        }
+    }
+
+    /// Publishes a led replay: merges its channel stats, persists it,
+    /// replaces the in-flight entry, and wakes the waiters.
+    fn complete(&self, key: TraceKey, flight: &Flight, cycles: f64, stats: &ChannelStats) {
+        self.0
+            .stats
+            .lock()
+            .expect("memo stats poisoned")
+            .merge(stats);
+        self.0.replays.fetch_add(1, Ordering::Relaxed);
+        self.append_to_cache(&key, cycles);
+        let mut guard = self.shard(&key).write().expect("memo shard poisoned");
+        guard.insert(
+            key,
+            MemoEntry::Ready {
+                cycles,
+                from_disk: false,
+            },
+        );
+        drop(guard);
+        flight.publish(cycles);
+    }
+
+    fn cache_file(dir: &Path, fingerprint: u64) -> PathBuf {
+        dir.join(format!("memo-{fingerprint:016x}.txt"))
+    }
+
+    /// Appends one replayed entry to its fingerprint's cache file (no-op
+    /// without persistence). Write failures are warnings: a full disk
+    /// must not take the simulation down.
+    fn append_to_cache(&self, key: &TraceKey, cycles: f64) {
+        let persist = self.0.persist.lock().expect("memo persist poisoned");
+        let Some(p) = persist.as_ref() else {
+            return;
+        };
+        let path = Self::cache_file(&p.dir, key.5);
+        let res = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .and_then(|mut f| {
+                if f.metadata()?.len() == 0 {
+                    writeln!(f, "{MEMO_CACHE_VERSION}")?;
+                }
+                writeln!(
+                    f,
+                    "{} {} {} {} {} {:016x} {} {:016x}",
+                    key.0,
+                    key.1,
+                    key.2,
+                    key.3,
+                    key.4 as u8,
+                    key.5,
+                    key.6,
+                    cycles.to_bits()
+                )
+            });
+        if let Err(e) = res {
+            eprintln!(
+                "warning: failed to append to replay cache {}: {e}",
+                path.display()
+            );
+        }
+    }
+
+    /// Loads one cache file, inserting entries as disk-backed. Version
+    /// mismatches and corrupt lines are skipped with a warning.
+    fn load_cache_file(&self, path: &Path) {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!(
+                    "warning: ignoring unreadable replay cache {}: {e}",
+                    path.display()
+                );
+                return;
+            }
+        };
+        let mut lines = text.lines();
+        if lines.next().map(str::trim) != Some(MEMO_CACHE_VERSION) {
+            eprintln!(
+                "warning: ignoring replay cache {} (version mismatch, expected {MEMO_CACHE_VERSION})",
+                path.display()
+            );
+            return;
+        }
+        let mut corrupt = 0usize;
+        for line in lines {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            match parse_cache_line(line) {
+                Some((key, cycles)) => {
+                    self.shard(&key)
+                        .write()
+                        .expect("memo shard poisoned")
+                        .insert(
+                            key,
+                            MemoEntry::Ready {
+                                cycles,
+                                from_disk: true,
+                            },
+                        );
+                }
+                None => corrupt += 1,
+            }
+        }
+        if corrupt > 0 {
+            eprintln!(
+                "warning: skipped {corrupt} corrupt line(s) in replay cache {}",
+                path.display()
+            );
+        }
+    }
+}
+
+/// Outcome of [`TraceMemo::lookup_or_lead`].
+enum MemoLookup {
+    /// The cycles are memoized; the hit has been counted.
+    Ready(f64),
+    /// Another thread is replaying this key: wait for its flight.
+    Wait(Arc<Flight>),
+    /// This caller owns the replay and must [`TraceMemo::complete`] it.
+    Lead(Arc<Flight>),
+}
+
+/// Parses one cache line: the seven key fields then the cycles as raw
+/// `f64` bits in hex (bit-identical across processes by construction).
+fn parse_cache_line(line: &str) -> Option<(TraceKey, f64)> {
+    let mut it = line.split_whitespace();
+    let embed = it.next()?.parse().ok()?;
+    let heads = it.next()?.parse().ok()?;
+    let page_elems = it.next()?.parse().ok()?;
+    let banks = it.next()?.parse().ok()?;
+    let dual = match it.next()? {
+        "0" => false,
+        "1" => true,
+        _ => return None,
+    };
+    let fingerprint = u64::from_str_radix(it.next()?, 16).ok()?;
+    let bucket = it.next()?.parse().ok()?;
+    let cycles = f64::from_bits(u64::from_str_radix(it.next()?, 16).ok()?);
+    if it.next().is_some() || !cycles.is_finite() {
+        return None;
+    }
+    Some((
+        (embed, heads, page_elems, banks, dual, fingerprint, bucket),
+        cycles,
+    ))
 }
 
 /// Cycle-level MHA pricing: the per-request GEMV command stream, replayed
@@ -335,13 +732,12 @@ impl TraceDrivenCostModel {
     /// Counters accumulated so far (shared across clones of this model's
     /// memo).
     pub fn snapshot(&self) -> TraceSnapshot {
-        let inner = self.memo.0.lock().expect("trace memo poisoned");
-        TraceSnapshot {
-            stats: inner.stats,
-            replays: inner.replays,
-            memo_hits: inner.memo_hits,
-            memo_id: Arc::as_ptr(&self.memo.0) as usize as u64,
-        }
+        self.memo.snapshot()
+    }
+
+    /// The replay memo this model shares.
+    pub fn memo(&self) -> &TraceMemo {
+        &self.memo
     }
 
     fn key(&self, bucket: u64) -> TraceKey {
@@ -472,25 +868,67 @@ impl MhaCostModel for TraceDrivenCostModel {
     fn estimate(&self, seq_len: u64) -> f64 {
         let bucket = self.bucket(seq_len);
         let key = self.key(bucket);
-        {
-            let mut inner = self.memo.0.lock().expect("trace memo poisoned");
-            if let Some(&cycles) = inner.cache.get(&key) {
-                inner.memo_hits += 1;
-                return cycles;
+        // Warm path: a shared read lock on the key's shard, no waiting on
+        // writers of other shards and no exclusive section at all.
+        if let Some(cycles) = self.memo.lookup_fast(&key) {
+            return cycles;
+        }
+        match self.memo.lookup_or_lead(key) {
+            MemoLookup::Ready(cycles) => cycles,
+            // Single flight: a concurrent miss on the same bucket waits
+            // for the one replay in progress instead of re-simulating.
+            MemoLookup::Wait(flight) => {
+                let cycles = flight.wait();
+                self.memo.0.memo_hits.fetch_add(1, Ordering::Relaxed);
+                cycles
+            }
+            MemoLookup::Lead(flight) => {
+                // Replay outside every lock: other shards (and other keys
+                // of this shard) stay fully available meanwhile.
+                let (cycles, stats) = self.replay(bucket);
+                self.memo.complete(key, &flight, cycles, &stats);
+                cycles
             }
         }
-        // Replay outside the lock: concurrent misses on the same bucket
-        // redundantly simulate, but never deadlock or block each other.
-        let (cycles, stats) = self.replay(bucket);
-        let mut inner = self.memo.0.lock().expect("trace memo poisoned");
-        inner.cache.insert(key, cycles);
-        inner.stats.merge(&stats);
-        inner.replays += 1;
-        cycles
     }
 
     fn trace_snapshot(&self) -> Option<TraceSnapshot> {
         Some(self.snapshot())
+    }
+
+    fn warm_replay(&self, spans: &[(u64, u64)], jobs: usize) -> u64 {
+        // Walk each span through the bucket lattice: every context in
+        // `[s, bucket(s)]` maps to `bucket(s)` (bucketing is monotone and
+        // rounds up), so jumping to `bucket(s) + 1` enumerates exactly
+        // the distinct buckets a span touches.
+        let mut buckets = std::collections::BTreeSet::new();
+        for &(lo, hi) in spans {
+            let mut s = lo;
+            while s <= hi {
+                let b = self.bucket(s);
+                buckets.insert(b);
+                s = b + 1;
+            }
+        }
+        let missing: Vec<u64> = buckets
+            .into_iter()
+            .filter(|&b| !self.memo.contains(&self.key(b)))
+            .collect();
+        if missing.is_empty() {
+            return 0;
+        }
+        let jobs = jobs.max(1).min(missing.len());
+        let chunk = missing.len().div_ceil(jobs);
+        std::thread::scope(|scope| {
+            for part in missing.chunks(chunk) {
+                scope.spawn(move || {
+                    for &bucket in part {
+                        self.estimate(bucket);
+                    }
+                });
+            }
+        });
+        missing.len() as u64
     }
 
     fn clone_box(&self) -> Box<dyn MhaCostModel> {
@@ -748,6 +1186,123 @@ mod tests {
             ca_blocked > ca_dual,
             "fine-grained C/A {ca_blocked} must exceed composite {ca_dual}"
         );
+    }
+
+    #[test]
+    fn warm_replay_prepopulates_the_memo() {
+        let t = trace();
+        let warmed = MhaCostModel::warm_replay(&t, &[(1, 2000), (64, 512)], 4);
+        assert!(warmed > 0, "a fresh memo has everything to warm");
+        let snap = t.snapshot();
+        assert_eq!(snap.replays, warmed, "warmup replays exactly the gaps");
+        assert_eq!(snap.memo_hits, 0);
+        // The serving loop then never cold-replays inside the span.
+        t.estimate(300);
+        t.estimate(1500);
+        t.estimate(2000);
+        let after = t.snapshot();
+        assert_eq!(after.replays, snap.replays, "warmed spans never re-replay");
+        assert_eq!(after.memo_hits, 3);
+        // A second pass over the same spans finds nothing missing.
+        assert_eq!(MhaCostModel::warm_replay(&t, &[(1, 2000)], 4), 0);
+        // Warmed results are bit-identical to an unwarmed model's.
+        let cold = trace();
+        for seq in [1u64, 77, 300, 1024, 1999] {
+            assert_eq!(t.estimate(seq).to_bits(), cold.estimate(seq).to_bits());
+        }
+        // Analytic models have nothing to warm.
+        let a = analytic();
+        assert_eq!(MhaCostModel::warm_replay(&a, &[(1, 2000)], 4), 0);
+    }
+
+    fn scratch_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("neupims-memo-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn disk_cache_round_trips_bit_identical() {
+        let dir = scratch_dir("roundtrip");
+        let cfg = NeuPimsConfig::table2();
+        let seqs = [1u64, 128, 300, 1024, 4096];
+
+        let memo1 = TraceMemo::with_cache_dir(&dir).unwrap();
+        assert_eq!(memo1.cache_dir().as_deref(), Some(dir.as_path()));
+        let m1 = TraceDrivenCostModel::with_memo(&cfg, geometry(), true, memo1.clone());
+        let first: Vec<u64> = seqs.iter().map(|&s| m1.estimate(s).to_bits()).collect();
+        let populated = memo1.snapshot();
+        assert!(populated.replays > 0);
+        assert_eq!(populated.disk_hits, 0, "first run has nothing on disk");
+
+        // A fresh memo over the same directory serves everything from
+        // disk: zero replays, bit-identical cycles, 100% disk hit rate.
+        let memo2 = TraceMemo::with_cache_dir(&dir).unwrap();
+        assert_eq!(memo2.entries() as u64, populated.replays);
+        let m2 = TraceDrivenCostModel::with_memo(&cfg, geometry(), true, memo2.clone());
+        let second: Vec<u64> = seqs.iter().map(|&s| m2.estimate(s).to_bits()).collect();
+        assert_eq!(first, second, "disk round trip must be bit-identical");
+        let snap = memo2.snapshot();
+        assert_eq!(snap.replays, 0, "a warm cache leaves nothing to replay");
+        assert_eq!(snap.disk_hits, populated.replays);
+        assert!((snap.disk_hit_rate() - 1.0).abs() < f64::EPSILON);
+        // Repeat touches count as memo hits, not disk hits.
+        m2.estimate(300);
+        assert_eq!(memo2.snapshot().disk_hits, snap.disk_hits);
+        assert_eq!(memo2.snapshot().memo_hits, snap.memo_hits + 1);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_and_mismatched_cache_entries_are_ignored() {
+        let dir = scratch_dir("corrupt");
+        std::fs::create_dir_all(&dir).unwrap();
+        // Wrong version tag: the whole file is skipped.
+        std::fs::write(
+            dir.join("memo-000000000000dead.txt"),
+            "neupims-trace-memo-v0\n1 2 3 4 1 dead 5 0000000000000000\n",
+        )
+        .unwrap();
+        // Right version, corrupt lines: each line is skipped.
+        std::fs::write(
+            dir.join("memo-000000000000beef.txt"),
+            format!("{MEMO_CACHE_VERSION}\nnot a record\n1 2 3\n1 2 3 4 9 beef 5 zz\n"),
+        )
+        .unwrap();
+        let memo = TraceMemo::with_cache_dir(&dir).unwrap();
+        assert_eq!(memo.entries(), 0, "nothing valid to load");
+        // The memo still works: estimates replay and persist as usual.
+        let m = TraceDrivenCostModel::with_memo(
+            &NeuPimsConfig::table2(),
+            geometry(),
+            true,
+            memo.clone(),
+        );
+        let est = m.estimate(512);
+        assert!(est > 0.0);
+        assert_eq!(memo.snapshot().replays, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cache_line_parser_rejects_garbage() {
+        assert!(parse_cache_line("").is_none());
+        assert!(parse_cache_line("1 2 3 4 1 10 5").is_none(), "short line");
+        assert!(
+            parse_cache_line("1 2 3 4 1 10 5 0 extra").is_none(),
+            "trailing fields"
+        );
+        assert!(parse_cache_line("1 2 3 4 7 10 5 0").is_none(), "bad bool");
+        assert!(
+            parse_cache_line("1 2 3 4 1 10 5 7ff0000000000000").is_none(),
+            "non-finite cycles"
+        );
+        let (key, cycles) = parse_cache_line("8 16 256 32 1 00000000000000ff 512 4045000000000000")
+            .expect("well-formed line");
+        assert_eq!(key, (8, 16, 256, 32, true, 0xff, 512));
+        assert_eq!(cycles, 42.0);
     }
 
     #[test]

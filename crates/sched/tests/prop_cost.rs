@@ -10,7 +10,7 @@ use neupims_kvcache::KvGeometry;
 use neupims_pim::{calibrate, PimCalibration};
 use neupims_sched::{
     calibration_drift, AnalyticCostModel, MhaCostModel, MhaLatencyEstimator, TraceDrivenCostModel,
-    DEFAULT_DRIFT_TOLERANCE,
+    TraceMemo, DEFAULT_DRIFT_TOLERANCE,
 };
 use neupims_types::{LlmConfig, NeuPimsConfig};
 
@@ -98,6 +98,69 @@ proptest! {
         prop_assert!(c_lo <= c_hi, "seq {lo} -> {c_lo}, seq {hi} -> {c_hi}");
         prop_assert_eq!(trace.estimate(lo).to_bits(), c_lo.to_bits());
     }
+}
+
+/// Concurrency stress: 16 threads hammer one shared [`TraceMemo`] over
+/// overlapping bucket ranges — every estimate must be bit-identical to a
+/// serial replay, and the single-flight counters must land exactly where
+/// a serial run puts them (each distinct bucket simulated once, every
+/// other lookup a memo hit), no matter how the threads interleave.
+#[test]
+fn shared_memo_is_bit_identical_under_16_thread_hammering() {
+    const THREADS: usize = 16;
+    // Overlapping per-thread ranges over a mixed short/long tail, so
+    // cold misses on the *same* bucket race constantly.
+    let seqs: Vec<u64> = (0..192u64).map(|i| 1 + (i * 131) % 6_000).collect();
+    let cfg = NeuPimsConfig::table2();
+    let geo = KvGeometry::for_model(&LlmConfig::gpt3_7b(), &cfg.mem);
+
+    // Serial reference on a private memo.
+    let serial = TraceDrivenCostModel::new(&cfg, geo, true);
+    let expected: Vec<u64> = seqs.iter().map(|&s| serial.estimate(s).to_bits()).collect();
+    let serial_snap = serial.snapshot();
+
+    let memo = TraceMemo::new();
+    let shared = TraceDrivenCostModel::with_memo(&cfg, geo, true, memo.clone());
+    let results: Vec<Vec<u64>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let model = shared.clone();
+                let seqs = &seqs;
+                scope.spawn(move || {
+                    // Each thread walks a rotated view of the same range,
+                    // so every pair of threads overlaps on most buckets.
+                    (0..seqs.len())
+                        .map(|i| model.estimate(seqs[(i + t * 11) % seqs.len()]).to_bits())
+                        .collect::<Vec<u64>>()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for (t, bits) in results.iter().enumerate() {
+        for (i, &b) in bits.iter().enumerate() {
+            let seq = seqs[(i + t * 11) % seqs.len()];
+            assert_eq!(
+                b,
+                expected[(i + t * 11) % seqs.len()],
+                "thread {t} diverged from serial replay at seq {seq}"
+            );
+        }
+    }
+    let snap = memo.snapshot();
+    assert_eq!(
+        snap.replays, serial_snap.replays,
+        "single flight: each distinct bucket simulates exactly once"
+    );
+    assert_eq!(
+        snap.replays + snap.memo_hits,
+        (THREADS * seqs.len()) as u64,
+        "every estimate is either the one replay or a memo hit"
+    );
+    assert_eq!(
+        snap.stats, serial_snap.stats,
+        "merged channel stats match the serial replay exactly"
+    );
 }
 
 /// Fixed-grid drift sweep: the shipped tolerance holds on every Table 3

@@ -201,6 +201,135 @@ fn finished_replica_is_never_re_stepped() {
     );
 }
 
+/// A trace-priced tight fleet: every replica prices MHA by command-stream
+/// replay, so memo sharing and warmup are actually on the critical path.
+fn trace_fleet(replicas: usize) -> FleetSim<Device> {
+    tight_fleet(replicas, "interleaved", "swap", "jsq")
+        .with_cost_model(neupims_sched::CostModelKind::TraceDriven)
+}
+
+/// Memo ids are `Arc` pointers, unique per memo instance — zero them (on
+/// the fleet merge and every replica outcome) so runs over *distinct but
+/// equivalent* memos compare equal when all counters agree.
+fn normalize_memo_ids(out: &mut neupims_core::fleet::FleetOutcome) {
+    if let Some(t) = out.pim_trace.as_mut() {
+        t.memo_id = 0;
+    }
+    for r in &mut out.replicas {
+        if let Some(t) = r.pim_trace.as_mut() {
+            t.memo_id = 0;
+        }
+    }
+}
+
+/// Drops trace snapshots entirely — for shared-vs-private memo
+/// comparisons, where hit/replay counters legitimately differ but every
+/// serving metric must stay bit-identical.
+fn strip_traces(out: &mut neupims_core::fleet::FleetOutcome) {
+    out.pim_trace = None;
+    for r in &mut out.replicas {
+        r.pim_trace = None;
+    }
+}
+
+/// Trace pricing parity: per-replica memos, one fleet-shared memo, a
+/// pre-warmed shared memo, and a disk-cache-restored memo must all serve
+/// the exact same outcome, for every `--jobs` worker count — sharing and
+/// persistence are pure performance, never policy.
+#[test]
+fn trace_pricing_parity_across_jobs_sharing_warmup_and_disk() {
+    use neupims_sched::TraceMemo;
+
+    let requests = pressure_requests(23);
+    let submit_all = |fleet: &mut FleetSim<Device>| {
+        for &req in &requests {
+            fleet.submit(req).unwrap();
+        }
+    };
+
+    // Golden reference: private per-replica memos, lockstep engine.
+    let mut reference = {
+        let mut fleet = trace_fleet(2);
+        submit_all(&mut fleet);
+        fleet.run_lockstep().unwrap()
+    };
+    assert!(
+        reference.pim_trace.is_some(),
+        "trace pricing must surface channel statistics"
+    );
+    normalize_memo_ids(&mut reference);
+
+    // Private memos, event-driven, every jobs count.
+    for jobs in [1usize, 4, 16] {
+        let mut fleet = trace_fleet(2).with_jobs(jobs);
+        submit_all(&mut fleet);
+        let mut out = fleet.run().unwrap();
+        normalize_memo_ids(&mut out);
+        assert_eq!(out, reference, "--jobs {jobs} changed a trace-priced run");
+    }
+
+    let mut stripped_reference = reference.clone();
+    strip_traces(&mut stripped_reference);
+
+    // One fleet-shared memo: counters differ (buckets replay once
+    // fleet-wide), serving metrics must not.
+    let shared_replays = {
+        let memo = TraceMemo::new();
+        let mut fleet = trace_fleet(2).with_shared_trace_memo(&memo);
+        submit_all(&mut fleet);
+        let mut out = fleet.run().unwrap();
+        let snap = memo.snapshot();
+        assert!(snap.replays > 0, "shared memo never replayed a bucket");
+        strip_traces(&mut out);
+        assert_eq!(out, stripped_reference, "memo sharing changed the outcome");
+        snap.replays
+    };
+    let private_replays = reference.pim_trace.unwrap().replays;
+    assert!(
+        shared_replays <= private_replays,
+        "sharing cannot replay more than private memos ({shared_replays} vs {private_replays})"
+    );
+
+    // Shared memo with explicit parallel warmup before serving starts.
+    {
+        let memo = TraceMemo::new();
+        let mut fleet = trace_fleet(2).with_shared_trace_memo(&memo).with_jobs(4);
+        submit_all(&mut fleet);
+        let warmed = fleet.warm_replay();
+        assert!(warmed > 0, "pending requests must warm some buckets");
+        assert_eq!(fleet.warm_replay(), 0, "a second warmup finds nothing cold");
+        let mut out = fleet.run().unwrap();
+        strip_traces(&mut out);
+        assert_eq!(out, stripped_reference, "warm replay changed the outcome");
+    }
+
+    // Disk round trip: populate a cache dir, then serve from a fresh
+    // memo restored from it — zero replays, identical outcome.
+    {
+        let dir = std::env::temp_dir().join(format!("neupims-parity-memo-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let memo = TraceMemo::with_cache_dir(&dir).unwrap();
+        let mut fleet = trace_fleet(2).with_shared_trace_memo(&memo);
+        submit_all(&mut fleet);
+        fleet.run().unwrap();
+
+        let restored = TraceMemo::with_cache_dir(&dir).unwrap();
+        let mut fleet = trace_fleet(2).with_shared_trace_memo(&restored);
+        submit_all(&mut fleet);
+        let mut out = fleet.run().unwrap();
+        let snap = restored.snapshot();
+        assert_eq!(snap.replays, 0, "a warm cache dir must skip every replay");
+        assert!(
+            (snap.disk_hit_rate() - 1.0).abs() < 1e-12,
+            "every first touch must come from disk (rate {})",
+            snap.disk_hit_rate()
+        );
+        strip_traces(&mut out);
+        assert_eq!(out, stripped_reference, "disk cache changed the outcome");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
 fn arrival_process(idx: usize, rate: f64) -> ArrivalProcess {
     match idx % 4 {
         0 => ArrivalProcess::Poisson { rate },
