@@ -24,7 +24,14 @@
 //!   parallel warm replay, and a fleet restored from a persistent replay
 //!   cache) and writes `BENCH_trace_fleet.json` with the
 //!   `trace_shared_over_analytic` ratio the shared-memo path is held to
-//!   (target: within ~2x of the analytic twin).
+//!   (target: within ~2x of the analytic twin);
+//! * `orchestrator` — times the meta-orchestrator (two tenant classes,
+//!   admission, capability-aware routing over a warm static commit) at
+//!   16 and 256 replicas on the fleet-scale workload against the
+//!   load-only `FleetSim` baseline at the same scale, and writes
+//!   `BENCH_orchestrator.json` with each scale's
+//!   `orchestrated_over_fleet` ratio and the dispatch+routing overhead
+//!   per 1k requests.
 //!
 //! When the output path already holds a snapshot, the new medians are
 //! compared against it: any timing regressing beyond 3x fails the run
@@ -36,13 +43,14 @@
 //! cargo run --release -p neupims-bench --bin bench-snapshot fleet [OUT.json] [--no-fail]
 //! cargo run --release -p neupims-bench --bin bench-snapshot sharding [OUT.json] [--no-fail]
 //! cargo run --release -p neupims-bench --bin bench-snapshot trace-fleet [OUT.json] [--no-fail]
+//! cargo run --release -p neupims-bench --bin bench-snapshot orchestrator [OUT.json] [--no-fail]
 //! ```
 
 use std::time::Instant;
 
 use neupims_bench::{
-    fleet_scale_sim, sharded_deployment, sharding_scale_batch, trace_fleet_sim,
-    FLEET_SCALE_REQUESTS_PER_REPLICA, TRACE_FLEET_REQUESTS_PER_REPLICA,
+    fleet_scale_sim, orchestrator_scale_sim, sharded_deployment, sharding_scale_batch,
+    trace_fleet_sim, FLEET_SCALE_REQUESTS_PER_REPLICA, TRACE_FLEET_REQUESTS_PER_REPLICA,
 };
 use neupims_eval::json::Json;
 use neupims_kvcache::KvGeometry;
@@ -534,6 +542,89 @@ fn trace_fleet_snapshot(out_path: &str, no_fail: bool) {
     finish(out_path, &timings, doc, no_fail);
 }
 
+fn orchestrator_snapshot(out_path: &str, no_fail: bool) {
+    const SCALES: [usize; 2] = [16, 256];
+    let per_replica = FLEET_SCALE_REQUESTS_PER_REPLICA;
+    let mut timings = Vec::new();
+    let mut overheads = Vec::new();
+    let mut ratios = Vec::new();
+    let mut sink = 0.0;
+    for &replicas in &SCALES {
+        let requests = replicas * per_replica;
+        // The 256-replica pair runs once (deterministic engine, seconds
+        // of work); construction stays outside the clock, as in the
+        // fleet trajectory — the snapshot times dispatch + admission +
+        // routing, not fixture setup.
+        let iters = if replicas >= 256 { 1 } else { 5 };
+
+        eprintln!("load-only fleet: {replicas} replicas x {requests} requests ...");
+        let mut fleets: Vec<_> = (0..iters)
+            .map(|_| fleet_scale_sim(replicas, requests))
+            .collect();
+        let (samples, s) = time(iters, || {
+            fleets
+                .pop()
+                .expect("one fleet per iter")
+                .run()
+                .unwrap()
+                .tokens as f64
+        });
+        sink += s;
+        timings.push(stats(&format!("fleet_{replicas}"), samples));
+
+        eprintln!("orchestrated: {replicas} replicas x {requests} requests ...");
+        let mut orchs: Vec<_> = (0..iters)
+            .map(|_| orchestrator_scale_sim(replicas, requests))
+            .collect();
+        let (samples, s) = time(iters, || {
+            orchs
+                .pop()
+                .expect("one orchestrator per iter")
+                .run()
+                .unwrap()
+                .fleet
+                .tokens as f64
+        });
+        sink += s;
+        timings.push(stats(&format!("orchestrated_{replicas}"), samples));
+
+        let fleet_ns = median_of(&timings[timings.len() - 2].1);
+        let orch_ns = median_of(&timings[timings.len() - 1].1);
+        let per_1k = (orch_ns - fleet_ns) / (requests as f64 / 1000.0);
+        eprintln!(
+            "  {replicas} replicas: orchestrated/fleet {:.2}x, \
+             overhead {:.0} ns per 1k requests",
+            orch_ns / fleet_ns,
+            per_1k
+        );
+        overheads.push((
+            format!("overhead_ns_per_1k_requests_{replicas}"),
+            Json::Num(per_1k),
+        ));
+        ratios.push((
+            format!("orchestrated_over_fleet_{replicas}"),
+            Json::Num(orch_ns / fleet_ns),
+        ));
+    }
+
+    let doc = Json::Obj(vec![
+        ("bench".to_owned(), Json::str("orchestrator")),
+        (
+            "requests_per_replica".to_owned(),
+            Json::int(per_replica as u64),
+        ),
+        ("model".to_owned(), Json::str("gpt3-7b")),
+        ("router".to_owned(), Json::str("capability")),
+        ("autoscale".to_owned(), Json::str("static")),
+        ("timings".to_owned(), Json::Obj(timings.clone())),
+        ("overheads".to_owned(), Json::Obj(overheads)),
+        ("ratios".to_owned(), Json::Obj(ratios)),
+        // Keeps the sink live so the timed loops can't be optimized out.
+        ("checksum".to_owned(), Json::Num(sink)),
+    ]);
+    finish(out_path, &timings, doc, no_fail);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let no_fail = args.iter().any(|a| a == "--no-fail");
@@ -557,6 +648,13 @@ fn main() {
                 .copied()
                 .unwrap_or("BENCH_trace_fleet.json");
             trace_fleet_snapshot(out, no_fail);
+        }
+        Some("orchestrator") => {
+            let out = positional
+                .get(1)
+                .copied()
+                .unwrap_or("BENCH_orchestrator.json");
+            orchestrator_snapshot(out, no_fail);
         }
         mode => {
             let out = mode.unwrap_or("BENCH_cost_models.json");

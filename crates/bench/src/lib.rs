@@ -13,8 +13,11 @@ use neupims_core::device::{Device, DeviceMode};
 use neupims_core::experiments::ExperimentContext;
 use neupims_core::fleet::{policy_from_name, FleetRequest, FleetSim};
 use neupims_core::interconnect::PcieLink;
+use neupims_core::orchestrator::{
+    CapabilityAware, OrchRequest, Orchestrator, OrchestratorConfig, StaticScale, TenantClass,
+};
 use neupims_core::scheduler::scheduler_from_name;
-use neupims_core::serving::{ServingConfig, ServingSim};
+use neupims_core::serving::{ServingConfig, ServingSim, SloTargets};
 use neupims_core::sharding::ShardedBackend;
 use neupims_pim::calibrate;
 use neupims_types::{LlmConfig, NeuPimsConfig};
@@ -122,6 +125,62 @@ pub fn trace_fleet_sim(
             .expect("unique ids");
     }
     fleet
+}
+
+/// Builds the meta-orchestrator benchmark fixture: the same arithmetic
+/// workload as [`fleet_scale_sim`] submitted through the
+/// [`Orchestrator`] — two tenant classes alternating request-by-request,
+/// the capability-aware router, and a full static commit with a warm
+/// start, so the `bench-snapshot orchestrator` trajectory prices the
+/// dispatch + admission + routing machinery itself (not warmups or
+/// autoscale churn) against the load-only [`fleet_scale_sim`] baseline
+/// at the same scale.
+pub fn orchestrator_scale_sim(
+    replicas: usize,
+    requests: usize,
+) -> Orchestrator<GpuRooflineBackend> {
+    let model = LlmConfig::gpt3_7b();
+    let cfg = ServingConfig {
+        max_batch: 32,
+        tp: model.parallelism.tp,
+        layers: model.num_layers / model.parallelism.pp,
+        target_completions: 0,
+        slo: None,
+    };
+    let sims: Vec<ServingSim<GpuRooflineBackend>> = (0..replicas)
+        .map(|_| ServingSim::new(GpuRooflineBackend::a100(), model.clone(), cfg.clone()))
+        .collect();
+    let loose = SloTargets {
+        ttft: neupims_types::Cycle::MAX,
+        tpot: f64::INFINITY,
+    };
+    let tenants = vec![
+        TenantClass::new("chat", loose, 220, 0.5),
+        TenantClass::new("batch", loose, 40, 0.5),
+    ];
+    let mut ocfg = OrchestratorConfig::default_for(replicas);
+    ocfg.warm_start = true;
+    let mut orch = Orchestrator::new(
+        sims,
+        tenants,
+        Box::new(CapabilityAware::default()),
+        Box::new(StaticScale::full()),
+        ocfg,
+    )
+    .expect("non-empty orchestrator");
+    for i in 0..requests {
+        orch.submit(OrchRequest {
+            req: FleetRequest {
+                id: i as u32,
+                input_len: 16 + (i % 5) as u32 * 8,
+                output_len: 1 + (i % 2) as u32,
+                arrival: i as u64 * 2_000,
+            },
+            tenant: i % 2,
+        })
+        .expect("unique ids");
+    }
+    orch
 }
 
 /// Builds the fleet-scale benchmark fixture: `replicas` GPU-roofline

@@ -79,9 +79,21 @@
 //! any N (pinned by tests).
 //! --seed pins the workload RNG of `serve`, `fleet`, and `eval`: two runs
 //! with the same seed (and flags) submit identical requests. Without it,
-//! serve/fleet derive a seed from --requests (legacy behavior) and eval
-//! suites use their spec'd per-scenario seeds.
-//! eval suites: smoke (CI default), fig12, table3, pressure — or a path
+//! serve/fleet fall back to fixed default seeds (so changing --requests
+//! never reshuffles the shared workload prefix) and eval suites use
+//! their spec'd per-scenario seeds.
+//! Any of --tenants/--autoscale/--router/--min-replicas routes `fleet`
+//! through the capability-aware meta-orchestrator (docs/ORCHESTRATOR.md):
+//! --tenants takes name:weight:priority[:ttft_ms:tpot_ms] entries
+//! (priority >= 100 bypasses admission control), --autoscale picks the
+//! replica scaler (static | reactive | predictive; scalers pay each
+//! spin-up's warmup cycles and park idle replicas down to
+//! --min-replicas), and --router picks dispatch scoring (load |
+//! round-robin | capability). The report adds per-tenant SLO attainment
+//! and the goodput-per-cost bottom line (tokens from SLO-attaining
+//! requests per replica-Mcycle of committed capacity).
+//! eval suites: smoke (CI default), fig12, table3, pressure, scaling,
+//! orchestrator — or a path
 //! to a .toml spec (see docs/EVAL.md); reports are stored under
 //! --reports-dir (default `reports/`) keyed by suite + git revision, and
 //! the command exits non-zero when any fail-severity golden check is
@@ -89,6 +101,17 @@
 //! ```
 
 use std::process::ExitCode;
+
+/// Default workload seed of `serve` when `--seed` is absent. A fixed
+/// constant on purpose: the default workload must be a function of the
+/// seed alone, so `--requests 100` submits a prefix of `--requests 200`
+/// (the old `seed ^ requests` derivation reshuffled everything whenever
+/// the count changed; pinned by `tests/regression_seed_plumbing.rs`).
+pub const DEFAULT_SERVE_SEED: u64 = 0x5EED;
+
+/// Default workload seed of `fleet` when `--seed` is absent (see
+/// [`DEFAULT_SERVE_SEED`] for why this must not depend on `--requests`).
+pub const DEFAULT_FLEET_SEED: u64 = 0xF1EE7;
 
 use neupims_core::backend::Backend;
 use neupims_core::cluster::ClusterSpec;
@@ -99,6 +122,10 @@ use neupims_core::experiments::{
 };
 use neupims_core::fleet::{policy_from_name, FleetRequest, FleetSim, POLICY_NAMES};
 use neupims_core::interconnect::{interconnect_from_name, INTERCONNECT_NAMES};
+use neupims_core::orchestrator::{
+    autoscale_from_name, router_from_name, OrchRequest, Orchestrator, OrchestratorConfig,
+    TenantClass, AUTOSCALE_NAMES, ROUTER_NAMES,
+};
 use neupims_core::preempt::{preemption_from_name, SwapConfig, PREEMPTION_NAMES};
 use neupims_core::scheduler::{scheduler_from_name, SCHEDULER_NAMES};
 use neupims_core::serving::{ServingConfig, ServingSim, SloTargets};
@@ -112,7 +139,7 @@ use neupims_sched::{
 use neupims_types::{LlmConfig, Phase};
 use neupims_workload::{arrival_stream, Dataset};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{RngExt, SeedableRng};
 
 struct Options {
     samples: usize,
@@ -138,6 +165,10 @@ struct Options {
     slo_tpot_ms: f64,
     seed: Option<u64>,
     jobs: Option<usize>,
+    tenants: Option<String>,
+    autoscale: Option<String>,
+    router: Option<String>,
+    min_replicas: Option<usize>,
     tp: Option<u32>,
     pp: Option<u32>,
     interconnect: String,
@@ -151,6 +182,16 @@ impl Options {
     /// True when `--tp` or `--pp` asked for a multi-chip deployment.
     fn sharding_requested(&self) -> bool {
         self.tp.is_some() || self.pp.is_some()
+    }
+
+    /// True when any orchestrator flag (`--tenants`, `--autoscale`,
+    /// `--router`, `--min-replicas`) asked `fleet` to run through the
+    /// meta-orchestrator instead of the bare dispatch loop.
+    fn orchestration_requested(&self) -> bool {
+        self.tenants.is_some()
+            || self.autoscale.is_some()
+            || self.router.is_some()
+            || self.min_replicas.is_some()
     }
 
     /// Wraps `backend` in a [`ShardedBackend`] when `--tp`/`--pp` ask for
@@ -236,6 +277,10 @@ pub fn run_cli() -> ExitCode {
         slo_tpot_ms: 10.0,
         seed: None,
         jobs: None,
+        tenants: None,
+        autoscale: None,
+        router: None,
+        min_replicas: None,
         tp: None,
         pp: None,
         interconnect: "pcie".to_owned(),
@@ -403,6 +448,39 @@ pub fn run_cli() -> ExitCode {
                 Some(n) if n > 0 => opts.jobs = Some(n),
                 _ => {
                     eprintln!("--jobs requires a positive number of worker threads");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--tenants" => match it.next() {
+                Some(spec) => opts.tenants = Some(spec.clone()),
+                None => {
+                    eprintln!(
+                        "--tenants requires a spec: name:weight:priority[:ttft_ms:tpot_ms],..."
+                    );
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--autoscale" => match it.next() {
+                Some(name) => opts.autoscale = Some(name.clone()),
+                None => {
+                    eprintln!(
+                        "--autoscale requires a name ({})",
+                        AUTOSCALE_NAMES.join("|")
+                    );
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--router" => match it.next() {
+                Some(name) => opts.router = Some(name.clone()),
+                None => {
+                    eprintln!("--router requires a name ({})", ROUTER_NAMES.join("|"));
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--min-replicas" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => opts.min_replicas = Some(n),
+                _ => {
+                    eprintln!("--min-replicas requires a positive number");
                     return ExitCode::FAILURE;
                 }
             },
@@ -610,7 +688,7 @@ fn cmd_serve(ctx: &ExperimentContext, opts: &Options) -> Result<(), Box<dyn std:
         tpot: opts.slo_tpot_ms * 1e6,
     });
     let mut serving = sim.serving_with_slo(opts.max_batch.max(1), 0, slo);
-    let mut rng = StdRng::seed_from_u64(opts.seed.unwrap_or(0x5EED ^ opts.requests as u64));
+    let mut rng = StdRng::seed_from_u64(opts.seed.unwrap_or(DEFAULT_SERVE_SEED));
     let arrivals = arrival_stream(&mut rng, opts.rate, opts.requests);
     for (i, &at) in arrivals.iter().enumerate() {
         let input = opts.dataset.sample_input(&mut rng);
@@ -682,6 +760,9 @@ fn cmd_serve(ctx: &ExperimentContext, opts: &Options) -> Result<(), Box<dyn std:
 }
 
 fn cmd_fleet(ctx: &ExperimentContext, opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    if opts.orchestration_requested() {
+        return cmd_orchestrate(ctx, opts);
+    }
     // Comma-separated backend and scheduler names are cycled over the
     // replicas, so `--backend neupims,gpu --scheduler interleaved,lump
     // --replicas 4` builds a heterogeneous fleet with per-replica
@@ -739,7 +820,7 @@ fn cmd_fleet(ctx: &ExperimentContext, opts: &Options) -> Result<(), Box<dyn std:
         fleet = fleet.with_jobs(jobs);
     }
 
-    let mut rng = StdRng::seed_from_u64(opts.seed.unwrap_or(0xF1EE7 ^ opts.requests as u64));
+    let mut rng = StdRng::seed_from_u64(opts.seed.unwrap_or(DEFAULT_FLEET_SEED));
     let arrivals = arrival_stream(&mut rng, opts.rate, opts.requests);
     for (i, &at) in arrivals.iter().enumerate() {
         fleet.submit(FleetRequest {
@@ -826,6 +907,244 @@ fn cmd_fleet(ctx: &ExperimentContext, opts: &Options) -> Result<(), Box<dyn std:
             r.tokens,
             r.total_cycles as f64 / 1e6,
             r.peak_kv_utilization * 100.0
+        );
+    }
+    Ok(())
+}
+
+/// Parses a `--tenants` spec: `name:weight:priority[:ttft_ms:tpot_ms]`
+/// entries separated by commas. TTFT/TPOT default to the global
+/// `--slo-ttft-ms`/`--slo-tpot-ms` targets; weights are normalized to
+/// shares.
+fn parse_tenants(
+    spec: &str,
+    default_slo: SloTargets,
+) -> Result<(Vec<TenantClass>, Vec<f64>), Box<dyn std::error::Error>> {
+    let mut tenants = Vec::new();
+    let mut weights = Vec::new();
+    for entry in spec.split(',') {
+        let parts: Vec<&str> = entry.trim().split(':').collect();
+        if parts.len() < 3 || parts.len() > 5 {
+            return Err(format!(
+                "bad --tenants entry {entry:?} (expected name:weight:priority[:ttft_ms:tpot_ms])"
+            )
+            .into());
+        }
+        let name = parts[0];
+        let weight: f64 = parts[1]
+            .parse()
+            .map_err(|_| format!("bad weight in --tenants entry {entry:?}"))?;
+        if weight <= 0.0 {
+            return Err(format!("tenant {name:?} weight must be positive").into());
+        }
+        let priority: u8 = parts[2]
+            .parse()
+            .map_err(|_| format!("bad priority in --tenants entry {entry:?}"))?;
+        let mut slo = default_slo;
+        if let Some(ms) = parts.get(3) {
+            let ttft_ms: f64 = ms
+                .parse()
+                .map_err(|_| format!("bad ttft_ms in --tenants entry {entry:?}"))?;
+            slo.ttft = (ttft_ms * 1e6) as u64;
+        }
+        if let Some(ms) = parts.get(4) {
+            let tpot_ms: f64 = ms
+                .parse()
+                .map_err(|_| format!("bad tpot_ms in --tenants entry {entry:?}"))?;
+            slo.tpot = tpot_ms * 1e6;
+        }
+        tenants.push(TenantClass::new(name, slo, priority, 0.0));
+        weights.push(weight);
+    }
+    let total: f64 = weights.iter().sum();
+    for (t, w) in tenants.iter_mut().zip(&weights) {
+        t.share = w / total;
+    }
+    Ok((tenants, weights))
+}
+
+/// The orchestrated fleet path (`fleet` with any of `--tenants`,
+/// `--autoscale`, `--router`, `--min-replicas`): the same replica
+/// construction as `cmd_fleet`, run through the capability-aware
+/// meta-orchestrator with per-tenant reporting and the goodput-per-cost
+/// bottom line.
+fn cmd_orchestrate(
+    ctx: &ExperimentContext,
+    opts: &Options,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let names: Vec<&str> = opts.backend.split(',').map(str::trim).collect();
+    let sched_names: Vec<&str> = opts.scheduler.split(',').map(str::trim).collect();
+    let default_slo = SloTargets {
+        ttft: (opts.slo_ttft_ms * 1e6) as u64,
+        tpot: opts.slo_tpot_ms * 1e6,
+    };
+    let (tenants, weights) = match &opts.tenants {
+        Some(spec) => parse_tenants(spec, default_slo)?,
+        None => (
+            vec![TenantClass::new("default", default_slo, 200, 1.0)],
+            vec![1.0],
+        ),
+    };
+    let cfg = ServingConfig {
+        max_batch: opts.max_batch.max(1),
+        tp: if opts.sharding_requested() {
+            1
+        } else {
+            opts.model.parallelism.tp
+        },
+        layers: if opts.sharding_requested() {
+            opts.model.num_layers
+        } else {
+            opts.model.num_layers / opts.model.parallelism.pp
+        },
+        target_completions: 0,
+        slo: Some(default_slo),
+    };
+    let memo = opts.replay_memo(true)?;
+    let mut slots = Vec::new();
+    for i in 0..opts.replicas {
+        let backend =
+            opts.maybe_sharded(ctx.backend_with_cost(names[i % names.len()], opts.cost_model)?)?;
+        let scheduler = scheduler_from_name(sched_names[i % sched_names.len()], opts.chunk_tokens)?;
+        let mut slot =
+            ServingSim::with_scheduler(backend, opts.model.clone(), cfg.clone(), scheduler)
+                .with_cost_model(opts.cost_model)
+                .with_preemption(preemption_from_name(&opts.preemption)?)
+                .with_swap(SwapConfig {
+                    gb_per_sec: opts.swap_gbps,
+                });
+        if let Some(memo) = &memo {
+            slot = slot.with_trace_memo(memo);
+        }
+        slots.push(slot);
+    }
+
+    let autoscale_name = opts.autoscale.as_deref().unwrap_or("static");
+    let router_name = opts.router.as_deref().unwrap_or("load");
+    let autoscale = autoscale_from_name(autoscale_name)?;
+    let router = router_from_name(router_name)?;
+    // Static autoscaling holds the whole fleet; the scalers default to a
+    // floor of one and grow on demand.
+    let default_min = if autoscale_name.eq_ignore_ascii_case("static") {
+        opts.replicas
+    } else {
+        1
+    };
+    let mut orch_cfg = OrchestratorConfig::default_for(opts.replicas);
+    orch_cfg.min_replicas = opts
+        .min_replicas
+        .unwrap_or(default_min)
+        .clamp(1, opts.replicas);
+    let mut orch = Orchestrator::new(slots, tenants, router, autoscale, orch_cfg)?;
+    if let Some(jobs) = opts.jobs {
+        orch = orch.with_jobs(jobs);
+    }
+
+    // The same seeded arrival + shape stream as the bare fleet; the
+    // tenant of each request is a weighted draw from the same RNG.
+    let mut rng = StdRng::seed_from_u64(opts.seed.unwrap_or(DEFAULT_FLEET_SEED));
+    let arrivals = arrival_stream(&mut rng, opts.rate, opts.requests);
+    let total_weight: f64 = weights.iter().sum();
+    for (i, &at) in arrivals.iter().enumerate() {
+        let input_len = opts.dataset.sample_input(&mut rng);
+        let output_len = opts.dataset.sample_output(&mut rng).min(128);
+        let mut pick = rng.random::<f64>() * total_weight;
+        let mut tenant = 0;
+        for (k, w) in weights.iter().enumerate() {
+            tenant = k;
+            pick -= w;
+            if pick <= 0.0 {
+                break;
+            }
+        }
+        orch.submit(OrchRequest {
+            req: FleetRequest {
+                id: i as u32,
+                input_len,
+                output_len,
+                arrival: at,
+            },
+            tenant,
+        })?;
+    }
+
+    println!(
+        "\n## Orchestrate — {} requests ({}) at {} req/Mcycle over {} slots ({} router, {} autoscale, {} tenants)\n",
+        opts.requests,
+        opts.dataset.name(),
+        opts.rate,
+        opts.replicas,
+        orch.route_name(),
+        orch.autoscale_name(),
+        orch.tenants().len(),
+    );
+    let out = orch.run()?;
+    println!("| metric | value |");
+    println!("|---|---:|");
+    println!(
+        "| submitted / dispatched / shed | {} / {} / {} |",
+        out.fleet.submitted + out.shed,
+        out.fleet.submitted,
+        out.shed
+    );
+    println!(
+        "| completed / dropped / deferred | {} / {} / {} |",
+        out.fleet.completed, out.fleet.dropped, out.deferred
+    );
+    println!("| generated tokens | {} |", out.fleet.tokens);
+    println!("| makespan | {:.2} ms |", out.fleet.makespan as f64 / 1e6);
+    println!(
+        "| fleet throughput | {:.0} tokens/s |",
+        out.fleet.tokens_per_sec()
+    );
+    println!(
+        "| peak / max replicas | {} / {} |",
+        out.peak_replicas,
+        out.slots.len()
+    );
+    println!(
+        "| warmups (scale-ups / scale-downs) | {} ({} / {}) |",
+        out.warmups, out.scale_ups, out.scale_downs
+    );
+    println!(
+        "| replica capacity paid | {:.2} Mcycles |",
+        out.replica_cycles_on as f64 / 1e6
+    );
+    println!(
+        "| goodput per cost | {:.2} tokens/Mcycle |",
+        out.goodput_per_cost()
+    );
+    print_preemption_rows(
+        out.fleet.preemptions,
+        out.fleet.restores,
+        out.fleet.preemption_stall_cycles,
+        out.fleet.restore_overhead_cycles,
+    );
+    print_trace_rows(out.fleet.pim_trace.as_ref());
+
+    println!(
+        "\n| tenant | prio | share | submitted | admitted | deferred | shed | completed | SLO | goodput (tok/s) | p99 TTFT (ms) |"
+    );
+    println!("|---|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|");
+    for (t, class) in out.tenants.iter().zip(orch.tenants()) {
+        let goodput = if out.fleet.makespan == 0 {
+            0.0
+        } else {
+            t.goodput_tokens as f64 / (out.fleet.makespan as f64 / 1e9)
+        };
+        println!(
+            "| {} | {} | {:.0}% | {} | {} | {} | {} | {} | {:.1}% | {:.0} | {:.2} |",
+            t.name,
+            t.priority,
+            class.share * 100.0,
+            t.submitted,
+            t.admitted,
+            t.deferred,
+            t.shed,
+            t.completed,
+            t.slo_attainment() * 100.0,
+            goodput,
+            t.ttft_percentile(99.0) as f64 / 1e6,
         );
     }
     Ok(())

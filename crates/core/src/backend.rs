@@ -62,6 +62,69 @@ pub struct BackendCaps {
     pub batched_mha: bool,
 }
 
+/// A quantified capability descriptor for one backend: the static
+/// [`BackendCaps`] flags extended with the serving envelope a
+/// meta-orchestrator needs to route against and the spin-up cost it must
+/// price before new capacity becomes dispatchable.
+///
+/// Profiles are *derived* from the capability flags by default
+/// ([`CapabilityProfile::for_caps`]): PIM-bearing systems hold the KV
+/// cache in memory-resident compute banks, so they carry the long-context
+/// envelope but pay a heavy warmup (IANUS-style model placement into the
+/// unified memory pool before the first request can be served), while
+/// NPU/GPU-class systems warm up quickly but top out at shorter contexts.
+/// Backends with calibrated envelopes can override
+/// [`Backend::capability_profile`] directly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CapabilityProfile {
+    /// The static capability flags of the backend.
+    pub caps: BackendCaps,
+    /// Longest context (prompt + generation tokens) the backend serves
+    /// without spilling its KV envelope.
+    pub max_context: u32,
+    /// Largest per-iteration batch the backend sustains.
+    pub max_batch: usize,
+    /// Largest model size the backend can host, in billions of
+    /// parameters.
+    pub max_model_params_b: f64,
+    /// Spin-up cost: cycles between the orchestrator committing a replica
+    /// and that replica becoming dispatchable (model placement,
+    /// precompilation). Priced as a
+    /// [`SimEvent::ReplicaWarmup`](crate::event::SimEvent) on the event
+    /// spine.
+    pub warmup_cycles: Cycle,
+}
+
+impl CapabilityProfile {
+    /// Derives the default serving envelope from capability flags.
+    ///
+    /// PIM-bearing backends (in-memory MHA) get the long-context envelope
+    /// (4096 tokens) and the expensive warmup (8 Mcycles — weights must
+    /// land in the PIM-partitioned memory pool); NPU/GPU-only backends
+    /// get a 2048-token envelope and a 2 Mcycle warmup. Systems without
+    /// batched MHA (TransPIM's token dataflow) cap the batch at 32.
+    pub fn for_caps(caps: BackendCaps) -> Self {
+        let (max_context, warmup_cycles) = if caps.uses_pim {
+            (4096, 8_000_000)
+        } else {
+            (2048, 2_000_000)
+        };
+        Self {
+            caps,
+            max_context,
+            max_batch: if caps.batched_mha { 256 } else { 32 },
+            max_model_params_b: if caps.uses_npu { 175.0 } else { 30.0 },
+            warmup_cycles,
+        }
+    }
+
+    /// Whether a request of `context` total tokens (prompt + generation)
+    /// fits this backend's context envelope.
+    pub fn fits_context(&self, context: u32) -> bool {
+        context <= self.max_context
+    }
+}
+
 /// Error type of the backend API.
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
@@ -191,6 +254,15 @@ pub trait Backend: Send + Sync {
     /// Capability flags of the system.
     fn caps(&self) -> BackendCaps;
 
+    /// The quantified capability descriptor the meta-orchestrator routes
+    /// against: context/batch/model envelopes plus the spin-up cost. The
+    /// default derives everything from [`Backend::caps`] (see
+    /// [`CapabilityProfile::for_caps`]); backends with calibrated
+    /// envelopes should override.
+    fn capability_profile(&self) -> CapabilityProfile {
+        CapabilityProfile::for_caps(self.caps())
+    }
+
     /// Peak compute throughput in FLOPs per device cycle (1 GHz clock).
     fn peak_compute(&self) -> f64;
 
@@ -308,6 +380,10 @@ impl<B: Backend + ?Sized> Backend for &B {
         (**self).caps()
     }
 
+    fn capability_profile(&self) -> CapabilityProfile {
+        (**self).capability_profile()
+    }
+
     fn peak_compute(&self) -> f64 {
         (**self).peak_compute()
     }
@@ -366,6 +442,10 @@ impl<B: Backend + ?Sized> Backend for Box<B> {
 
     fn caps(&self) -> BackendCaps {
         (**self).caps()
+    }
+
+    fn capability_profile(&self) -> CapabilityProfile {
+        (**self).capability_profile()
     }
 
     fn peak_compute(&self) -> f64 {

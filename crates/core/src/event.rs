@@ -59,6 +59,14 @@ pub enum SimEvent {
     /// clock passes that point, and it leaves the merge entirely once it
     /// drains idle.
     ReplicaIdle(usize),
+    /// Orchestrator layer: replica `i`'s warmup (model placement,
+    /// precompile) completes at the attached timestamp. Until this event
+    /// fires the replica is *not dispatchable* — the
+    /// [`Orchestrator`](crate::orchestrator::Orchestrator) prices
+    /// spin-up as first-class simulated time instead of treating new
+    /// capacity as free (see
+    /// [`CapabilityProfile::warmup_cycles`](crate::backend::CapabilityProfile)).
+    ReplicaWarmup(usize),
 }
 
 /// One scheduled entry. Ordering is by `(at, seq)` *reversed*, so the

@@ -282,7 +282,7 @@ pub struct FleetOutcome {
 }
 
 impl FleetOutcome {
-    fn aggregate(submitted: u64, replicas: Vec<ServingOutcome>) -> Self {
+    pub(crate) fn aggregate(submitted: u64, replicas: Vec<ServingOutcome>) -> Self {
         let mut out = FleetOutcome {
             submitted,
             ..Default::default()
@@ -440,7 +440,10 @@ impl<B: Backend> std::fmt::Debug for FleetSim<B> {
 /// clock reaches `horizon` or its stream drains. This is exactly the
 /// lockstep dispatcher's inner loop, so running it per replica — serially
 /// or on a worker thread — reproduces lockstep behavior bit for bit.
-fn advance_to<B: Backend>(replica: &mut ServingSim<B>, horizon: Cycle) -> Result<(), SimError> {
+pub(crate) fn advance_to<B: Backend>(
+    replica: &mut ServingSim<B>,
+    horizon: Cycle,
+) -> Result<(), SimError> {
     while replica.now() < horizon {
         if replica.step()? == StepEvent::Finished {
             break;
@@ -825,52 +828,69 @@ impl<B: Backend> FleetSim<B> {
     /// lowest-indexed failing replica's error is returned regardless of
     /// worker interleaving.
     fn advance_many(&mut self, due: &[usize], horizon: Cycle) -> Result<(), SimError> {
-        if self.jobs <= 1 || due.len() < PARALLEL_MIN_DUE {
-            for &i in due {
-                advance_to(&mut self.replicas[i], horizon)?;
-            }
-            return Ok(());
-        }
+        advance_set(&mut self.replicas, due, horizon, self.jobs)
+    }
+}
 
-        // Split the replica slice into disjoint &mut handles for the due
-        // indices (O(due), relying on `due` being sorted and distinct).
-        let mut handles: Vec<&mut ServingSim<B>> = Vec::with_capacity(due.len());
-        let mut rest: &mut [ServingSim<B>] = &mut self.replicas;
-        let mut offset = 0;
+/// The shared barrier primitive behind [`FleetSim::run`] and the
+/// [`Orchestrator`](crate::orchestrator::Orchestrator): advances the
+/// replicas named by `due` (sorted, distinct indices) to `horizon`,
+/// fanning out over up to `jobs` scoped worker threads when the due set
+/// is large enough to pay for it. Replicas share no state between
+/// barriers, so per-replica results are identical however the work is
+/// divided; on error the lowest-indexed failing replica's error is
+/// returned regardless of worker interleaving.
+pub(crate) fn advance_set<B: Backend>(
+    replicas: &mut [ServingSim<B>],
+    due: &[usize],
+    horizon: Cycle,
+    jobs: usize,
+) -> Result<(), SimError> {
+    if jobs <= 1 || due.len() < PARALLEL_MIN_DUE {
         for &i in due {
-            let (_, tail) = rest.split_at_mut(i - offset);
-            let (r, tail) = tail.split_first_mut().expect("due indices are in range");
-            handles.push(r);
-            rest = tail;
-            offset = i + 1;
+            advance_to(&mut replicas[i], horizon)?;
         }
+        return Ok(());
+    }
 
-        let chunk = handles.len().div_ceil(self.jobs).max(1);
-        let first_err: Mutex<Option<(usize, SimError)>> = Mutex::new(None);
-        std::thread::scope(|s| {
-            for (ci, chunk_refs) in handles.chunks_mut(chunk).enumerate() {
-                let first_err = &first_err;
-                s.spawn(move || {
-                    for (j, replica) in chunk_refs.iter_mut().enumerate() {
-                        if let Err(e) = advance_to(replica, horizon) {
-                            let index = due[ci * chunk + j];
-                            let mut slot = first_err.lock().expect("no worker panics");
-                            if slot.as_ref().is_none_or(|(lowest, _)| index < *lowest) {
-                                *slot = Some((index, e));
-                            }
-                            // Keep the rest of the chunk untouched: the
-                            // erroring replica's successors advance on
-                            // the next (re-run) barrier instead.
-                            break;
+    // Split the replica slice into disjoint &mut handles for the due
+    // indices (O(due), relying on `due` being sorted and distinct).
+    let mut handles: Vec<&mut ServingSim<B>> = Vec::with_capacity(due.len());
+    let mut rest: &mut [ServingSim<B>] = replicas;
+    let mut offset = 0;
+    for &i in due {
+        let (_, tail) = rest.split_at_mut(i - offset);
+        let (r, tail) = tail.split_first_mut().expect("due indices are in range");
+        handles.push(r);
+        rest = tail;
+        offset = i + 1;
+    }
+
+    let chunk = handles.len().div_ceil(jobs).max(1);
+    let first_err: Mutex<Option<(usize, SimError)>> = Mutex::new(None);
+    std::thread::scope(|s| {
+        for (ci, chunk_refs) in handles.chunks_mut(chunk).enumerate() {
+            let first_err = &first_err;
+            s.spawn(move || {
+                for (j, replica) in chunk_refs.iter_mut().enumerate() {
+                    if let Err(e) = advance_to(replica, horizon) {
+                        let index = due[ci * chunk + j];
+                        let mut slot = first_err.lock().expect("no worker panics");
+                        if slot.as_ref().is_none_or(|(lowest, _)| index < *lowest) {
+                            *slot = Some((index, e));
                         }
+                        // Keep the rest of the chunk untouched: the
+                        // erroring replica's successors advance on
+                        // the next (re-run) barrier instead.
+                        break;
                     }
-                });
-            }
-        });
-        match first_err.into_inner().expect("no worker panics") {
-            Some((_, e)) => Err(e),
-            None => Ok(()),
+                }
+            });
         }
+    });
+    match first_err.into_inner().expect("no worker panics") {
+        Some((_, e)) => Err(e),
+        None => Ok(()),
     }
 }
 

@@ -53,6 +53,13 @@
 //!   replicas behind a pluggable [`DispatchPolicy`] (round-robin,
 //!   join-shortest-queue, KV-pressure-aware), with fleet-wide TTFT/TPOT
 //!   percentiles, SLO attainment, and goodput;
+//! * [`orchestrator`] — the capability-aware meta-serving layer above the
+//!   fleet: per-backend [`CapabilityProfile`] descriptors with warmup
+//!   priced on the event spine, [`TenantClass`] SLO classes with
+//!   per-tenant goodput, admission control, pluggable
+//!   [`AutoscalePolicy`] (static / reactive / EWMA-predictive) and
+//!   [`RoutePolicy`] (load-only / capability-aware) — graded on goodput
+//!   per replica-cycle paid;
 //! * [`metrics`] — iteration breakdowns, utilization, and the DRAM
 //!   activity bridge into the power model.
 //!
@@ -89,6 +96,7 @@ pub mod fleet;
 pub mod gpu;
 pub mod interconnect;
 pub mod metrics;
+pub mod orchestrator;
 pub mod preempt;
 pub mod scheduler;
 pub mod serving;
@@ -100,7 +108,8 @@ pub mod transpim;
 
 pub use backend::{
     backend_from_name, backend_from_name_with_cost, Backend, BackendCaps, BackendError,
-    GpuRooflineBackend, IterationResult, NeuPimsBackend, TransPimBackend, BACKEND_NAMES,
+    CapabilityProfile, GpuRooflineBackend, IterationResult, NeuPimsBackend, TransPimBackend,
+    BACKEND_NAMES,
 };
 pub use cluster::{cluster_throughput, ClusterSpec};
 pub use device::{Device, DeviceMode, SbiPolicy};
@@ -117,6 +126,12 @@ pub use interconnect::{
     INTERCONNECT_NAMES,
 };
 pub use metrics::{IterationBreakdown, Utilization};
+pub use orchestrator::{
+    autoscale_from_name, router_from_name, AdmissionConfig, AutoscaleObservation, AutoscalePolicy,
+    CapabilityAware, EwmaPredictive, LoadOnly, OrchRequest, Orchestrator, OrchestratorConfig,
+    OrchestratorOutcome, ReactiveQueueDepth, RouteCandidate, RoutePolicy, SlotStats, StaticScale,
+    TenantClass, TenantOutcome, AUTOSCALE_NAMES, ROUTER_NAMES,
+};
 pub use preempt::{
     preemption_from_name, DropOnly, PreemptionPolicy, RecomputeLastAdmitted, RestoreMode,
     SwapConfig, SwapLru, VictimCandidate, PREEMPTION_NAMES,

@@ -17,6 +17,10 @@ use neupims_core::cluster::ClusterSpec;
 use neupims_core::experiments::ExperimentContext;
 use neupims_core::fleet::{policy_from_name, FleetOutcome, FleetRequest, FleetSim};
 use neupims_core::interconnect::interconnect_from_name;
+use neupims_core::orchestrator::{
+    autoscale_from_name, router_from_name, OrchRequest, Orchestrator, OrchestratorConfig,
+    OrchestratorOutcome, TenantClass,
+};
 use neupims_core::preempt::{preemption_from_name, SwapConfig};
 use neupims_core::scheduler::scheduler_from_name;
 use neupims_core::serving::{ServingConfig, ServingSim, SloTargets};
@@ -350,6 +354,9 @@ fn run_serving(
         .workload
         .as_ref()
         .expect("serving scenarios carry a workload");
+    if system.orchestration_requested() {
+        return run_orchestrated(ctx, spec, seed, jobs, cost_model, memo);
+    }
 
     let slo = SloTargets {
         ttft: (system.slo_ttft_ms * 1e6) as u64,
@@ -439,6 +446,176 @@ fn run_serving(
     }
     let out = fleet.run().map_err(sim_err)?;
     Ok(serving_metrics(&out))
+}
+
+/// Executes a serving scenario through the meta-orchestrator: tenant SLO
+/// classes, admission control, autoscaling, and capability routing above
+/// the same replica construction as the plain fleet path.
+fn run_orchestrated(
+    ctx: &ExperimentContext,
+    spec: &ScenarioSpec,
+    seed: u64,
+    jobs: Option<usize>,
+    cost_model: CostModelKind,
+    memo: Option<&TraceMemo>,
+) -> Result<Metrics, EvalError> {
+    let system = &spec.system;
+    let workload = spec
+        .workload
+        .as_ref()
+        .expect("serving scenarios carry a workload");
+
+    let scenario_slo = SloTargets {
+        ttft: (system.slo_ttft_ms * 1e6) as u64,
+        tpot: system.slo_tpot_ms * 1e6,
+    };
+    let cfg = ServingConfig {
+        max_batch: system.max_batch,
+        tp: if system.sharding_requested() {
+            1
+        } else {
+            system.model.parallelism.tp
+        },
+        layers: if system.sharding_requested() {
+            system.model.num_layers
+        } else {
+            system.model.num_layers / system.model.parallelism.pp
+        },
+        target_completions: 0,
+        slo: Some(scenario_slo),
+    };
+
+    // Unlike the fleet path (which layers preemption/swap/memo on after
+    // construction), the orchestrator owns its slots from birth, so each
+    // slot is fully configured here.
+    let backend_names: Vec<&str> = system.backend.split(',').map(str::trim).collect();
+    let sched_names: Vec<&str> = system.scheduler.split(',').map(str::trim).collect();
+    let mut slots = Vec::new();
+    for i in 0..system.replicas {
+        let backend = maybe_sharded(
+            system,
+            ctx.backend_with_cost(backend_names[i % backend_names.len()], cost_model)
+                .map_err(sim_err)?,
+        )?;
+        let scheduler =
+            scheduler_from_name(sched_names[i % sched_names.len()], system.chunk_tokens)
+                .map_err(sim_err)?;
+        let mut slot =
+            ServingSim::with_scheduler(backend, system.model.clone(), cfg.clone(), scheduler)
+                .with_cost_model(cost_model)
+                .with_preemption(preemption_from_name(&system.preemption).map_err(sim_err)?)
+                .with_swap(SwapConfig {
+                    gb_per_sec: system.swap_gbps,
+                });
+        if let Some(memo) = memo {
+            slot = slot.with_trace_memo(memo);
+        }
+        slots.push(slot);
+    }
+
+    // One orchestrator tenant per workload tenant class, its SLO falling
+    // back to the scenario-level targets when the class has no override.
+    let classes = workload.tenants.classes();
+    let total_weight: f64 = classes.iter().map(|c| c.weight).sum();
+    let tenants: Vec<TenantClass> = classes
+        .iter()
+        .zip(&workload.tenant_policies)
+        .map(|(class, policy)| {
+            let slo = SloTargets {
+                ttft: (policy.slo_ttft_ms.unwrap_or(system.slo_ttft_ms) * 1e6) as u64,
+                tpot: policy.slo_tpot_ms.unwrap_or(system.slo_tpot_ms) * 1e6,
+            };
+            TenantClass::new(
+                &class.name,
+                slo,
+                policy.priority,
+                class.weight / total_weight,
+            )
+        })
+        .collect();
+
+    let autoscale_name = system.autoscale.as_deref().unwrap_or("static");
+    let router_name = system.router.as_deref().unwrap_or("load");
+    // Static scale holds the whole table on (the degenerate fleet-parity
+    // configuration); dynamic policies may park down to one slot.
+    let default_min = if autoscale_name == "static" {
+        system.replicas
+    } else {
+        1
+    };
+    let mut orch_cfg = OrchestratorConfig::default_for(system.replicas);
+    orch_cfg.min_replicas = system
+        .min_replicas
+        .unwrap_or(default_min)
+        .clamp(1, system.replicas);
+    let mut orch = Orchestrator::new(
+        slots,
+        tenants,
+        router_from_name(router_name).map_err(sim_err)?,
+        autoscale_from_name(autoscale_name).map_err(sim_err)?,
+        orch_cfg,
+    )
+    .map_err(sim_err)?;
+    if let Some(jobs) = jobs {
+        orch = orch.with_jobs(jobs);
+    }
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let generated = neupims_workload::ScenarioWorkload {
+        arrival: workload.arrival,
+        tenants: workload.tenants.clone(),
+        requests: workload.requests,
+    }
+    .generate(&mut rng);
+    for (i, req) in generated.iter().enumerate() {
+        let output = match workload.output_cap {
+            Some(cap) => req.output_len.min(cap).max(1),
+            None => req.output_len,
+        };
+        orch.submit(OrchRequest {
+            req: FleetRequest {
+                id: i as u32,
+                input_len: req.input_len,
+                output_len: output,
+                arrival: req.arrival,
+            },
+            tenant: req.tenant,
+        })
+        .map_err(sim_err)?;
+    }
+
+    let out = orch.run().map_err(sim_err)?;
+    Ok(orchestrated_metrics(&out))
+}
+
+/// Flattens an orchestrated outcome: every fleet metric, plus the
+/// orchestration aggregates and a `tenant_<name>_*` namespace per tenant.
+fn orchestrated_metrics(out: &OrchestratorOutcome) -> Metrics {
+    let mut m = serving_metrics(&out.fleet);
+    m.insert("goodput_per_cost".into(), out.goodput_per_cost());
+    m.insert(
+        "replica_mcycles_on".into(),
+        out.replica_cycles_on as f64 / 1e6,
+    );
+    m.insert("warmups".into(), out.warmups as f64);
+    m.insert("scale_ups".into(), out.scale_ups as f64);
+    m.insert("scale_downs".into(), out.scale_downs as f64);
+    m.insert("peak_replicas".into(), out.peak_replicas as f64);
+    m.insert("shed".into(), out.shed as f64);
+    m.insert("deferred".into(), out.deferred as f64);
+    for t in &out.tenants {
+        let key = |suffix: &str| format!("tenant_{}_{suffix}", t.name);
+        m.insert(key("submitted"), t.submitted as f64);
+        m.insert(key("admitted"), t.admitted as f64);
+        m.insert(key("deferred"), t.deferred as f64);
+        m.insert(key("shed"), t.shed as f64);
+        m.insert(key("completed"), t.completed as f64);
+        m.insert(key("goodput_tokens"), t.goodput_tokens as f64);
+        m.insert(key("slo_attainment"), t.slo_attainment());
+        m.insert(key("ttft_p99_ms"), t.ttft_percentile(99.0) as f64 / 1e6);
+        m.insert(key("tpot_p99_ms"), t.tpot_percentile(99.0) / 1e6);
+    }
+    m
 }
 
 /// Flattens a fleet outcome into the scorer's metric namespace.
@@ -603,6 +780,63 @@ samples = 1
             assert_eq!(strip(&a.metrics), strip(&b.metrics), "{}", a.name);
         }
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// An orchestrated scenario surfaces the goodput-per-cost and
+    /// per-tenant namespaces, conserves admission labels, and stays
+    /// `--jobs`-deterministic like every other serving run.
+    #[test]
+    fn orchestrated_scenarios_surface_tenant_metrics() {
+        let text = r#"
+[suite]
+name = "orch-tiny"
+
+[[scenario]]
+name = "autoscaled"
+requests = 12
+seed = 4
+replicas = 3
+backend = "gpu"
+max-batch = 8
+autoscale = "reactive"
+router = "capability"
+output-cap = 8
+rate = 6.0
+
+[[scenario.tenant]]
+name = "chat"
+priority = 220
+input = ["lognormal", 60.0, 0.5]
+output = ["fixed", 8]
+
+[[scenario.tenant]]
+name = "batch"
+priority = 40
+input = ["uniform", 256, 512]
+output = ["fixed", 8]
+"#;
+        let suite = SuiteSpec::parse(text).unwrap();
+        let runs = run_suite(&suite, None).unwrap();
+        let run = &runs[0];
+        assert!(run.metric("goodput_per_cost").unwrap() >= 0.0);
+        assert!(run.metric("replica_mcycles_on").unwrap() > 0.0);
+        assert!(run.metric("peak_replicas").unwrap() <= 3.0);
+        for tenant in ["chat", "batch"] {
+            let get = |s: &str| run.metric(&format!("tenant_{tenant}_{s}")).unwrap();
+            assert_eq!(
+                get("admitted") + get("deferred") + get("shed"),
+                get("submitted"),
+                "conservation broke for {tenant}"
+            );
+        }
+        assert_eq!(
+            run.metric("tenant_chat_submitted").unwrap()
+                + run.metric("tenant_batch_submitted").unwrap(),
+            12.0
+        );
+        let serial = run_suite_with_jobs(&suite, Some(8), Some(1)).unwrap();
+        let parallel = run_suite_with_jobs(&suite, Some(8), Some(4)).unwrap();
+        assert_eq!(serial, parallel, "--jobs changed orchestrated results");
     }
 
     #[test]

@@ -9,7 +9,11 @@
 //! * `kind = "serving"` — an arrival-driven serving run (single replica
 //!   or a dispatched fleet) over a declarative workload: an arrival
 //!   process from [`neupims_workload::scenario`], per-tenant length
-//!   distributions, and optional tight-memory hardware overrides.
+//!   distributions, and optional tight-memory hardware overrides. The
+//!   `autoscale` / `router` / `min-replicas` keys lift the run into the
+//!   meta-orchestrator (tenant SLO classes via per-tenant `priority` /
+//!   `slo-ttft-ms` / `slo-tpot-ms` keys, admission control, capability
+//!   routing), surfacing `goodput_per_cost` and per-tenant metrics.
 //!
 //! Golden expectations live in `[[scenario.expect]]` blocks (absolute
 //! value ± relative tolerance, or min/max bounds) and `[[compare]]`
@@ -19,6 +23,9 @@
 
 use std::fmt;
 
+use neupims_core::orchestrator::{
+    autoscale_from_name, router_from_name, AUTOSCALE_NAMES, ROUTER_NAMES,
+};
 use neupims_sched::CostModelKind;
 use neupims_types::{Cycle, LlmConfig};
 use neupims_workload::scenario::{ArrivalProcess, LengthDistribution, TenantClass, TenantMix};
@@ -195,12 +202,27 @@ pub struct SystemSpec {
     pub interconnect: Option<String>,
     /// Per-link bandwidth override for the fabric, GB/s.
     pub link_gbps: Option<f64>,
+    /// Autoscale policy name (`static` | `reactive` | `predictive`):
+    /// routes the scenario through the meta-orchestrator instead of a
+    /// bare fleet when set (alone or with `router`/`min-replicas`).
+    pub autoscale: Option<String>,
+    /// Route policy name (`load` | `round-robin` | `capability`).
+    pub router: Option<String>,
+    /// Autoscale floor: slots kept committed even when idle. Defaults to
+    /// `replicas` under static scale and 1 otherwise.
+    pub min_replicas: Option<usize>,
 }
 
 impl SystemSpec {
     /// True when `tp`/`pp` ask for a multi-chip sharded deployment.
     pub fn sharding_requested(&self) -> bool {
         self.tp.is_some() || self.pp.is_some()
+    }
+
+    /// True when `autoscale`/`router`/`min-replicas` ask for the
+    /// meta-orchestrator above the fleet.
+    pub fn orchestration_requested(&self) -> bool {
+        self.autoscale.is_some() || self.router.is_some() || self.min_replicas.is_some()
     }
 }
 
@@ -215,8 +237,35 @@ pub struct WorkloadSpec {
     pub arrival: ArrivalProcess,
     /// Tenant mix supplying per-request lengths.
     pub tenants: TenantMix,
+    /// Orchestrator-facing policy of each tenant, aligned with
+    /// `tenants.classes()` order.
+    pub tenant_policies: Vec<TenantPolicy>,
     /// Cap on sampled output lengths (keeps suites fast), if any.
     pub output_cap: Option<u32>,
+}
+
+/// The serving contract of one tenant class, consumed by the
+/// meta-orchestrator (ignored by plain fleet scenarios): admission
+/// priority plus optional per-tenant SLO overrides.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantPolicy {
+    /// Admission priority (0-255). At or above the admission floor the
+    /// tenant bypasses shedding entirely.
+    pub priority: u8,
+    /// Per-tenant TTFT target (ms); the scenario SLO when absent.
+    pub slo_ttft_ms: Option<f64>,
+    /// Per-tenant TPOT target (ms); the scenario SLO when absent.
+    pub slo_tpot_ms: Option<f64>,
+}
+
+impl Default for TenantPolicy {
+    fn default() -> Self {
+        TenantPolicy {
+            priority: 200,
+            slo_ttft_ms: None,
+            slo_tpot_ms: None,
+        }
+    }
 }
 
 /// One named experiment of a suite.
@@ -360,6 +409,25 @@ fn opt_f64(t: &Table, key: &str) -> Result<Option<f64>, SpecError> {
     }
 }
 
+/// An optional policy-name key validated against its registry at parse
+/// time, so a typo'd autoscaler or router fails at spec load, not
+/// mid-run.
+fn opt_name(
+    t: &Table,
+    key: &str,
+    known: &[&str],
+    valid: fn(&str) -> bool,
+) -> Result<Option<String>, SpecError> {
+    match opt_string(t, key)? {
+        None => Ok(None),
+        Some(name) if valid(&name) => Ok(Some(name)),
+        Some(name) => serr(format!(
+            "unknown {key} {name:?} (expected one of [{}])",
+            known.join(", ")
+        )),
+    }
+}
+
 fn opt_usize(t: &Table, key: &str) -> Result<Option<usize>, SpecError> {
     match t.get(key) {
         None => Ok(None),
@@ -433,6 +501,11 @@ fn parse_scenario(t: &Table) -> Result<ScenarioSpec, SpecError> {
         pp: opt_usize(t, "pp")?.map(|v| v as u32),
         interconnect: opt_string(t, "interconnect")?,
         link_gbps: opt_f64(t, "link-gbps")?,
+        autoscale: opt_name(t, "autoscale", &AUTOSCALE_NAMES, |n| {
+            autoscale_from_name(n).is_ok()
+        })?,
+        router: opt_name(t, "router", &ROUTER_NAMES, |n| router_from_name(n).is_ok())?,
+        min_replicas: opt_usize(t, "min-replicas")?,
     };
 
     let seed = opt_usize(t, "seed")?.unwrap_or(0xE7A1) as u64;
@@ -476,22 +549,25 @@ fn parse_workload(t: &Table, dataset: Dataset, seed: u64) -> Result<WorkloadSpec
         }
     };
     let tenant_tables = tables_of(t, "tenant")?;
-    let tenants = if tenant_tables.is_empty() {
-        TenantMix::single(dataset)
+    let (tenants, tenant_policies) = if tenant_tables.is_empty() {
+        (TenantMix::single(dataset), vec![TenantPolicy::default()])
     } else {
         let mut classes = Vec::new();
+        let mut policies = Vec::new();
         for (i, tt) in tenant_tables.iter().enumerate() {
-            classes.push(
-                parse_tenant(tt).map_err(|e| SpecError(format!("tenant #{}: {}", i + 1, e.0)))?,
-            );
+            let (class, policy) =
+                parse_tenant(tt).map_err(|e| SpecError(format!("tenant #{}: {}", i + 1, e.0)))?;
+            classes.push(class);
+            policies.push(policy);
         }
-        TenantMix::new(classes)
+        (TenantMix::new(classes), policies)
     };
     Ok(WorkloadSpec {
         requests,
         seed,
         arrival,
         tenants,
+        tenant_policies,
         output_cap: opt_usize(t, "output-cap")?.map(|c| c as u32),
     })
 }
@@ -579,7 +655,7 @@ fn parse_length(v: &Value, key: &str) -> Result<LengthDistribution, SpecError> {
     }
 }
 
-fn parse_tenant(t: &Table) -> Result<TenantClass, SpecError> {
+fn parse_tenant(t: &Table) -> Result<(TenantClass, TenantPolicy), SpecError> {
     let name = string(t, "name")?;
     let weight = opt_f64(t, "weight")?.unwrap_or(1.0);
     if weight <= 0.0 {
@@ -593,12 +669,25 @@ fn parse_tenant(t: &Table) -> Result<TenantClass, SpecError> {
         Some(v) => parse_length(v, "output")?,
         None => return serr(format!("tenant {name:?} missing \"output\" distribution")),
     };
-    Ok(TenantClass {
-        name,
-        weight,
-        input,
-        output,
-    })
+    let priority = match opt_usize(t, "priority")? {
+        Some(p) if p <= u8::MAX as usize => p as u8,
+        Some(p) => return serr(format!("tenant {name:?} priority {p} exceeds 255")),
+        None => TenantPolicy::default().priority,
+    };
+    let policy = TenantPolicy {
+        priority,
+        slo_ttft_ms: opt_f64(t, "slo-ttft-ms")?,
+        slo_tpot_ms: opt_f64(t, "slo-tpot-ms")?,
+    };
+    Ok((
+        TenantClass {
+            name,
+            weight,
+            input,
+            output,
+        },
+        policy,
+    ))
 }
 
 // -------------------------------------------------------------- bounds
@@ -735,7 +824,10 @@ min = 0.5
             }
         );
         assert_eq!(w.tenants.classes().len(), 2);
+        assert_eq!(w.tenant_policies.len(), 2);
+        assert_eq!(w.tenant_policies[0], TenantPolicy::default());
         assert_eq!(w.output_cap, Some(128));
+        assert!(!s.system.orchestration_requested());
         assert_eq!(s.expects[0].bound, Bound::Min(20.0));
         let t = &suite.scenarios[1];
         assert_eq!(t.kind, ScenarioKind::Throughput);
@@ -783,6 +875,56 @@ min = 0.5
         let w = s.workload.as_ref().unwrap();
         assert!(matches!(w.arrival, ArrivalProcess::Poisson { .. }));
         assert_eq!(w.tenants.classes().len(), 1);
+    }
+
+    #[test]
+    fn orchestration_keys_parse_and_validate() {
+        let text = r#"
+[suite]
+name = "orch"
+
+[[scenario]]
+name = "autoscaled"
+replicas = 8
+autoscale = "predictive"
+router = "capability"
+min-replicas = 2
+
+[[scenario.tenant]]
+name = "chat"
+priority = 220
+slo-ttft-ms = 20.0
+input = ["lognormal", 80.0, 0.9]
+output = ["fixed", 8]
+
+[[scenario.tenant]]
+name = "batch"
+priority = 40
+input = ["uniform", 256, 512]
+output = ["fixed", 8]
+"#;
+        let suite = SuiteSpec::parse(text).unwrap();
+        let s = &suite.scenarios[0];
+        assert!(s.system.orchestration_requested());
+        assert_eq!(s.system.autoscale.as_deref(), Some("predictive"));
+        assert_eq!(s.system.router.as_deref(), Some("capability"));
+        assert_eq!(s.system.min_replicas, Some(2));
+        let w = s.workload.as_ref().unwrap();
+        assert_eq!(w.tenant_policies[0].priority, 220);
+        assert_eq!(w.tenant_policies[0].slo_ttft_ms, Some(20.0));
+        assert_eq!(w.tenant_policies[0].slo_tpot_ms, None);
+        assert_eq!(w.tenant_policies[1].priority, 40);
+
+        // Policy names are validated at parse time, with the inventory
+        // in the error.
+        let bad = text.replace("\"predictive\"", "\"psychic\"");
+        let e = SuiteSpec::parse(&bad).unwrap_err();
+        assert!(e.0.contains("unknown autoscale"), "{e}");
+        assert!(e.0.contains("static"), "{e}");
+        let bad = text.replace("\"capability\"", "\"ouija\"");
+        assert!(SuiteSpec::parse(&bad).unwrap_err().0.contains("router"));
+        let bad = text.replace("priority = 220", "priority = 999");
+        assert!(SuiteSpec::parse(&bad).unwrap_err().0.contains("255"));
     }
 
     #[test]

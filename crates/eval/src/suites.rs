@@ -5,7 +5,14 @@ use crate::runner::EvalError;
 use crate::spec::{SpecError, SuiteSpec};
 
 /// Names of the shipped suites, in documentation order.
-pub const SUITE_NAMES: &[&str] = &["smoke", "fig12", "table3", "pressure", "scaling"];
+pub const SUITE_NAMES: &[&str] = &[
+    "smoke",
+    "fig12",
+    "table3",
+    "pressure",
+    "scaling",
+    "orchestrator",
+];
 
 /// The embedded TOML text of a shipped suite, if `name` is one.
 pub fn builtin_suite(name: &str) -> Option<&'static str> {
@@ -15,6 +22,7 @@ pub fn builtin_suite(name: &str) -> Option<&'static str> {
         "table3" => Some(include_str!("../../../scenarios/table3.toml")),
         "pressure" => Some(include_str!("../../../scenarios/pressure.toml")),
         "scaling" => Some(include_str!("../../../scenarios/scaling.toml")),
+        "orchestrator" => Some(include_str!("../../../scenarios/orchestrator.toml")),
         _ => None,
     }
 }
